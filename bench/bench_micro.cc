@@ -1,0 +1,84 @@
+// Microbenchmarks (google-benchmark): simulator throughput.
+//
+// Not a paper experiment — these time the machinery itself (steps/second
+// for memory ops, coroutine scheduling, the adversary) so regressions in
+// the simulator's own performance are visible. Complexity claims live in
+// the bench_e* binaries.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "lowerbound/adversary.h"
+#include "memory/cc_model.h"
+#include "memory/shared_memory.h"
+#include "sched/schedulers.h"
+#include "signaling/cc_flag.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+
+namespace rmrsim {
+namespace {
+
+void BM_DsmApplyOps(benchmark::State& state) {
+  auto mem = make_dsm(8);
+  const VarId v = mem->allocate_global(0);
+  Word x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem->apply(0, MemOp::write(v, ++x)));
+    benchmark::DoNotOptimize(mem->apply(1, MemOp::read(v)));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_DsmApplyOps);
+
+void BM_CcApplyOps(benchmark::State& state) {
+  auto mem = make_cc(8);
+  const VarId v = mem->allocate_global(0);
+  Word x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mem->apply(0, MemOp::write(v, ++x)));
+    benchmark::DoNotOptimize(mem->apply(1, MemOp::read(v)));
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_CcApplyOps);
+
+void BM_CoroutineSteps(benchmark::State& state) {
+  // One full waiters+signaler workload per iteration; items = steps taken.
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = n;
+    opt.signaler_idle_polls = 8;
+    auto run = run_signaling_workload(
+        make_dsm(n + 1),
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+        opt);
+    steps += run.sim->history().size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps));
+}
+BENCHMARK(BM_CoroutineSteps)->Arg(8)->Arg(64);
+
+void BM_AdversaryStrict(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    AdversaryConfig c;
+    c.nprocs = n;
+    c.construction = Construction::kStrict;
+    SignalingAdversary adv(
+        [n](SharedMemory& m) {
+          return std::make_unique<DsmRegistrationSignal>(
+              m, static_cast<ProcId>(n - 2));
+        },
+        c);
+    benchmark::DoNotOptimize(adv.run());
+  }
+}
+BENCHMARK(BM_AdversaryStrict)->Arg(32)->Arg(128)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rmrsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// config_broadcast: the paper's problem dressed as a systems task.
+//
+//   $ ./build/examples/config_broadcast
+//
+// Scenario: a fleet of worker processes on a DSM machine must learn that a
+// new configuration epoch was published. Workers cannot busy-read a global
+// flag (every re-check would cross the interconnect), and the publisher
+// does not know in advance which workers exist — this is exactly the
+// signaling problem with many waiters and a signaler not fixed in advance.
+//
+// We wire three designs from the paper and compare their interconnect
+// bills under a bursty arrival schedule:
+//   naive    — global flag polling (the CC design, ported as-is),
+//   queue    — F&I announcement queue (Section 7's stronger-primitive fix),
+//   blocking — leader-election reduction for Wait() semantics.
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "memory/shared_memory.h"
+#include "primitives/blocking_leader.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/workload.h"
+
+using namespace rmrsim;
+
+namespace {
+
+void row(TextTable& table, const char* design, const SignalingFactory& factory,
+         int workers, bool blocking) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = workers;
+  opt.blocking = blocking;
+  opt.signaler_idle_polls = blocking ? 0 : 48;  // config publish is "late"
+  opt.scheduler_seed = 20260707;  // bursty random arrivals
+  auto run = run_signaling_workload(make_dsm(workers + 1), factory, opt);
+  const auto violation = blocking ? check_blocking_spec(run.sim->history())
+                                  : check_polling_spec(run.sim->history());
+  table.add_row({design, std::to_string(workers),
+                 std::to_string(run.max_waiter_rmrs()),
+                 std::to_string(run.signaler_rmrs()),
+                 fixed(run.amortized_rmrs()),
+                 violation.has_value() ? "BROKEN" : "ok"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "config_broadcast: N workers on a DSM machine wait for a config epoch\n"
+      "(publisher delayed; workers arrive and re-check meanwhile)\n\n");
+  TextTable table;
+  table.set_header({"design", "workers", "max worker RMRs", "publisher RMRs",
+                    "amortized", "safety"});
+  for (const int workers : {8, 32, 128}) {
+    row(table, "naive global flag",
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+        workers, /*blocking=*/false);
+    row(table, "F&I announcement queue",
+        [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); },
+        workers, /*blocking=*/false);
+    row(table, "leader-election blocking",
+        [](SharedMemory& m) {
+          return std::make_unique<DsmBlockingLeaderSignal>(m);
+        },
+        workers, /*blocking=*/true);
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nTakeaways: the naive flag melts the interconnect (every worker\n"
+      "re-check is an RMR); the F&I queue gets every worker down to O(1)\n"
+      "with the publisher paying O(k) once; the blocking design pushes the\n"
+      "sweep onto an elected leader. And per Theorem 6.2, the queue's F&I\n"
+      "is load-bearing: with only reads/writes/CAS there is NO design that\n"
+      "achieves O(1) amortized here — buy the primitive or pay the RMRs.\n");
+  return 0;
+}

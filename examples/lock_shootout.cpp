@@ -1,0 +1,93 @@
+// lock_shootout: pick the right lock for your machine.
+//
+//   $ ./build/examples/lock_shootout [nprocs] [passages]
+//
+// A practitioner-facing scenario (the paper's Section 8 concern): you have
+// a hot critical section and a choice of lock implementations; the "right"
+// answer depends on the machine model. This example contends N workers on
+// each lock under DSM, standard CC, and an LFCU-style CC machine, and
+// prints RMRs per lock passage — the paper's proxy for real-world
+// interconnect traffic.
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+
+#include "common/table.h"
+#include "memory/cc_model.h"
+#include "mutex/bakery_lock.h"
+#include "mutex/clh_lock.h"
+#include "mutex/mcs_lock.h"
+#include "mutex/simple_locks.h"
+#include "mutex/ya_lock.h"
+#include "sched/schedulers.h"
+
+using namespace rmrsim;
+
+namespace {
+
+using LockFactory = std::function<std::unique_ptr<MutexAlgorithm>(SharedMemory&)>;
+
+std::string contend(std::unique_ptr<SharedMemory> mem, const LockFactory& make,
+                    int n, int passages) {
+  auto lock = make(*mem);
+  MutexAlgorithm* l = lock.get();
+  std::vector<Program> programs;
+  for (int i = 0; i < n; ++i) {
+    programs.emplace_back(
+        [l, passages](ProcCtx& ctx) { return mutex_worker(ctx, l, passages); });
+  }
+  Simulation sim(*mem, std::move(programs));
+  RoundRobinScheduler rr;
+  if (!sim.run(rr, 500'000'000).all_terminated) return "stuck";
+  if (check_mutual_exclusion(sim.history()).has_value()) return "UNSAFE";
+  return fixed(static_cast<double>(sim.memory().ledger().total_rmrs()) /
+               static_cast<double>(n * passages));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int passages = argc > 2 ? std::atoi(argv[2]) : 4;
+  std::printf("lock shootout: %d workers x %d passages, RMRs per passage\n\n",
+              n, passages);
+
+  const std::vector<std::pair<const char*, LockFactory>> locks = {
+      {"yang-anderson (r/w)",
+       [](SharedMemory& m) { return std::make_unique<YangAndersonLock>(m); }},
+      {"mcs (FAS+CAS)",
+       [](SharedMemory& m) { return std::make_unique<McsLock>(m); }},
+      {"anderson-array (FAI)",
+       [](SharedMemory& m) { return std::make_unique<AndersonArrayLock>(m); }},
+      {"ticket (FAI)",
+       [](SharedMemory& m) { return std::make_unique<TicketLock>(m); }},
+      {"tas spinlock",
+       [](SharedMemory& m) { return std::make_unique<TasLock>(m); }},
+      {"clh (FAS)",
+       [](SharedMemory& m) { return std::make_unique<ClhLock>(m); }},
+      {"bakery (r/w FCFS)",
+       [](SharedMemory& m) { return std::make_unique<BakeryLock>(m); }},
+  };
+
+  TextTable table;
+  table.set_header({"lock", "DSM", "CC (write-through)", "CC (write-back)",
+                    "CC (MESI)", "CC (LFCU)"});
+  for (const auto& [label, make] : locks) {
+    table.add_row({label, contend(make_dsm(n), make, n, passages),
+                   contend(make_cc(n, CcPolicy::kWriteThrough), make, n,
+                           passages),
+                   contend(make_cc(n, CcPolicy::kWriteBack), make, n, passages),
+                   contend(make_cc(n, CcPolicy::kMesi), make, n, passages),
+                   contend(make_cc(n, CcPolicy::kLfcu), make, n, passages)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nHow to read it: MCS is the safe choice everywhere; the Anderson\n"
+      "array lock is great on CC but toxic on DSM (its slots cannot be\n"
+      "co-located with spinners); the TAS spinlock is only defensible on an\n"
+      "LFCU machine. Co-locating spin variables with their spinner — the\n"
+      "fundamental technique the paper names in Section 1 — is exactly what\n"
+      "separates the well-behaved columns from the pathological ones.\n");
+  return 0;
+}

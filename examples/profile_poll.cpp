@@ -1,0 +1,88 @@
+// profile_poll: where do the RMRs go?
+//
+//   $ ./build/examples/profile_poll
+//
+// Slices a run into procedure calls (src/trace) and prints each algorithm's
+// cost fingerprint: what the FIRST Poll() costs vs every later one. The
+// Section 7 designs all share the same shape — pay once to register, then
+// spin free in your own module — and the fingerprint makes the one that
+// doesn't (the raw flag) obvious at a glance.
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "memory/shared_memory.h"
+#include "signaling/cas_registration.h"
+#include "signaling/cc_flag.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/llsc_registration.h"
+#include "signaling/workload.h"
+#include "trace/call_stats.h"
+
+using namespace rmrsim;
+
+namespace {
+
+void profile(TextTable& table, const char* label,
+             const SignalingFactory& factory) {
+  const int n_waiters = 16;
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = n_waiters;
+  opt.signaler_idle_polls = 32;
+  auto run = run_signaling_workload(make_dsm(n_waiters + 1), factory, opt);
+  const auto costs = per_call_costs(run.sim->history());
+
+  std::uint64_t first_max = 0;
+  double first_sum = 0;
+  int first_count = 0;
+  for (ProcId p = 0; p < n_waiters; ++p) {
+    const auto polls = calls_of(costs, p, calls::kPoll);
+    if (polls.empty()) continue;
+    first_max = std::max(first_max, polls.front().rmrs);
+    first_sum += static_cast<double>(polls.front().rmrs);
+    ++first_count;
+  }
+  const auto signals = calls_of(costs, n_waiters, calls::kSignal);
+  table.add_row({label,
+                 fixed(first_sum / std::max(first_count, 1), 1),
+                 std::to_string(first_max),
+                 std::to_string(max_rmrs_from_index(costs, calls::kPoll, 1)),
+                 signals.empty() ? "-" : std::to_string(signals.front().rmrs)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "profile_poll: per-call RMR fingerprints, DSM, 16 waiters, signaler\n"
+      "delayed 32 polls\n\n");
+  TextTable table;
+  table.set_header({"algorithm", "first Poll (avg RMRs)", "first Poll (max)",
+                    "later Polls (max)", "Signal()"});
+  profile(table, "flag (naive)", [](SharedMemory& m) {
+    return std::make_unique<CcFlagSignal>(m);
+  });
+  profile(table, "registration", [](SharedMemory& m) {
+    return std::make_unique<DsmRegistrationSignal>(m, 16);
+  });
+  profile(table, "queue (F&I)", [](SharedMemory& m) {
+    return std::make_unique<DsmQueueSignal>(m);
+  });
+  profile(table, "cas-registration", [](SharedMemory& m) {
+    return std::make_unique<CasRegistrationSignal>(m);
+  });
+  profile(table, "llsc-registration", [](SharedMemory& m) {
+    return std::make_unique<LlscRegistrationSignal>(m);
+  });
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nHow to read it: a healthy DSM signaling design front-loads its\n"
+      "communication (a small constant on the first call) and spins free\n"
+      "afterwards ('later Polls' = 0). The naive flag pays on EVERY poll —\n"
+      "its 'later Polls' column is nonzero and its total grows with the\n"
+      "wait. The CAS/LLSC stacks pay retry costs under contention on the\n"
+      "first call only. Signal() is O(registered waiters) everywhere —\n"
+      "and per Theorem 6.2 that part is irreducible without F&I.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: build both machines from Figure 1, run the same algorithm on
+// each, and watch the RMR meters disagree.
+//
+//   $ ./build/examples/quickstart
+//
+// The public API in four steps:
+//   1. make_dsm(n) / make_cc(n)            — pick an architecture
+//   2. allocate / allocate_local / _global — lay out shared variables
+//   3. write algorithms as coroutines      — co_await ctx.read(v), ...
+//   4. Simulation + a Scheduler            — run and read the ledgers
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "memory/cc_model.h"
+#include "memory/shared_memory.h"
+#include "sched/schedulers.h"
+#include "signaling/cc_flag.h"
+#include "signaling/workload.h"
+
+using namespace rmrsim;
+
+int main() {
+  std::printf(
+      "rmrsim quickstart — Figure 1, as code\n"
+      "\n"
+      "   DSM model                      CC model\n"
+      "   P0   P1   P2   P3              P0   P1   P2   P3\n"
+      "   |    |    |    |               |    |    |    |\n"
+      "  [M0] [M1] [M2] [M3]           [$0] [$1] [$2] [$3]\n"
+      "   |____|____|____|               |____|____|____|\n"
+      "      interconnect                   interconnect\n"
+      "                                          |\n"
+      "  access to a foreign module         [ memory ]\n"
+      "  = 1 RMR, always                 cache hit = free, miss = RMR\n"
+      "\n");
+
+  // One signaler flips a Boolean; eight waiters poll it until they see it.
+  // This is the whole Section 5 algorithm.
+  const int kWaiters = 8;
+  TextTable table;
+  table.set_header(
+      {"model", "total ops", "total RMRs", "max waiter RMRs", "amortized"});
+  for (const bool cc : {true, false}) {
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = kWaiters;
+    opt.signaler_idle_polls = 32;  // let the waiters spin a while
+    auto run = run_signaling_workload(
+        cc ? make_cc(kWaiters + 1) : make_dsm(kWaiters + 1),
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+        opt);
+    table.add_row({cc ? "CC" : "DSM",
+                   std::to_string(run.mem->ledger().total_ops()),
+                   std::to_string(run.mem->ledger().total_rmrs()),
+                   std::to_string(run.max_waiter_rmrs()),
+                   fixed(run.amortized_rmrs())});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\nSame algorithm, same schedule, very different bills: the CC cache\n"
+      "absorbs the spin, the DSM interconnect pays for every poll. That gap\n"
+      "is the subject of the paper — and no read/write algorithm can close\n"
+      "it (run ./build/examples/separation_demo to see why).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// separation_demo: Theorem 6.2's adversary, narrated.
+//
+//   $ ./build/examples/separation_demo
+//
+// Runs the executable Section 6 construction against a well-engineered
+// read/write DSM signaling algorithm (registration-based, O(1) amortized in
+// honest runs) and prints what the adversary does to it: stabilize the
+// waiters, pick a signaler whose module nobody wrote, and erase every
+// waiter the signaler is about to discover — forcing it to pay one RMR per
+// waiter for a history in which almost nobody officially participates.
+#include <cstdio>
+#include <memory>
+
+#include "lowerbound/adversary.h"
+#include "memory/cc_model.h"
+#include "signaling/cc_flag.h"
+#include "signaling/dsm_registration.h"
+
+using namespace rmrsim;
+
+int main() {
+  const int kN = 48;
+  std::printf("== The victim: dsm-registration, a correct O(1)-amortized\n"
+              "   read/write algorithm (Section 7), N = %d processes.\n\n",
+              kN);
+
+  AdversaryConfig config;
+  config.nprocs = kN;
+  config.construction = Construction::kStrict;
+  SignalingAdversary adversary(
+      [](SharedMemory& m) {
+        return std::make_unique<DsmRegistrationSignal>(
+            m, static_cast<ProcId>(kN - 2));
+      },
+      config);
+  const AdversaryReport report = adversary.run();
+  std::fputs(report.to_string().c_str(), stdout);
+
+  std::printf(
+      "\nReading the report: part 1 parked %d waiters in local spins\n"
+      "(Definition 6.8 stability); part 2's signaler then had to spend\n"
+      "%llu RMRs discovering them — but the adversary erased each waiter\n"
+      "just before it was found (Lemma 6.7), so the final history has only\n"
+      "%d participant(s) footing a %llu-RMR bill: amortized %.2f RMRs,\n"
+      "growing linearly in N. No read/write (or CAS/LL-SC) algorithm\n"
+      "escapes this in the DSM model (Theorem 6.2, Corollary 6.14).\n",
+      report.stable_waiters,
+      static_cast<unsigned long long>(report.signaler_rmrs),
+      report.participants_final,
+      static_cast<unsigned long long>(report.total_rmrs_final),
+      report.amortized_final);
+
+  std::printf("\n== The control: the same game in the CC model.\n\n");
+  AdversaryConfig cc_config;
+  cc_config.nprocs = kN;
+  cc_config.construction = Construction::kLenient;
+  cc_config.erase_during_chase = false;
+  cc_config.make_memory = [](int n) { return make_cc(n); };
+  SignalingAdversary cc_adversary(
+      [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+      cc_config);
+  const AdversaryReport cc_report = cc_adversary.run();
+  std::fputs(cc_report.to_string().c_str(), stdout);
+  std::printf(
+      "\nIn the CC model the flag write reaches every cached copy at once:\n"
+      "the signaler paid %llu RMR(s) no matter how many waiters there are.\n"
+      "That asymmetry is the complexity separation.\n",
+      static_cast<unsigned long long>(cc_report.signaler_rmrs));
+  return 0;
+}

@@ -1,0 +1,49 @@
+#include "coherence/protocols.h"
+
+namespace rmrsim {
+
+void BusBroadcastCounter::on_event(const CoherenceEvent& e) {
+  if (!e.rmr) return;
+  // One bus transaction per RMR; for a nontrivial op, the same broadcast
+  // doubles as the (single) invalidation for all remote copies.
+  ++transfers_;
+  if (e.nontrivial) {
+    ++invalidations_;
+    if (e.remote_copies_before > 0) ++useful_;
+  }
+}
+
+void IdealDirectoryCounter::on_event(const CoherenceEvent& e) {
+  if (e.rmr) ++transfers_;
+  if (e.nontrivial) {
+    // Exact sharer set: one point-to-point invalidation per existing remote
+    // copy, all of them useful by construction.
+    invalidations_ += static_cast<std::uint64_t>(e.remote_copies_before);
+    useful_ += static_cast<std::uint64_t>(e.remote_copies_before);
+  }
+}
+
+void CoarseDirectoryCounter::on_event(const CoherenceEvent& e) {
+  if (static_cast<std::size_t>(e.var) >= maybe_cached_.size()) {
+    maybe_cached_.resize(static_cast<std::size_t>(e.var) + 1, false);
+  }
+  if (e.rmr) ++transfers_;
+  auto bit = maybe_cached_[static_cast<std::size_t>(e.var)];
+  if (e.nontrivial) {
+    if (bit) {
+      // The directory only knows "someone may hold it": broadcast to all
+      // other processors; only the copies that actually existed were useful.
+      invalidations_ += static_cast<std::uint64_t>(nprocs_ - 1);
+      useful_ += static_cast<std::uint64_t>(e.remote_copies_before);
+      maybe_cached_[static_cast<std::size_t>(e.var)] = false;
+    }
+    return;
+  }
+  // A fetch (read-like RMR) may leave a cached copy somewhere; the single
+  // state bit cannot record *whose*, so it is simply set.
+  if (e.rmr) {
+    maybe_cached_[static_cast<std::size_t>(e.var)] = true;
+  }
+}
+
+}  // namespace rmrsim

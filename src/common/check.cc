@@ -1,0 +1,32 @@
+#include "common/check.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace rmrsim {
+
+namespace {
+std::string format(std::string_view message, const std::source_location& where) {
+  std::string out;
+  out += where.file_name();
+  out += ':';
+  out += std::to_string(where.line());
+  out += " [";
+  out += where.function_name();
+  out += "] ";
+  out += message;
+  return out;
+}
+}  // namespace
+
+void ensure(bool cond, std::string_view message, std::source_location where) {
+  if (!cond) {
+    throw std::logic_error(format(message, where));
+  }
+}
+
+void fail(std::string_view message, std::source_location where) {
+  throw std::logic_error(format(message, where));
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,23 @@
+// Internal invariant checking.
+//
+// Simulator invariants are enforced with ensure(): violations indicate a bug
+// in rmrsim itself (or misuse of its API) and throw, so tests fail loudly
+// instead of producing silently wrong RMR counts.
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace rmrsim {
+
+/// Throws std::logic_error with a message naming the call site if `cond` is
+/// false. Used for simulator-internal invariants and API preconditions.
+void ensure(bool cond, std::string_view message,
+            std::source_location where = std::source_location::current());
+
+/// Unconditional failure; convenience for unreachable branches.
+[[noreturn]] void fail(std::string_view message,
+                       std::source_location where =
+                           std::source_location::current());
+
+}  // namespace rmrsim

@@ -1,0 +1,44 @@
+// Deterministic pseudo-random number generation.
+//
+// Everything in rmrsim that needs randomness (random schedulers, workload
+// generators, property-test sweeps) draws from SplitMix64 seeded explicitly,
+// so that every history is reproducible from (algorithm, parameters, seed).
+// Determinism is load-bearing: the lower-bound adversary re-executes histories
+// via replay and relies on identical outcomes (DESIGN.md Section 5).
+#pragma once
+
+#include <cstdint>
+
+namespace rmrsim {
+
+/// SplitMix64: tiny, fast, high-quality 64-bit PRNG with trivially copyable
+/// state. Not cryptographic; plenty for scheduling and workload generation.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). Requires bound > 0. Uses rejection-free
+  /// multiply-shift reduction (slight modulo bias is irrelevant for tests and
+  /// schedulers; determinism is what matters).
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    return next() % bound;
+  }
+
+  /// Bernoulli draw: true with probability num/den.
+  constexpr bool chance(std::uint64_t num, std::uint64_t den) {
+    return below(den) < num;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace rmrsim

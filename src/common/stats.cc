@@ -1,0 +1,53 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+namespace {
+
+double slope(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = xs.size();
+  double mx = 0;
+  double my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    num += (xs[i] - mx) * (ys[i] - my);
+    den += (xs[i] - mx) * (xs[i] - mx);
+  }
+  ensure(den > 0, "slope fit needs at least two distinct x values");
+  return num / den;
+}
+
+}  // namespace
+
+double loglog_slope(std::span<const double> xs, std::span<const double> ys) {
+  ensure(xs.size() == ys.size() && xs.size() >= 2,
+         "slope fit needs matched series of length >= 2");
+  std::vector<double> lx;
+  std::vector<double> ly;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    ensure(xs[i] > 0 && ys[i] > 0, "log-log fit needs positive values");
+    lx.push_back(std::log(xs[i]));
+    ly.push_back(std::log(ys[i]));
+  }
+  return slope(lx, ly);
+}
+
+double linear_slope(std::span<const double> xs, std::span<const double> ys) {
+  ensure(xs.size() == ys.size() && xs.size() >= 2,
+         "slope fit needs matched series of length >= 2");
+  return slope(xs, ys);
+}
+
+}  // namespace rmrsim

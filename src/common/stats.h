@@ -1,0 +1,22 @@
+// Growth-rate fitting for shape assertions.
+//
+// The reproduction's claims are asymptotic classes (O(1), Theta(log N),
+// Theta(N)); with "N large enough" replaced by finite sweeps (DESIGN.md
+// substitution 6), tests and EXPERIMENTS.md assert the *slope* of measured
+// series instead of absolute numbers: on a log-log plot, cost ~ N^a fits a
+// line of slope a (a ~ 0 for O(1), ~1 for linear; logarithmic growth shows
+// a slope that decays toward 0 as N grows).
+#pragma once
+
+#include <span>
+
+namespace rmrsim {
+
+/// Least-squares slope of log(y) against log(x). Requires xs.size() ==
+/// ys.size() >= 2, all values > 0.
+double loglog_slope(std::span<const double> xs, std::span<const double> ys);
+
+/// Least-squares slope of y against x (plain linear fit).
+double linear_slope(std::span<const double> xs, std::span<const double> ys);
+
+}  // namespace rmrsim

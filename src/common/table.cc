@@ -1,0 +1,59 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  ensure(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  ensure(row.size() == header_.size(), "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](const std::vector<std::string>& row, std::string& out) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+  std::string out;
+  emit_row(header_, out);
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  }
+  out.append(rule, '-');
+  out += '\n';
+  for (const auto& row : rows_) {
+    emit_row(row, out);
+  }
+  return out;
+}
+
+std::string fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,30 @@
+// Core identifier and value types shared by every rmrsim module.
+//
+// The simulator models the system of Golab's paper (Section 2): up to N
+// asynchronous processes p_0 .. p_{N-1}, each bound to one processor, that
+// communicate through shared memory words accessed with atomic primitives.
+#pragma once
+
+#include <cstdint>
+
+namespace rmrsim {
+
+/// Index of a process/processor. Processes are numbered 0..N-1; the paper's
+/// p_i corresponds to ProcId i-1.
+using ProcId = std::int32_t;
+
+/// Index of a shared-memory variable (one machine word).
+using VarId = std::int32_t;
+
+/// Value stored in one shared variable. One signed word is enough for every
+/// algorithm in the paper (booleans, process ids, counters, packed pairs).
+using Word = std::int64_t;
+
+/// Sentinel for "no process". Used for variable homes that belong to no
+/// processor (a detached memory module) and for NIL process-id variables.
+inline constexpr ProcId kNoProc = -1;
+
+/// Sentinel for "no variable".
+inline constexpr VarId kNoVar = -1;
+
+}  // namespace rmrsim

@@ -1,0 +1,64 @@
+#include "gme/gme.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rmrsim {
+
+ProcTask gme_worker(ProcCtx& ctx, GmeAlgorithm* alg, int passages,
+                    std::vector<Word> sessions, int cs_dwell) {
+  for (int i = 0; i < passages; ++i) {
+    const Word session = sessions[static_cast<std::size_t>(i) % sessions.size()];
+    co_await ctx.call_begin(calls::kGmeEnter);
+    co_await alg->enter(ctx, session);
+    co_await ctx.call_end(calls::kGmeEnter, session);
+    for (int d = 0; d < cs_dwell; ++d) {
+      co_await ctx.mark(/*code=*/100, /*value=*/d);  // dwell inside the CS
+    }
+    co_await ctx.call_begin(calls::kGmeExit);
+    co_await alg->exit(ctx);
+    co_await ctx.call_end(calls::kGmeExit);
+  }
+}
+
+std::optional<GmeViolation> check_gme_safety(const History& h) {
+  // Occupancy interval: from the end of enter() to the begin of exit() —
+  // the span in which the process definitely holds the critical section.
+  std::map<ProcId, Word> inside;  // proc -> session
+  for (const StepRecord& r : h.records()) {
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCallEnd && r.code == calls::kGmeEnter) {
+      for (const auto& [q, session] : inside) {
+        if (session != r.value) {
+          return GmeViolation{
+              r.index, "p" + std::to_string(r.proc) + " entered session " +
+                           std::to_string(r.value) + " while p" +
+                           std::to_string(q) + " holds session " +
+                           std::to_string(session)};
+        }
+      }
+      inside[r.proc] = r.value;
+    } else if (r.event == EventKind::kCallBegin &&
+               r.code == calls::kGmeExit) {
+      inside.erase(r.proc);
+    }
+  }
+  return std::nullopt;
+}
+
+int max_cs_occupancy(const History& h) {
+  int inside = 0;
+  int best = 0;
+  for (const StepRecord& r : h.records()) {
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCallEnd && r.code == calls::kGmeEnter) {
+      best = std::max(best, ++inside);
+    } else if (r.event == EventKind::kCallBegin &&
+               r.code == calls::kGmeExit) {
+      --inside;
+    }
+  }
+  return best;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,106 @@
+#include "gme/session_gme.h"
+
+namespace rmrsim {
+
+MutexGme::MutexGme(SharedMemory&, std::unique_ptr<MutexAlgorithm> inner)
+    : inner_(std::move(inner)) {}
+
+SubTask<void> MutexGme::enter(ProcCtx& ctx, Word /*session*/) {
+  co_await inner_->acquire(ctx);
+}
+
+SubTask<void> MutexGme::exit(ProcCtx& ctx) { co_await inner_->release(ctx); }
+
+SessionGme::SessionGme(SharedMemory& mem,
+                       std::unique_ptr<MutexAlgorithm> inner)
+    : inner_(std::move(inner)),
+      cur_session_(mem.allocate_global(kNil, "CurSession")),
+      occupancy_(mem.allocate_global(0, "Occupancy")),
+      queue_head_(mem.allocate_global(0, "QHead")),
+      queue_tail_(mem.allocate_global(0, "QTail")),
+      ring_(mem.nprocs()) {
+  for (int i = 0; i < ring_; ++i) {
+    queue_proc_.push_back(
+        mem.allocate_global(kNil, "QProc[" + std::to_string(i) + "]"));
+    queue_sess_.push_back(
+        mem.allocate_global(kNil, "QSess[" + std::to_string(i) + "]"));
+  }
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    go_.push_back(mem.allocate_local(p, 0, "Go[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> SessionGme::enter(ProcCtx& ctx, Word session) {
+  const ProcId me = ctx.id();
+  co_await inner_->acquire(ctx);
+  const Word occ = co_await ctx.read(occupancy_);
+  const Word head = co_await ctx.read(queue_head_);
+  const Word tail = co_await ctx.read(queue_tail_);
+  if (occ == 0) {
+    // Invariant: an emptying exit admits the next batch while holding the
+    // lock, so an empty room implies an empty queue — walk right in.
+    co_await ctx.write(cur_session_, session);
+    co_await ctx.write(occupancy_, 1);
+    co_await inner_->release(ctx);
+    co_return;
+  }
+  const Word cur = co_await ctx.read(cur_session_);
+  if (cur == session && head == tail) {
+    // Join the running session — but only when nobody is queued, so queued
+    // requests for other sessions cannot starve behind a live session.
+    co_await ctx.write(occupancy_, occ + 1);
+    co_await inner_->release(ctx);
+    co_return;
+  }
+  // Wait: enqueue under the lock, then spin on our own module.
+  co_await ctx.write(go_[me], 0);
+  const std::size_t slot = static_cast<std::size_t>(tail % ring_);
+  co_await ctx.write(queue_proc_[slot], me);
+  co_await ctx.write(queue_sess_[slot], session);
+  co_await ctx.write(queue_tail_, tail + 1);
+  co_await inner_->release(ctx);
+  for (;;) {
+    const Word go = co_await ctx.read(go_[me]);  // local spin
+    if (go != 0) co_return;  // the admitting exiter updated all state
+  }
+}
+
+SubTask<void> SessionGme::exit(ProcCtx& ctx) {
+  co_await inner_->acquire(ctx);
+  const Word occ = co_await ctx.read(occupancy_);
+  if (occ > 1) {
+    co_await ctx.write(occupancy_, occ - 1);
+    co_await inner_->release(ctx);
+    co_return;
+  }
+  // Room empties: admit the longest same-session prefix of the queue (an
+  // FCFS batch), waking each member with one remote write.
+  const Word head = co_await ctx.read(queue_head_);
+  const Word tail = co_await ctx.read(queue_tail_);
+  if (head == tail) {
+    co_await ctx.write(occupancy_, 0);
+    co_await ctx.write(cur_session_, kNil);
+    co_await inner_->release(ctx);
+    co_return;
+  }
+  const Word batch_session = co_await ctx.read(
+      queue_sess_[static_cast<std::size_t>(head % ring_)]);
+  Word end = head;
+  while (end != tail) {
+    const Word s = co_await ctx.read(
+        queue_sess_[static_cast<std::size_t>(end % ring_)]);
+    if (s != batch_session) break;
+    ++end;
+  }
+  co_await ctx.write(cur_session_, batch_session);
+  co_await ctx.write(occupancy_, end - head);
+  co_await ctx.write(queue_head_, end);
+  for (Word i = head; i != end; ++i) {
+    const Word w = co_await ctx.read(
+        queue_proc_[static_cast<std::size_t>(i % ring_)]);
+    co_await ctx.write(go_[static_cast<ProcId>(w)], 1);
+  }
+  co_await inner_->release(ctx);
+}
+
+}  // namespace rmrsim

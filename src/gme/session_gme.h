@@ -1,0 +1,63 @@
+// SessionGme — a Keane–Moir-style session lock, plus the mutex baseline.
+//
+// State (all guarded by an internal mutex, so plain reads/writes suffice):
+//   cur_session  — session currently in the room (NIL if empty)
+//   occupancy    — processes inside
+//   wait queue   — FIFO of (process, session) requests that must wait
+//
+// enter(p, s): take the mutex; if the room is empty, or runs s with nobody
+// queued (queued processes have priority to avoid starvation), walk in.
+// Otherwise append (p, s) to the queue, release the mutex, and spin on a
+// flag in p's own module. exit(p): take the mutex; if the room empties and
+// the queue is non-empty, admit the *batch*: the queue's head and every
+// queued request for the same session, waking each by a single remote write
+// to its flag.
+//
+// RMR cost per passage = O(inner mutex) + O(1): with the MCS inner lock the
+// whole thing is O(1) amortized in both models; with Yang–Anderson it is
+// O(log N) using reads/writes only — the flavor [20] made standard.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gme/gme.h"
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+/// Degenerate baseline: GME via a plain mutex (no sharing).
+class MutexGme final : public GmeAlgorithm {
+ public:
+  MutexGme(SharedMemory& mem, std::unique_ptr<MutexAlgorithm> inner);
+  SubTask<void> enter(ProcCtx& ctx, Word session) override;
+  SubTask<void> exit(ProcCtx& ctx) override;
+  std::string_view name() const override { return "mutex-gme"; }
+
+ private:
+  std::unique_ptr<MutexAlgorithm> inner_;
+};
+
+class SessionGme final : public GmeAlgorithm {
+ public:
+  SessionGme(SharedMemory& mem, std::unique_ptr<MutexAlgorithm> inner);
+
+  SubTask<void> enter(ProcCtx& ctx, Word session) override;
+  SubTask<void> exit(ProcCtx& ctx) override;
+  std::string_view name() const override { return "session-gme"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  std::unique_ptr<MutexAlgorithm> inner_;
+  VarId cur_session_;
+  VarId occupancy_;
+  VarId queue_head_;               // index of first waiting entry
+  VarId queue_tail_;               // index one past the last waiting entry
+  std::vector<VarId> queue_proc_;  // bounded ring: queued process ids
+  std::vector<VarId> queue_sess_;  // bounded ring: their sessions
+  std::vector<VarId> go_;          // go_[p] homed at p: wakeup flag
+  int ring_ = 0;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,261 @@
+#include "history/history.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+std::string StepRecord::to_string() const {
+  std::string out = "#" + std::to_string(index) + " p" + std::to_string(proc) + " ";
+  if (kind == Kind::kMemOp) {
+    out += rmrsim::to_string(op);
+    out += " -> " + std::to_string(outcome.result);
+    out += outcome.rmr ? " [RMR]" : " [local]";
+  } else {
+    switch (event) {
+      case EventKind::kCallBegin:
+        out += "begin(call=" + std::to_string(code) + ")";
+        break;
+      case EventKind::kCallEnd:
+        out += "end(call=" + std::to_string(code) +
+               ", ret=" + std::to_string(value) + ")";
+        break;
+      case EventKind::kDirective:
+        out += "directive(action=" + std::to_string(code) +
+               ", arg=" + std::to_string(value) + ")";
+        break;
+      case EventKind::kMark:
+        out += "mark(" + std::to_string(code) + ", " + std::to_string(value) + ")";
+        break;
+      case EventKind::kDelay:
+        out += "delay(" + std::to_string(value) + ")";
+        break;
+    }
+  }
+  if (terminated_after) out += " [terminated]";
+  return out;
+}
+
+void History::append(StepRecord record) {
+  record.index = static_cast<std::int64_t>(records_.size());
+  records_.push_back(std::move(record));
+}
+
+std::vector<ProcId> History::participants() const {
+  std::vector<ProcId> out;
+  for (const StepRecord& r : records_) {
+    if (std::find(out.begin(), out.end(), r.proc) == out.end()) {
+      out.push_back(r.proc);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool History::participated(ProcId p) const {
+  return std::any_of(records_.begin(), records_.end(),
+                     [p](const StepRecord& r) { return r.proc == p; });
+}
+
+bool History::is_finished(ProcId p) const {
+  return std::any_of(records_.begin(), records_.end(), [p](const StepRecord& r) {
+    return r.proc == p && r.terminated_after;
+  });
+}
+
+std::vector<ProcId> History::finished() const {
+  std::vector<ProcId> out;
+  for (ProcId p : participants()) {
+    if (is_finished(p)) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<ProcId> History::active() const {
+  std::vector<ProcId> out;
+  for (ProcId p : participants()) {
+    if (!is_finished(p)) out.push_back(p);
+  }
+  return out;
+}
+
+bool History::sees(ProcId p, ProcId q) const {
+  return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
+    return r.proc == p && r.kind == StepRecord::Kind::kMemOp &&
+           reads_value(r.op.type) && r.outcome.prev_writer == q;
+  });
+}
+
+bool History::seen_by_other(ProcId q) const {
+  return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
+    return r.proc != q && r.kind == StepRecord::Kind::kMemOp &&
+           reads_value(r.op.type) && r.outcome.prev_writer == q;
+  });
+}
+
+bool History::touches(ProcId p, ProcId q) const {
+  return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
+    return r.proc == p && r.kind == StepRecord::Kind::kMemOp && r.var_home == q;
+  });
+}
+
+bool History::touched_by_other(ProcId q) const {
+  return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
+    return r.proc != q && r.kind == StepRecord::Kind::kMemOp && r.var_home == q;
+  });
+}
+
+bool History::is_regular() const {
+  // Conditions 1 and 2 of Definition 6.6, quantified over *participants*
+  // (a non-participant owning a touched module is outside the definition).
+  for (const StepRecord& r : records_) {
+    if (r.kind != StepRecord::Kind::kMemOp) continue;
+    const ProcId p = r.proc;
+    if (reads_value(r.op.type)) {
+      const ProcId q = r.outcome.prev_writer;
+      if (q != kNoProc && q != p && !is_finished(q)) return false;
+    }
+    const ProcId h = r.var_home;
+    if (h != kNoProc && h != p && participated(h) && !is_finished(h)) {
+      return false;
+    }
+  }
+  // Condition 3: for every variable written by more than one process, the
+  // last writer must be finished.
+  std::map<VarId, std::vector<ProcId>> writers;   // distinct writers per var
+  std::map<VarId, ProcId> last_writer;
+  for (const StepRecord& r : records_) {
+    if (r.kind != StepRecord::Kind::kMemOp || !r.outcome.nontrivial) continue;
+    auto& ws = writers[r.op.var];
+    if (std::find(ws.begin(), ws.end(), r.proc) == ws.end()) ws.push_back(r.proc);
+    last_writer[r.op.var] = r.proc;
+  }
+  for (const auto& [var, ws] : writers) {
+    if (ws.size() > 1 && !is_finished(last_writer.at(var))) return false;
+  }
+  return true;
+}
+
+std::uint64_t History::rmrs(ProcId p) const {
+  std::uint64_t n = 0;
+  for (const StepRecord& r : records_) {
+    if (r.proc == p && r.kind == StepRecord::Kind::kMemOp && r.outcome.rmr) ++n;
+  }
+  return n;
+}
+
+std::uint64_t History::total_rmrs() const {
+  std::uint64_t n = 0;
+  for (const StepRecord& r : records_) {
+    if (r.kind == StepRecord::Kind::kMemOp && r.outcome.rmr) ++n;
+  }
+  return n;
+}
+
+std::uint64_t History::mem_steps(ProcId p) const {
+  std::uint64_t n = 0;
+  for (const StepRecord& r : records_) {
+    if (r.proc == p && r.kind == StepRecord::Kind::kMemOp) ++n;
+  }
+  return n;
+}
+
+void History::remove_proc(ProcId p) {
+  std::erase_if(records_, [p](const StepRecord& r) { return r.proc == p; });
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    records_[i].index = static_cast<std::int64_t>(i);
+  }
+}
+
+std::vector<VarId> History::vars_written_by(ProcId p) const {
+  std::vector<VarId> out;
+  for (const StepRecord& r : records_) {
+    if (r.proc == p && r.kind == StepRecord::Kind::kMemOp &&
+        r.outcome.nontrivial &&
+        std::find(out.begin(), out.end(), r.op.var) == out.end()) {
+      out.push_back(r.op.var);
+    }
+  }
+  return out;
+}
+
+ProcId History::last_writer(VarId v) const {
+  ProcId w = kNoProc;
+  for (const StepRecord& r : records_) {
+    if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
+        r.outcome.nontrivial) {
+      w = r.proc;
+    }
+  }
+  return w;
+}
+
+std::vector<ProcId> History::writers_of(VarId v) const {
+  std::vector<ProcId> out;
+  for (const StepRecord& r : records_) {
+    if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
+        r.outcome.nontrivial &&
+        std::find(out.begin(), out.end(), r.proc) == out.end()) {
+      out.push_back(r.proc);
+    }
+  }
+  return out;
+}
+
+std::optional<std::pair<Word, ProcId>> History::last_write_excluding(
+    VarId v, ProcId exclude) const {
+  std::optional<std::pair<Word, ProcId>> out;
+  for (const StepRecord& r : records_) {
+    if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
+        r.outcome.nontrivial && r.proc != exclude) {
+      out = {written_value(r), r.proc};
+    }
+  }
+  return out;
+}
+
+bool History::uses_ll_sc() const {
+  return std::any_of(records_.begin(), records_.end(), [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kMemOp &&
+           (r.op.type == OpType::kLl || r.op.type == OpType::kSc);
+  });
+}
+
+bool History::module_written(ProcId p) const {
+  return std::any_of(records_.begin(), records_.end(), [p](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kMemOp && r.outcome.nontrivial &&
+           r.var_home == p;
+  });
+}
+
+Word written_value(const StepRecord& r) {
+  switch (r.op.type) {
+    case OpType::kWrite:
+    case OpType::kFas:
+    case OpType::kSc:
+      return r.op.arg0;
+    case OpType::kCas:
+      return r.op.arg1;
+    case OpType::kFaa:
+      return r.outcome.result + r.op.arg0;
+    case OpType::kTas:
+      return 1;
+    case OpType::kRead:
+    case OpType::kLl:
+      break;
+  }
+  fail("record did not overwrite its variable");
+}
+
+std::string History::to_string() const {
+  std::string out;
+  for (const StepRecord& r : records_) {
+    out += r.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace rmrsim

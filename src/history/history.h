@@ -1,0 +1,105 @@
+// History: the recorded step sequence plus the analysis relations of
+// Section 6 — participation, Fin/Act (Definition 6.3), `sees` (6.4),
+// `touches` (6.5), and regularity (6.6).
+//
+// The lower-bound adversary consults these relations to decide which
+// processes are invisible (erasable under Lemma 6.7) and to certify that each
+// constructed history is regular. Tests use them to validate the proof's
+// invariants (Definition 6.9) on real executions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "history/step_record.h"
+
+namespace rmrsim {
+
+class History {
+ public:
+  void append(StepRecord record);
+
+  const std::vector<StepRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Par(H): processes that take at least one step.
+  std::vector<ProcId> participants() const;
+  bool participated(ProcId p) const;
+
+  /// Fin(H): participants whose program terminated by the end of H.
+  std::vector<ProcId> finished() const;
+  bool is_finished(ProcId p) const;
+
+  /// Act(H) = Par(H) \ Fin(H).
+  std::vector<ProcId> active() const;
+
+  /// Definition 6.4: p sees q iff p reads (any value-returning op) a variable
+  /// last written by q. Self-sees (p == q) are reported too; callers filter.
+  bool sees(ProcId p, ProcId q) const;
+
+  /// True iff any process other than q sees q — Lemma 6.7's erasability test.
+  bool seen_by_other(ProcId q) const;
+
+  /// Definition 6.5: p touches q iff p accesses a variable homed at q.
+  bool touches(ProcId p, ProcId q) const;
+
+  /// True iff any process other than q touches q.
+  bool touched_by_other(ProcId q) const;
+
+  /// Definition 6.6 regularity: (1) p sees q (p!=q) => q finished;
+  /// (2) p touches q (p!=q) => q finished; (3) a variable written by more
+  /// than one process has its last write by a finished process.
+  bool is_regular() const;
+
+  /// RMRs incurred by p across the recorded steps.
+  std::uint64_t rmrs(ProcId p) const;
+  std::uint64_t total_rmrs() const;
+
+  /// Memory-op steps taken by p.
+  std::uint64_t mem_steps(ProcId p) const;
+
+  /// Renders the history one step per line (diagnostics).
+  std::string to_string() const;
+
+  // ---- erasure support (Lemma 6.7) ----------------------------------
+
+  /// Drops every record of `p` and renumbers the remaining records. Sound
+  /// exactly when p was invisible (!seen_by_other(p)); callers check.
+  void remove_proc(ProcId p);
+
+  /// Variables `p` overwrote at least once.
+  std::vector<VarId> vars_written_by(ProcId p) const;
+
+  /// Last process that overwrote `v` according to the records (kNoProc if
+  /// never written).
+  ProcId last_writer(VarId v) const;
+
+  /// Distinct processes that overwrote `v`, in first-write order.
+  std::vector<ProcId> writers_of(VarId v) const;
+
+  /// Value and writer of the last overwrite of `v` by a process other than
+  /// `exclude`; nullopt if no such overwrite (the variable would hold its
+  /// initial value without `exclude`).
+  std::optional<std::pair<Word, ProcId>> last_write_excluding(
+      VarId v, ProcId exclude) const;
+
+  /// True iff any LL or SC operation appears — in-place erasure does not
+  /// support reservation side effects and refuses such histories.
+  bool uses_ll_sc() const;
+
+  /// True iff any recorded overwrite targeted a variable homed at `p` —
+  /// i.e., p's memory module was written. The Lemma 6.13 signaler is chosen
+  /// with an unwritten module.
+  bool module_written(ProcId p) const;
+
+ private:
+  std::vector<StepRecord> records_;
+};
+
+/// The value a nontrivial memory-op record stored into its variable.
+Word written_value(const StepRecord& r);
+
+}  // namespace rmrsim

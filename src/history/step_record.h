@@ -1,0 +1,76 @@
+// One step of a history.
+//
+// Section 2: "A history is a finite or infinite sequence of steps... each
+// step entails a memory access and some local computation." Our records also
+// retain procedure-call boundaries (begin/end with return values) because the
+// signaling specification (Specification 4.1) and the lower-bound proof are
+// stated in terms of when calls begin and complete, and termination markers
+// for the Fin/Act partition of Definition 6.3.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "memory/memop.h"
+
+namespace rmrsim {
+
+/// Non-memory step payloads.
+enum class EventKind {
+  kCallBegin,  ///< a procedure call begins; code identifies the procedure
+  kCallEnd,    ///< a procedure call completes; value = its return value
+  kDirective,  ///< the client driver consumed a scheduling directive
+  kMark,       ///< free-form annotation from algorithm/driver code
+  kDelay,      ///< a delay(ticks) completed; value = requested ticks
+};
+
+/// Well-known procedure codes used in kCallBegin/kCallEnd records. Kept in
+/// one registry so checkers in different modules agree.
+namespace calls {
+inline constexpr Word kPoll = 1;     ///< signaling: Poll() -> bool
+inline constexpr Word kSignal = 2;   ///< signaling: Signal()
+inline constexpr Word kWait = 3;     ///< signaling: Wait()
+inline constexpr Word kAcquire = 4;  ///< mutex: lock acquisition
+inline constexpr Word kRelease = 5;  ///< mutex: lock release
+inline constexpr Word kCritical = 6; ///< mutex/GME: inside the critical section
+inline constexpr Word kGmeEnter = 7; ///< GME: enter(session)
+inline constexpr Word kGmeExit = 8;  ///< GME: exit()
+}  // namespace calls
+
+/// What a client driver should do next (supplied by the scheduler/adversary
+/// through the simulation's directive policy).
+struct Directive {
+  /// Driver-defined action. Conventions used by the built-in drivers:
+  /// 0 = terminate, positive values select a procedure to call.
+  int action = 0;
+  /// Optional argument (e.g. a GME session id).
+  Word arg = 0;
+
+  static constexpr int kTerminate = 0;
+};
+
+struct StepRecord {
+  enum class Kind { kMemOp, kEvent };
+
+  std::int64_t index = 0;  ///< position in the global history
+  ProcId proc = kNoProc;
+  Kind kind = Kind::kMemOp;
+
+  // kMemOp payload.
+  MemOp op{};
+  OpOutcome outcome{};
+  ProcId var_home = kNoProc;  ///< home module of op.var (for `touches`)
+
+  // kEvent payload.
+  EventKind event = EventKind::kMark;
+  Word code = 0;   ///< e.g. calls::kPoll, or Directive.action
+  Word value = 0;  ///< e.g. a call's return value, or Directive.arg
+
+  /// True if the process terminated immediately after this step (its program
+  /// ran to completion).
+  bool terminated_after = false;
+
+  std::string to_string() const;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,58 @@
+#include "lowerbound/independent_set.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+std::vector<int> greedy_independent_set(
+    int n, const std::vector<std::pair<int, int>>& edges) {
+  ensure(n >= 0, "vertex count must be non-negative");
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(n));
+  for (const auto& [a, b] : edges) {
+    ensure(a >= 0 && a < n && b >= 0 && b < n, "edge endpoint out of range");
+    if (a == b) continue;
+    adj[static_cast<std::size_t>(a)].push_back(b);
+    adj[static_cast<std::size_t>(b)].push_back(a);
+  }
+  std::vector<int> degree(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    auto& nb = adj[static_cast<std::size_t>(v)];
+    std::sort(nb.begin(), nb.end());
+    nb.erase(std::unique(nb.begin(), nb.end()), nb.end());
+    degree[static_cast<std::size_t>(v)] = static_cast<int>(nb.size());
+  }
+
+  enum class State : std::uint8_t { kLive, kTaken, kRemoved };
+  std::vector<State> state(static_cast<std::size_t>(n), State::kLive);
+  std::vector<int> out;
+  for (int taken = 0; taken < n;) {
+    // Pick the live vertex of minimum current degree.
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (state[static_cast<std::size_t>(v)] != State::kLive) continue;
+      if (best < 0 || degree[static_cast<std::size_t>(v)] <
+                          degree[static_cast<std::size_t>(best)]) {
+        best = v;
+      }
+    }
+    if (best < 0) break;
+    state[static_cast<std::size_t>(best)] = State::kTaken;
+    out.push_back(best);
+    ++taken;
+    for (const int u : adj[static_cast<std::size_t>(best)]) {
+      if (state[static_cast<std::size_t>(u)] != State::kLive) continue;
+      state[static_cast<std::size_t>(u)] = State::kRemoved;
+      for (const int w : adj[static_cast<std::size_t>(u)]) {
+        if (state[static_cast<std::size_t>(w)] == State::kLive) {
+          --degree[static_cast<std::size_t>(w)];
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace rmrsim

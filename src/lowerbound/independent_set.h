@@ -1,0 +1,23 @@
+// Greedy maximal independent set.
+//
+// The Section 6.2 construction resolves see/touch conflicts by keeping an
+// independent set of the "conflict graph" and erasing the rest; Turán's
+// theorem guarantees an independent set of size >= n/(d_avg + 1). The greedy
+// minimum-degree algorithm achieves the (stronger) Caro–Wei bound
+// sum 1/(deg(v)+1) >= n/(d_avg+1), so using it keeps the construction's
+// counting intact.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rmrsim {
+
+/// Returns an independent set of the graph on vertices 0..n-1 with the given
+/// undirected edges (self-loops ignored, duplicates fine), of size at least
+/// ceil(n / (d_avg + 1)). Output is sorted ascending.
+std::vector<int> greedy_independent_set(
+    int n, const std::vector<std::pair<int, int>>& edges);
+
+}  // namespace rmrsim

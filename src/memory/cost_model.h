@@ -1,0 +1,70 @@
+// Cost models: local access vs remote memory reference (RMR).
+//
+// The paper's central act is pricing the *same* algorithm under two
+// architectures (Figure 1): the DSM model, where an access is an RMR iff it
+// targets another processor's memory module, and the CC model, where RMRs
+// depend on per-processor cache state and the coherence policy. A CostModel
+// classifies each operation before it is applied ("is the pending op an
+// RMR?") and updates its architectural state after application.
+#pragma once
+
+#include <string_view>
+
+#include "common/types.h"
+#include "memory/memop.h"
+#include "memory/store.h"
+
+namespace rmrsim {
+
+/// One architecturally relevant memory event, published to coherence-protocol
+/// message counters (Section 8's RMR-vs-message "exchange rate" analysis).
+struct CoherenceEvent {
+  ProcId proc = kNoProc;      ///< process that applied the op
+  VarId var = kNoVar;         ///< variable accessed
+  OpType op = OpType::kRead;  ///< primitive applied
+  bool rmr = false;           ///< priced as RMR by the active cost model
+  bool nontrivial = false;    ///< overwrote the variable (Section 2)
+  int remote_copies_before = 0;  ///< valid cached copies held by *other*
+                                 ///< procs just before the op (CC only; 0 in
+                                 ///< DSM, where there are no caches)
+};
+
+/// Observer of coherence events. Implemented by the message-counting
+/// protocols in src/coherence.
+class CoherenceListener {
+ public:
+  virtual ~CoherenceListener() = default;
+  virtual void on_event(const CoherenceEvent& event) = 0;
+};
+
+/// Architecture pricing interface.
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// Would `op`, applied next by `p`, be a remote memory reference? Pure with
+  /// respect to the model's state; may consult the store (e.g. a CAS that
+  /// would fail is a comparison miss under LFCU).
+  virtual bool classify_rmr(ProcId p, const MemOp& op,
+                            const MemoryStore& store) const = 0;
+
+  /// Updates architectural state (caches, ownership) after `op` was applied
+  /// by `p`. `wrote` says whether the op overwrote the variable, and
+  /// `remote_copies_before` is returned for event publication.
+  virtual void on_applied(ProcId p, const MemOp& op, bool wrote,
+                          const MemoryStore& store,
+                          int* remote_copies_before) = 0;
+
+  /// Clears all architectural state (empty caches). Used on replay.
+  virtual void reset() = 0;
+
+  /// Model name for tables and diagnostics, e.g. "DSM" or "CC/write-back".
+  virtual std::string_view name() const = 0;
+
+  /// True iff pricing carries no architectural state (no caches), so
+  /// erasing an invisible process's steps cannot change how later accesses
+  /// are priced. True for DSM, false for every CC policy.
+  virtual bool pricing_is_stateless() const { return false; }
+};
+
+}  // namespace rmrsim

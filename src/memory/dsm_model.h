@@ -1,0 +1,33 @@
+// Distributed shared memory (DSM) cost model.
+//
+// Section 2: "a memory access is an RMR if and only if the address accessed
+// by the processor maps to a memory module tied to another processor." There
+// are no caches; the classification is static per (process, variable).
+// Variables homed in a detached module (kNoProc) are remote to everyone —
+// conservative, and matches a memory module not tied to any processor.
+#pragma once
+
+#include "memory/cost_model.h"
+
+namespace rmrsim {
+
+class DsmModel final : public CostModel {
+ public:
+  bool classify_rmr(ProcId p, const MemOp& op,
+                    const MemoryStore& store) const override {
+    return store.home(op.var) != p;
+  }
+
+  void on_applied(ProcId, const MemOp&, bool, const MemoryStore&,
+                  int* remote_copies_before) override {
+    *remote_copies_before = 0;  // no caches in DSM
+  }
+
+  void reset() override {}
+
+  std::string_view name() const override { return "DSM"; }
+
+  bool pricing_is_stateless() const override { return true; }
+};
+
+}  // namespace rmrsim

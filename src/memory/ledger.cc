@@ -1,0 +1,55 @@
+#include "memory/ledger.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+RmrLedger::RmrLedger(int nprocs)
+    : per_proc_(static_cast<std::size_t>(nprocs)) {
+  ensure(nprocs > 0, "ledger needs at least one processor");
+}
+
+void RmrLedger::record(ProcId p, const MemOp&, bool rmr) {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  Counters& c = per_proc_[static_cast<std::size_t>(p)];
+  ++c.ops;
+  ++total_ops_;
+  if (rmr) {
+    ++c.rmrs;
+    ++total_rmrs_;
+  }
+}
+
+std::uint64_t RmrLedger::ops(ProcId p) const {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  return per_proc_[static_cast<std::size_t>(p)].ops;
+}
+
+std::uint64_t RmrLedger::rmrs(ProcId p) const {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  return per_proc_[static_cast<std::size_t>(p)].rmrs;
+}
+
+std::uint64_t RmrLedger::max_rmrs() const {
+  std::uint64_t best = 0;
+  for (const Counters& c : per_proc_) best = std::max(best, c.rmrs);
+  return best;
+}
+
+void RmrLedger::forget(ProcId p) {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  Counters& c = per_proc_[static_cast<std::size_t>(p)];
+  total_ops_ -= c.ops;
+  total_rmrs_ -= c.rmrs;
+  c = Counters{};
+}
+
+void RmrLedger::reset() {
+  std::fill(per_proc_.begin(), per_proc_.end(), Counters{});
+  total_ops_ = 0;
+  total_rmrs_ = 0;
+}
+
+}  // namespace rmrsim

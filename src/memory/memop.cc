@@ -1,0 +1,41 @@
+#include "memory/memop.h"
+
+namespace rmrsim {
+
+std::string to_string(OpType t) {
+  switch (t) {
+    case OpType::kRead: return "READ";
+    case OpType::kWrite: return "WRITE";
+    case OpType::kCas: return "CAS";
+    case OpType::kLl: return "LL";
+    case OpType::kSc: return "SC";
+    case OpType::kFaa: return "FAA";
+    case OpType::kFas: return "FAS";
+    case OpType::kTas: return "TAS";
+  }
+  return "?";
+}
+
+std::string to_string(const MemOp& op) {
+  std::string out = to_string(op.type);
+  out += "(v" + std::to_string(op.var);
+  switch (op.type) {
+    case OpType::kRead:
+    case OpType::kLl:
+    case OpType::kTas:
+      break;
+    case OpType::kWrite:
+    case OpType::kSc:
+    case OpType::kFaa:
+    case OpType::kFas:
+      out += ", " + std::to_string(op.arg0);
+      break;
+    case OpType::kCas:
+      out += ", " + std::to_string(op.arg0) + ", " + std::to_string(op.arg1);
+      break;
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace rmrsim

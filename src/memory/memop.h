@@ -1,0 +1,82 @@
+// Atomic shared-memory operations.
+//
+// The paper's model (Section 2) gives processes atomic reads, writes,
+// Compare-And-Swap, and Load-Linked/Store-Conditional. Section 7's upper
+// bounds additionally use Fetch-And-Increment / Fetch-And-Add /
+// Fetch-And-Store, and Section 3 discusses Test-And-Set, so the simulator
+// supports all of them. Every operation touches exactly one variable (one
+// word) and is applied atomically by the simulator.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+
+namespace rmrsim {
+
+/// The atomic primitive an operation applies.
+enum class OpType {
+  kRead,   ///< result = value
+  kWrite,  ///< value = arg0; always nontrivial (overwrites, per Section 2)
+  kCas,    ///< if value == arg0 then value = arg1; result = old value
+  kLl,     ///< load-linked: result = value, sets reservation for (proc, var)
+  kSc,     ///< store-conditional: if reservation valid, value = arg0;
+           ///< result = 1 on success else 0
+  kFaa,    ///< fetch-and-add: value += arg0; result = old value
+  kFas,    ///< fetch-and-store: value = arg0; result = old value
+  kTas,    ///< test-and-set: value = 1; result = old value
+};
+
+/// One pending or applied operation: the primitive, its target variable, and
+/// up to two operands (see OpType for each primitive's use of arg0/arg1).
+struct MemOp {
+  OpType type = OpType::kRead;
+  VarId var = kNoVar;
+  Word arg0 = 0;
+  Word arg1 = 0;
+
+  static MemOp read(VarId v) { return {OpType::kRead, v, 0, 0}; }
+  static MemOp write(VarId v, Word value) { return {OpType::kWrite, v, value, 0}; }
+  static MemOp cas(VarId v, Word expect, Word desired) {
+    return {OpType::kCas, v, expect, desired};
+  }
+  static MemOp ll(VarId v) { return {OpType::kLl, v, 0, 0}; }
+  static MemOp sc(VarId v, Word value) { return {OpType::kSc, v, value, 0}; }
+  static MemOp faa(VarId v, Word delta) { return {OpType::kFaa, v, delta, 0}; }
+  static MemOp fas(VarId v, Word value) { return {OpType::kFas, v, value, 0}; }
+  static MemOp tas(VarId v) { return {OpType::kTas, v, 0, 0}; }
+};
+
+/// Result of applying a MemOp.
+struct OpOutcome {
+  /// Primitive-specific result (see OpType). For kWrite it is arg0.
+  Word result = 0;
+  /// True iff the operation was priced as a remote memory reference by the
+  /// active cost model (DSM or CC).
+  bool rmr = false;
+  /// True iff the operation overwrote the variable (possibly with the same
+  /// value) — the paper's Section 2 notion of a "nontrivial" operation.
+  /// Writes, FAA, FAS and TAS always overwrite; CAS/SC only on success.
+  bool nontrivial = false;
+  /// Process that had last written the variable *before* this operation, or
+  /// kNoProc. Feeds the history's `sees` relation (Definition 6.4).
+  ProcId prev_writer = kNoProc;
+};
+
+/// True for operations whose result reveals the variable's value (everything
+/// except a plain write). Used by the history's `sees` analysis.
+constexpr bool reads_value(OpType t) { return t != OpType::kWrite; }
+
+/// True for comparison-class primitives (CAS, SC, TAS) — the ops whose failed
+/// applications an LFCU cache (Section 3, [1]) services locally.
+constexpr bool is_comparison(OpType t) {
+  return t == OpType::kCas || t == OpType::kSc || t == OpType::kTas;
+}
+
+/// Short human-readable mnemonic, e.g. "CAS".
+std::string to_string(OpType t);
+
+/// Renders an op like "CAS(v12, 0, 1)".
+std::string to_string(const MemOp& op);
+
+}  // namespace rmrsim

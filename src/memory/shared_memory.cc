@@ -1,0 +1,57 @@
+#include "memory/shared_memory.h"
+
+#include "common/check.h"
+#include "memory/cc_model.h"
+#include "memory/dsm_model.h"
+
+namespace rmrsim {
+
+SharedMemory::SharedMemory(int nprocs, std::unique_ptr<CostModel> model)
+    : store_(nprocs), model_(std::move(model)), ledger_(nprocs) {
+  ensure(model_ != nullptr, "SharedMemory requires a cost model");
+}
+
+VarId SharedMemory::allocate(Word initial, ProcId home, std::string name) {
+  return store_.allocate(initial, home, std::move(name));
+}
+
+OpOutcome SharedMemory::apply(ProcId p, const MemOp& op) {
+  const bool rmr = model_->classify_rmr(p, op, store_);
+  const MemoryStore::ApplyResult applied = store_.apply(p, op);
+  int remote_copies_before = 0;
+  model_->on_applied(p, op, applied.wrote, store_, &remote_copies_before);
+  ledger_.record(p, op, rmr);
+  if (listener_ != nullptr) {
+    listener_->on_event(CoherenceEvent{
+        .proc = p,
+        .var = op.var,
+        .op = op.type,
+        .rmr = rmr,
+        .nontrivial = applied.wrote,
+        .remote_copies_before = remote_copies_before,
+    });
+  }
+  return OpOutcome{
+      .result = applied.result,
+      .rmr = rmr,
+      .nontrivial = applied.wrote,
+      .prev_writer = applied.prev_writer,
+  };
+}
+
+void SharedMemory::reset() {
+  store_.reset();
+  model_->reset();
+  ledger_.reset();
+}
+
+std::unique_ptr<SharedMemory> make_dsm(int nprocs) {
+  return std::make_unique<SharedMemory>(nprocs, std::make_unique<DsmModel>());
+}
+
+std::unique_ptr<SharedMemory> make_cc(int nprocs, CcPolicy policy) {
+  return std::make_unique<SharedMemory>(nprocs,
+                                        std::make_unique<CcModel>(policy));
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,172 @@
+#include "memory/store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+MemoryStore::MemoryStore(int nprocs) : nprocs_(nprocs) {
+  ensure(nprocs > 0, "store needs at least one processor");
+}
+
+VarId MemoryStore::allocate(Word initial, ProcId home, std::string name) {
+  ensure(home == kNoProc || (home >= 0 && home < nprocs_),
+         "variable home must be a processor id or kNoProc");
+  Slot s;
+  s.value = initial;
+  s.initial = initial;
+  s.home = home;
+  s.name = std::move(name);
+  slots_.push_back(std::move(s));
+  return static_cast<VarId>(slots_.size() - 1);
+}
+
+MemoryStore::Slot& MemoryStore::slot(VarId v) {
+  ensure(v >= 0 && v < num_vars(), "variable id out of range");
+  return slots_[static_cast<std::size_t>(v)];
+}
+
+const MemoryStore::Slot& MemoryStore::slot(VarId v) const {
+  ensure(v >= 0 && v < num_vars(), "variable id out of range");
+  return slots_[static_cast<std::size_t>(v)];
+}
+
+ProcId MemoryStore::home(VarId v) const { return slot(v).home; }
+Word MemoryStore::value(VarId v) const { return slot(v).value; }
+Word MemoryStore::initial(VarId v) const { return slot(v).initial; }
+ProcId MemoryStore::last_writer(VarId v) const { return slot(v).last_writer; }
+
+int MemoryStore::distinct_writers(VarId v) const {
+  return static_cast<int>(slot(v).writers.size());
+}
+
+const std::string& MemoryStore::name(VarId v) const { return slot(v).name; }
+
+bool MemoryStore::would_write(ProcId p, const MemOp& op) const {
+  const Slot& s = slot(op.var);
+  switch (op.type) {
+    case OpType::kRead:
+    case OpType::kLl:
+      return false;
+    case OpType::kWrite:
+    case OpType::kFaa:
+    case OpType::kFas:
+      return true;
+    case OpType::kTas:
+      // Modeled as the comparison primitive CAS(v, 0, 1) returning the old
+      // value: a TAS on an already-set flag fails the comparison and does
+      // not overwrite. This is the reading under which LFCU systems service
+      // failed TAS locally (Section 3, [1]).
+      return s.value == 0;
+    case OpType::kCas:
+      return s.value == op.arg0;
+    case OpType::kSc:
+      return std::find(s.reservations.begin(), s.reservations.end(), p) !=
+             s.reservations.end();
+  }
+  fail("unknown op type");
+}
+
+void MemoryStore::note_write(Slot& s, ProcId p) {
+  s.last_writer = p;
+  if (std::find(s.writers.begin(), s.writers.end(), p) == s.writers.end()) {
+    s.writers.push_back(p);
+  }
+  // An overwrite invalidates every other process's LL reservation on this
+  // variable; the writer's own reservation also dies (standard LL/SC: SC
+  // succeeds at most once per LL, and an intervening write by anyone clears
+  // reservations).
+  s.reservations.clear();
+}
+
+MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
+  ensure(p >= 0 && p < nprocs_, "process id out of range");
+  Slot& s = slot(op.var);
+  ApplyResult r;
+  r.prev_writer = s.last_writer;
+  switch (op.type) {
+    case OpType::kRead:
+      r.result = s.value;
+      break;
+    case OpType::kWrite:
+      r.result = op.arg0;
+      note_write(s, p);
+      s.value = op.arg0;
+      r.wrote = true;
+      break;
+    case OpType::kCas:
+      r.result = s.value;
+      if (s.value == op.arg0) {
+        note_write(s, p);
+        s.value = op.arg1;
+        r.wrote = true;
+      }
+      break;
+    case OpType::kLl:
+      r.result = s.value;
+      if (std::find(s.reservations.begin(), s.reservations.end(), p) ==
+          s.reservations.end()) {
+        s.reservations.push_back(p);
+      }
+      break;
+    case OpType::kSc: {
+      const bool reserved =
+          std::find(s.reservations.begin(), s.reservations.end(), p) !=
+          s.reservations.end();
+      if (reserved) {
+        note_write(s, p);
+        s.value = op.arg0;
+        r.wrote = true;
+        r.result = 1;
+      } else {
+        r.result = 0;
+      }
+      break;
+    }
+    case OpType::kFaa:
+      r.result = s.value;
+      note_write(s, p);
+      s.value += op.arg0;
+      r.wrote = true;
+      break;
+    case OpType::kFas:
+      r.result = s.value;
+      note_write(s, p);
+      s.value = op.arg0;
+      r.wrote = true;
+      break;
+    case OpType::kTas:
+      r.result = s.value;
+      if (s.value == 0) {
+        note_write(s, p);
+        s.value = 1;
+        r.wrote = true;
+      }
+      break;
+  }
+  return r;
+}
+
+void MemoryStore::poke(VarId v, Word value, ProcId last_writer) {
+  Slot& s = slot(v);
+  s.value = value;
+  s.last_writer = last_writer;
+}
+
+void MemoryStore::forget_writer(VarId v, ProcId p) {
+  Slot& s = slot(v);
+  s.writers.erase(std::remove(s.writers.begin(), s.writers.end(), p),
+                  s.writers.end());
+}
+
+void MemoryStore::reset() {
+  for (Slot& s : slots_) {
+    s.value = s.initial;
+    s.last_writer = kNoProc;
+    s.writers.clear();
+    s.reservations.clear();
+  }
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,104 @@
+// Shared-memory value store: variables, homes, and primitive semantics.
+//
+// The store is the architecture-neutral half of the memory system: it owns
+// variable values, each variable's *home* memory module (the DSM partition of
+// Section 2 / Figure 1), LL/SC reservations, and last-writer metadata. It
+// applies primitive semantics but knows nothing about pricing; the CostModel
+// (DSM or CC) classifies each access as local or RMR.
+//
+// The store is fully resettable: reset() restores every variable to its
+// initial value and clears reservations, which is what makes the lower-bound
+// adversary's erasure-by-replay exact (DESIGN.md Section 4, item 5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "memory/memop.h"
+
+namespace rmrsim {
+
+class MemoryStore {
+ public:
+  /// Creates a store for a system of `nprocs` processors (homes must be in
+  /// [0, nprocs) or kNoProc).
+  explicit MemoryStore(int nprocs);
+
+  /// Allocates a fresh variable with the given initial value, living in the
+  /// memory module of processor `home`, or in a detached module if kNoProc.
+  /// `name` is used only in diagnostics and history dumps.
+  VarId allocate(Word initial, ProcId home, std::string name = {});
+
+  int nprocs() const { return nprocs_; }
+  int num_vars() const { return static_cast<int>(slots_.size()); }
+
+  /// Home module of `v` (kNoProc for a detached module).
+  ProcId home(VarId v) const;
+
+  /// Current value (checker/diagnostic access; not a process step and never
+  /// charged an RMR).
+  Word value(VarId v) const;
+
+  /// Initial value `v` was allocated with.
+  Word initial(VarId v) const;
+
+  /// Last process that overwrote `v`, or kNoProc if never written (initial
+  /// values are attributed to no process).
+  ProcId last_writer(VarId v) const;
+
+  /// Number of *distinct* processes that have written `v` so far. Needed for
+  /// the regularity condition 3 of Definition 6.6.
+  int distinct_writers(VarId v) const;
+
+  const std::string& name(VarId v) const;
+
+  /// Would applying `op` by `p` overwrite the variable (the paper's
+  /// "nontrivial" operation)? Pure: does not mutate. Used by cost models to
+  /// classify an op before it is applied.
+  bool would_write(ProcId p, const MemOp& op) const;
+
+  struct ApplyResult {
+    Word result = 0;
+    bool wrote = false;
+    ProcId prev_writer = kNoProc;
+  };
+
+  /// Applies `op` on behalf of process `p` atomically: computes the result,
+  /// updates the value, maintains LL/SC reservations (any overwrite of a
+  /// variable invalidates every other process's reservation on it), and
+  /// updates writer metadata.
+  ApplyResult apply(ProcId p, const MemOp& op);
+
+  /// Restores every variable to its initial value and clears reservations
+  /// and writer metadata. Variable ids remain valid.
+  void reset();
+
+  /// Surgical state rewrite used by process erasure (Lemma 6.7): sets the
+  /// value and last-writer of `v` directly, bypassing pricing and ledger.
+  /// Not a process step.
+  void poke(VarId v, Word value, ProcId last_writer);
+
+  /// Removes `p` from `v`'s distinct-writer set (erasure bookkeeping).
+  void forget_writer(VarId v, ProcId p);
+
+ private:
+  struct Slot {
+    Word value = 0;
+    Word initial = 0;
+    ProcId home = kNoProc;
+    ProcId last_writer = kNoProc;
+    std::vector<ProcId> writers;       // distinct writers, small in practice
+    std::vector<ProcId> reservations;  // procs holding a valid LL reservation
+    std::string name;
+  };
+
+  Slot& slot(VarId v);
+  const Slot& slot(VarId v) const;
+  void note_write(Slot& s, ProcId p);
+
+  int nprocs_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,45 @@
+#include "mutex/bakery_lock.h"
+
+namespace rmrsim {
+
+BakeryLock::BakeryLock(SharedMemory& mem) {
+  for (ProcId i = 0; i < mem.nprocs(); ++i) {
+    choosing_.push_back(
+        mem.allocate_local(i, 0, "choosing[" + std::to_string(i) + "]"));
+    number_.push_back(
+        mem.allocate_local(i, 0, "number[" + std::to_string(i) + "]"));
+  }
+}
+
+SubTask<void> BakeryLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const int n = static_cast<int>(number_.size());
+  co_await ctx.write(choosing_[me], 1);
+  Word max = 0;
+  for (int j = 0; j < n; ++j) {
+    const Word nj = co_await ctx.read(number_[j]);
+    if (nj > max) max = nj;
+  }
+  co_await ctx.write(number_[me], max + 1);
+  co_await ctx.write(choosing_[me], 0);
+  for (ProcId j = 0; j < n; ++j) {
+    if (j == me) continue;
+    for (;;) {
+      const Word cj = co_await ctx.read(choosing_[j]);
+      if (cj == 0) break;
+    }
+    for (;;) {
+      const Word nj = co_await ctx.read(number_[j]);
+      if (nj == 0) break;
+      const Word mine = max + 1;
+      // Lexicographic (number, id) priority.
+      if (nj > mine || (nj == mine && j > me)) break;
+    }
+  }
+}
+
+SubTask<void> BakeryLock::release(ProcCtx& ctx) {
+  co_await ctx.write(number_[ctx.id()], 0);
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,34 @@
+// Lamport's bakery algorithm [24] — FCFS mutual exclusion from reads and
+// writes.
+//
+// The historical baseline behind the paper's FCFS ME citations: tickets are
+// chosen by scanning every process's number, and entry waits until no
+// smaller (number, id) pair exists. Every passage scans all N processes, so
+// the cost is Theta(N) RMRs per passage in BOTH models — the pre-local-spin
+// world that Yang–Anderson's Theta(log N) improved on. Included as an E5
+// data point and as the only FCFS lock in the suite (first-come-first-
+// served by ticket choice order).
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class BakeryLock final : public MutexAlgorithm {
+ public:
+  explicit BakeryLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "bakery"; }
+
+ private:
+  std::vector<VarId> choosing_;  // choosing_[i] homed at p_i
+  std::vector<VarId> number_;    // number_[i] homed at p_i
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,44 @@
+#include "mutex/clh_lock.h"
+
+namespace rmrsim {
+
+ClhLock::ClhLock(SharedMemory& mem) {
+  const int n = mem.nprocs();
+  // N + 1 nodes: one per process plus the initial (unlocked) sentinel that
+  // seeds the queue.
+  for (int k = 0; k <= n; ++k) {
+    node_.push_back(
+        mem.allocate_global(0, "node[" + std::to_string(k) + "]"));
+  }
+  tail_ = mem.allocate_global(n, "tail");  // sentinel is node n, unlocked
+  for (ProcId p = 0; p < n; ++p) {
+    my_node_.push_back(
+        mem.allocate_local(p, p, "mynode[" + std::to_string(p) + "]"));
+    my_pred_.push_back(
+        mem.allocate_local(p, -1, "mypred[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> ClhLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word k = co_await ctx.read(my_node_[me]);
+  co_await ctx.write(node_[static_cast<std::size_t>(k)], 1);
+  const Word pred = co_await ctx.fas(tail_, k);
+  co_await ctx.write(my_pred_[me], pred);
+  for (;;) {
+    const Word locked =
+        co_await ctx.read(node_[static_cast<std::size_t>(pred)]);
+    if (locked == 0) break;  // remote spin in DSM, cached spin in CC
+  }
+}
+
+SubTask<void> ClhLock::release(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word k = co_await ctx.read(my_node_[me]);
+  co_await ctx.write(node_[static_cast<std::size_t>(k)], 0);
+  // Adopt the predecessor's node for the next round (it is retired now).
+  const Word pred = co_await ctx.read(my_pred_[me]);
+  co_await ctx.write(my_node_[me], pred);
+}
+
+}  // namespace rmrsim

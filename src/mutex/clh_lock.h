@@ -1,0 +1,39 @@
+// CLH queue lock (Craig; Landin & Hagersten).
+//
+// MCS's twin with the opposite model affinity: contenders form an implicit
+// queue of nodes and each spins on its *predecessor's* node. On a CC
+// machine that spin caches beautifully (O(1) RMRs per passage); on a DSM
+// machine the predecessor's node lives wherever the predecessor's previous
+// node lived — it cannot be co-located with the spinner, so the spin is
+// remote and unbounded. CLH-vs-MCS is the canonical "same queue, different
+// model" pairing (cf. Section 5 of [3]), the mutex-world miniature of the
+// paper's flag-vs-registration contrast.
+//
+// Node recycling per the classic protocol: a releasing process adopts its
+// predecessor's node for its next acquisition.
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class ClhLock final : public MutexAlgorithm {
+ public:
+  explicit ClhLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "clh"; }
+
+ private:
+  VarId tail_;                   // global: FAS'd node index
+  std::vector<VarId> node_;      // node_[k]: "locked" flag, detached module
+  std::vector<VarId> my_node_;   // my_node_[p] homed at p
+  std::vector<VarId> my_pred_;   // my_pred_[p] homed at p
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,26 @@
+#include "mutex/fischer_lock.h"
+
+namespace rmrsim {
+
+FischerLock::FischerLock(SharedMemory& mem, Word delay_ticks)
+    : x_(mem.allocate_global(kNil, "X")), delay_ticks_(delay_ticks) {}
+
+SubTask<void> FischerLock::acquire(ProcCtx& ctx) {
+  const Word me = ctx.id();
+  for (;;) {
+    for (;;) {
+      const Word x = co_await ctx.read(x_);
+      if (x == kNil) break;
+    }
+    co_await ctx.write(x_, me);
+    co_await ctx.delay(delay_ticks_);
+    const Word x = co_await ctx.read(x_);
+    if (x == me) co_return;
+  }
+}
+
+SubTask<void> FischerLock::release(ProcCtx& ctx) {
+  co_await ctx.write(x_, kNil);
+}
+
+}  // namespace rmrsim

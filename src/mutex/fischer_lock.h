@@ -1,0 +1,48 @@
+// Fischer's timing-based mutual exclusion.
+//
+// Section 3 discusses semi-synchronous systems: "consecutive steps by the
+// same process occur at most Delta time units apart", processes know Delta
+// and can delay themselves by at least Delta to force others to make
+// progress. In that model, mutual exclusion becomes possible with a single
+// shared variable and plain reads/writes — Fischer's classic protocol:
+//
+//   acquire:  repeat
+//               await X = NIL        (spin)
+//               X := me
+//               delay(D)             (let every racer finish its write)
+//               until X = me
+//   release:  X := NIL
+//
+// Safety holds iff D is at least the scheduler's step-gap bound: any rival
+// that read X = NIL before our write must have applied its own write within
+// Delta, so after the delay the *last* writer owns X exclusively. With D
+// too small the protocol is broken, and the tests exhibit concrete
+// violations — correctness here is a property of the timing model, not the
+// code, which is exactly the point of the Section 3 citation ([23]: in this
+// model DSM gets O(1) RMRs while CC needs Omega(log log N), a separation in
+// the opposite direction to the paper's).
+#pragma once
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class FischerLock final : public MutexAlgorithm {
+ public:
+  /// `delay_ticks` must be >= the scheduler's maximum step gap (see
+  /// BoundedGapScheduler) for mutual exclusion to hold.
+  FischerLock(SharedMemory& mem, Word delay_ticks);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "fischer"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  VarId x_;
+  Word delay_ticks_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,53 @@
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+ProcTask mutex_worker(ProcCtx& ctx, MutexAlgorithm* lock, int passages) {
+  for (int i = 0; i < passages; ++i) {
+    co_await ctx.call_begin(calls::kAcquire);
+    co_await lock->acquire(ctx);
+    co_await ctx.call_end(calls::kAcquire);
+    co_await ctx.call_begin(calls::kCritical);
+    co_await ctx.call_end(calls::kCritical);
+    co_await ctx.call_begin(calls::kRelease);
+    co_await lock->release(ctx);
+    co_await ctx.call_end(calls::kRelease);
+  }
+}
+
+std::optional<MutexViolation> check_mutual_exclusion(const History& h) {
+  ProcId inside = kNoProc;
+  for (const StepRecord& r : h.records()) {
+    if (r.kind != StepRecord::Kind::kEvent || r.code != calls::kCritical) {
+      continue;
+    }
+    if (r.event == EventKind::kCallBegin) {
+      if (inside != kNoProc) {
+        return MutexViolation{
+            r.index, inside, r.proc,
+            "two processes in the critical section simultaneously"};
+      }
+      inside = r.proc;
+    } else if (r.event == EventKind::kCallEnd) {
+      if (inside != r.proc) {
+        return MutexViolation{r.index, inside, r.proc,
+                              "critical-section exit without matching entry"};
+      }
+      inside = kNoProc;
+    }
+  }
+  return std::nullopt;
+}
+
+int passages_completed(const History& h, ProcId p) {
+  int n = 0;
+  for (const StepRecord& r : h.records()) {
+    if (r.proc == p && r.kind == StepRecord::Kind::kEvent &&
+        r.event == EventKind::kCallEnd && r.code == calls::kCritical) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace rmrsim

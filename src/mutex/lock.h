@@ -1,0 +1,56 @@
+// Mutual exclusion — the paper's reference problem (Sections 1, 3).
+//
+// ME is where RMR complexity was born, and its known bounds are the sanity
+// anchor for our simulator (experiment E5): with reads and writes the tight
+// bound is Theta(log N) RMRs per passage in *both* models (no separation),
+// while Fetch-And-Store / Fetch-And-Increment give O(1). Locks implemented
+// here: the Yang–Anderson tournament (reads/writes, local-spin, Theta(log
+// N)), MCS (FAS+CAS, O(1)), Anderson's array lock (FAI; O(1) in CC but not
+// local-spin in DSM), the ticket lock, and a plain TAS spinlock (O(1) under
+// LFCU only — experiment E8).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "history/history.h"
+#include "runtime/coro.h"
+#include "runtime/proc_ctx.h"
+#include "runtime/simulation.h"
+
+namespace rmrsim {
+
+class MutexAlgorithm {
+ public:
+  virtual ~MutexAlgorithm() = default;
+
+  /// Acquires the lock; returns with the caller holding it.
+  virtual SubTask<void> acquire(ProcCtx& ctx) = 0;
+
+  /// Releases the lock; caller must hold it.
+  virtual SubTask<void> release(ProcCtx& ctx) = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Canned worker: `passages` iterations of acquire -> critical section ->
+/// release, with call boundaries recorded (calls::kAcquire / kCritical /
+/// kRelease) so the checker below and the RMR-per-passage benches work off
+/// the history.
+ProcTask mutex_worker(ProcCtx& ctx, MutexAlgorithm* lock, int passages);
+
+struct MutexViolation {
+  std::int64_t step_index = -1;
+  ProcId first = kNoProc;
+  ProcId second = kNoProc;
+  std::string what;
+};
+
+/// Mutual exclusion safety: no two processes' critical sections
+/// (kCritical call spans) overlap in the history.
+std::optional<MutexViolation> check_mutual_exclusion(const History& h);
+
+/// Completed passages (kCritical call ends) by process p.
+int passages_completed(const History& h, ProcId p);
+
+}  // namespace rmrsim

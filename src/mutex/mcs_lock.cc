@@ -1,0 +1,43 @@
+#include "mutex/mcs_lock.h"
+
+namespace rmrsim {
+
+McsLock::McsLock(SharedMemory& mem) : tail_(mem.allocate_global(kNil, "tail")) {
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    next_.push_back(
+        mem.allocate_local(p, kNil, "next[" + std::to_string(p) + "]"));
+    locked_.push_back(
+        mem.allocate_local(p, 0, "locked[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> McsLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.write(next_[me], kNil);
+  const Word pred = co_await ctx.fas(tail_, me);
+  if (pred != kNil) {
+    co_await ctx.write(locked_[me], 1);
+    co_await ctx.write(next_[static_cast<ProcId>(pred)], me);
+    for (;;) {
+      const Word l = co_await ctx.read(locked_[me]);  // local spin
+      if (l == 0) break;
+    }
+  }
+}
+
+SubTask<void> McsLock::release(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  Word succ = co_await ctx.read(next_[me]);
+  if (succ == kNil) {
+    const Word old = co_await ctx.cas(tail_, me, kNil);
+    if (old == me) co_return;  // nobody queued behind us
+    // A successor is mid-enqueue: wait (on our own module) for the link.
+    for (;;) {
+      succ = co_await ctx.read(next_[me]);
+      if (succ != kNil) break;
+    }
+  }
+  co_await ctx.write(locked_[static_cast<ProcId>(succ)], 0);
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,34 @@
+// MCS queue lock (Mellor-Crummey & Scott [28]).
+//
+// The canonical O(1)-RMR lock for the Fetch-And-Store (+CAS) primitive
+// class: contenders form an explicit queue; each spins on a flag in its own
+// queue node, which we home in the spinner's memory module — local-spin in
+// DSM and cache-friendly in CC. One half of the Section 3 separation
+// between primitive classes (Theta(log N) for reads/writes vs O(1) with
+// fetch-and-phi), reproduced as experiment E5.
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class McsLock final : public MutexAlgorithm {
+ public:
+  explicit McsLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "mcs"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  VarId tail_;                 // global queue tail (FAS/CAS)
+  std::vector<VarId> next_;    // next_[p] homed at p
+  std::vector<VarId> locked_;  // locked_[p] homed at p (spin flag)
+};
+
+}  // namespace rmrsim

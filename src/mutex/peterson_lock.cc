@@ -1,0 +1,57 @@
+#include "mutex/peterson_lock.h"
+
+namespace rmrsim {
+
+PetersonTournamentLock::PetersonTournamentLock(SharedMemory& mem) {
+  while (n2_ < mem.nprocs()) {
+    n2_ *= 2;
+    ++levels_;
+  }
+  levels_ = std::max(levels_, 1);
+  n2_ = std::max(n2_, 2);
+  nodes_.resize(static_cast<std::size_t>(n2_));
+  for (int j = 1; j < n2_; ++j) {
+    auto& node = nodes_[static_cast<std::size_t>(j)];
+    node.flag[0] = mem.allocate_global(0, "F[" + std::to_string(j) + "][0]");
+    node.flag[1] = mem.allocate_global(0, "F[" + std::to_string(j) + "][1]");
+    node.turn = mem.allocate_global(0, "Turn[" + std::to_string(j) + "]");
+  }
+}
+
+SubTask<void> PetersonTournamentLock::entry(ProcCtx& ctx, int node,
+                                            int side) {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  co_await ctx.write(nd.flag[side], 1);
+  co_await ctx.write(nd.turn, side);
+  for (;;) {
+    const Word rival = co_await ctx.read(nd.flag[1 - side]);
+    if (rival == 0) break;
+    const Word turn = co_await ctx.read(nd.turn);
+    if (turn != side) break;
+    // Busy-wait on SHARED variables: remote every iteration in DSM.
+  }
+}
+
+SubTask<void> PetersonTournamentLock::exit(ProcCtx& ctx, int node, int side) {
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  co_await ctx.write(nd.flag[side], 0);
+}
+
+SubTask<void> PetersonTournamentLock::acquire(ProcCtx& ctx) {
+  int h = n2_ + ctx.id();
+  for (int l = 0; l < levels_; ++l) {
+    const int side = h & 1;
+    const int node = h >> 1;
+    co_await entry(ctx, node, side);
+    h = node;
+  }
+}
+
+SubTask<void> PetersonTournamentLock::release(ProcCtx& ctx) {
+  for (int l = levels_ - 1; l >= 0; --l) {
+    const int h = (n2_ + ctx.id()) >> l;
+    co_await exit(ctx, h >> 1, h & 1);
+  }
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,45 @@
+// Peterson's algorithm in a tournament tree — the non-local-spin
+// read/write baseline.
+//
+// Structurally the same tournament as Yang–Anderson, but each node runs
+// Peterson's classic 2-process protocol, whose waiters spin on the *shared*
+// node variables (the rival's flag and the turn cell) rather than on a flag
+// in their own module. Consequence: O(log N) RMRs per passage in CC (the
+// spins cache), but unbounded RMRs in DSM (every re-check of a remote flag
+// crosses the interconnect) — the per-lock miniature of the paper's
+// flag-algorithm story, and the reason local-spin constructions like
+// Yang–Anderson exist (Section 1's "co-locate variables with processes
+// that access them most heavily").
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class PetersonTournamentLock final : public MutexAlgorithm {
+ public:
+  explicit PetersonTournamentLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "peterson-tournament"; }
+
+ private:
+  struct Node {
+    VarId flag[2] = {kNoVar, kNoVar};  // "I want in", per side
+    VarId turn = kNoVar;               // whose turn it is to wait
+  };
+
+  SubTask<void> entry(ProcCtx& ctx, int node, int side);
+  SubTask<void> exit(ProcCtx& ctx, int node, int side);
+
+  int n2_ = 1;
+  int levels_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,72 @@
+#include "mutex/simple_locks.h"
+
+namespace rmrsim {
+
+AndersonArrayLock::AndersonArrayLock(SharedMemory& mem)
+    : size_(mem.nprocs()), ticket_(mem.allocate_global(0, "ticket")) {
+  for (int k = 0; k < size_; ++k) {
+    flags_.push_back(
+        mem.allocate_global(k == 0 ? 1 : 0, "flag[" + std::to_string(k) + "]"));
+  }
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    my_slot_.push_back(
+        mem.allocate_local(p, 0, "slot[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> AndersonArrayLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word t = co_await ctx.faa(ticket_, 1);
+  const Word slot = t % size_;
+  co_await ctx.write(my_slot_[me], slot);
+  for (;;) {
+    const Word f = co_await ctx.read(flags_[static_cast<std::size_t>(slot)]);
+    if (f != 0) break;
+  }
+}
+
+SubTask<void> AndersonArrayLock::release(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word slot = co_await ctx.read(my_slot_[me]);
+  co_await ctx.write(flags_[static_cast<std::size_t>(slot)], 0);
+  co_await ctx.write(flags_[static_cast<std::size_t>((slot + 1) % size_)], 1);
+}
+
+TicketLock::TicketLock(SharedMemory& mem)
+    : next_(mem.allocate_global(0, "next")),
+      serving_(mem.allocate_global(0, "serving")) {
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    my_ticket_.push_back(
+        mem.allocate_local(p, 0, "ticket[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> TicketLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word t = co_await ctx.faa(next_, 1);
+  co_await ctx.write(my_ticket_[me], t);
+  for (;;) {
+    const Word s = co_await ctx.read(serving_);
+    if (s == t) break;
+  }
+}
+
+SubTask<void> TicketLock::release(ProcCtx& ctx) {
+  co_await ctx.faa(serving_, 1);
+}
+
+TasLock::TasLock(SharedMemory& mem)
+    : flag_(mem.allocate_global(0, "lock")) {}
+
+SubTask<void> TasLock::acquire(ProcCtx& ctx) {
+  for (;;) {
+    const Word old = co_await ctx.tas(flag_);
+    if (old == 0) co_return;
+  }
+}
+
+SubTask<void> TasLock::release(ProcCtx& ctx) {
+  co_await ctx.write(flag_, 0);
+}
+
+}  // namespace rmrsim

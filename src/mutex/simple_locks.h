@@ -1,0 +1,68 @@
+// Array, ticket, and test-and-set locks.
+//
+// Together with Yang–Anderson and MCS these span the RMR spectrum the
+// paper's Sections 3 and 8 discuss:
+//  * AndersonArrayLock [4] (FAI): each contender spins on its own array
+//    slot — O(1) invalidations per passage in CC, but the slots rotate, so
+//    they cannot be co-located with spinners: NOT local-spin in DSM (a model
+//    sensitivity exactly like the paper's flag algorithm).
+//  * TicketLock: all contenders spin on one `serving` counter — each release
+//    invalidates every spinning cache (Theta(contenders) messages in CC) and
+//    every re-check is an RMR in DSM.
+//  * TasLock: the textbook spinlock whose failed TAS spins are remote on
+//    standard CC machines but *local* on LFCU systems (Section 3, [1]) —
+//    the E8 ablation.
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class AndersonArrayLock final : public MutexAlgorithm {
+ public:
+  explicit AndersonArrayLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "anderson-array"; }
+
+ private:
+  int size_;
+  VarId ticket_;               // global FAI counter
+  std::vector<VarId> flags_;   // flags_[k], detached module; flags_[0]=1
+  std::vector<VarId> my_slot_; // my_slot_[p] homed at p (persistent state)
+};
+
+class TicketLock final : public MutexAlgorithm {
+ public:
+  explicit TicketLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "ticket"; }
+
+ private:
+  VarId next_;
+  VarId serving_;
+  std::vector<VarId> my_ticket_;  // my_ticket_[p] homed at p
+};
+
+class TasLock final : public MutexAlgorithm {
+ public:
+  explicit TasLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "tas-spin"; }
+
+ private:
+  VarId flag_;
+};
+
+}  // namespace rmrsim

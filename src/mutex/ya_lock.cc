@@ -1,0 +1,103 @@
+#include "mutex/ya_lock.h"
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+YangAndersonLock::YangAndersonLock(SharedMemory& mem) {
+  while (n2_ < mem.nprocs()) {
+    n2_ *= 2;
+    ++levels_;
+  }
+  levels_ = std::max(levels_, 1);
+  n2_ = std::max(n2_, 2);
+  nodes_.resize(static_cast<std::size_t>(n2_));
+  for (int j = 1; j < n2_; ++j) {
+    auto& node = nodes_[static_cast<std::size_t>(j)];
+    node.c[0] = mem.allocate_global(kNil, "C[" + std::to_string(j) + "][0]");
+    node.c[1] = mem.allocate_global(kNil, "C[" + std::to_string(j) + "][1]");
+    node.t = mem.allocate_global(kNil, "T[" + std::to_string(j) + "]");
+  }
+  spin_.resize(static_cast<std::size_t>(mem.nprocs()));
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    for (int l = 0; l < levels_; ++l) {
+      spin_[static_cast<std::size_t>(p)].push_back(mem.allocate_local(
+          p, 0,
+          "P[" + std::to_string(p) + "][" + std::to_string(l) + "]"));
+    }
+  }
+}
+
+SubTask<void> YangAndersonLock::entry(ProcCtx& ctx, int node, int side,
+                                      int level) {
+  const Word me = ctx.id();
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  const VarId my_spin = spin_[static_cast<std::size_t>(ctx.id())]
+                             [static_cast<std::size_t>(level)];
+  co_await ctx.write(nd.c[side], me);
+  co_await ctx.write(nd.t, me);
+  co_await ctx.write(my_spin, 0);
+  const Word rival = co_await ctx.read(nd.c[1 - side]);
+  if (rival != kNil) {
+    const Word t = co_await ctx.read(nd.t);
+    if (t == me) {
+      // We arrived last: wake a rival that may already be waiting, then
+      // wait on our own (local) flag until the rival hands over.
+      const VarId rival_spin =
+          spin_[static_cast<std::size_t>(rival)]
+               [static_cast<std::size_t>(level)];
+      const Word rs = co_await ctx.read(rival_spin);
+      if (rs == 0) {
+        co_await ctx.write(rival_spin, 1);
+      }
+      for (;;) {
+        const Word mine = co_await ctx.read(my_spin);
+        if (mine != 0) break;
+      }
+      const Word t2 = co_await ctx.read(nd.t);
+      if (t2 == me) {
+        for (;;) {
+          const Word mine = co_await ctx.read(my_spin);
+          if (mine > 1) break;
+        }
+      }
+    }
+  }
+}
+
+SubTask<void> YangAndersonLock::exit(ProcCtx& ctx, int node, int side,
+                                     int level) {
+  const Word me = ctx.id();
+  const Node& nd = nodes_[static_cast<std::size_t>(node)];
+  // Clear our announcement cell, then hand over to the rival recorded in
+  // the tie breaker, if any.
+  co_await ctx.write(nd.c[side], kNil);
+  const Word rival = co_await ctx.read(nd.t);
+  if (rival != me && rival != kNil) {
+    const VarId rival_spin = spin_[static_cast<std::size_t>(rival)]
+                                  [static_cast<std::size_t>(level)];
+    co_await ctx.write(rival_spin, 2);
+  }
+}
+
+SubTask<void> YangAndersonLock::acquire(ProcCtx& ctx) {
+  int h = n2_ + ctx.id();
+  for (int l = 0; l < levels_; ++l) {
+    const int side = h & 1;
+    const int node = h >> 1;
+    co_await entry(ctx, node, side, l);
+    h = node;
+  }
+}
+
+SubTask<void> YangAndersonLock::release(ProcCtx& ctx) {
+  // Exit nodes in reverse order of entry: root first, leaf level last.
+  for (int l = levels_ - 1; l >= 0; --l) {
+    const int h = (n2_ + ctx.id()) >> l;
+    const int side = h & 1;
+    const int node = h >> 1;
+    co_await exit(ctx, node, side, l);
+  }
+}
+
+}  // namespace rmrsim

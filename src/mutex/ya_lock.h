@@ -1,0 +1,48 @@
+// Yang–Anderson tournament lock [30].
+//
+// The classic read/write local-spin mutual exclusion algorithm: processes
+// race pairwise up a binary tournament tree; at each node the 2-process
+// Yang–Anderson entry/exit protocol (three-valued per-process spin flags,
+// a tie-breaker variable T, and announcement cells C[0..1]) decides who
+// advances. Each process spins only on its own per-level flag, which lives
+// in its own memory module — so a passage costs Theta(log N) RMRs in the DSM
+// model and in the CC model alike, matching the tight bound for the
+// read/write primitive class (Section 3; experiment E5).
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+
+namespace rmrsim {
+
+class YangAndersonLock final : public MutexAlgorithm {
+ public:
+  explicit YangAndersonLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "yang-anderson"; }
+
+  int levels() const { return levels_; }
+
+ private:
+  static constexpr Word kNil = -1;
+
+  struct Node {
+    VarId c[2] = {kNoVar, kNoVar};  // announcement cells, init NIL
+    VarId t = kNoVar;               // tie breaker: last process to arrive
+  };
+
+  SubTask<void> entry(ProcCtx& ctx, int node, int side, int level);
+  SubTask<void> exit(ProcCtx& ctx, int node, int side, int level);
+
+  int n2_ = 1;      // leaf count: smallest power of two >= nprocs
+  int levels_ = 0;  // tree height
+  std::vector<Node> nodes_;          // heap-indexed, nodes_[1..n2_-1]
+  std::vector<std::vector<VarId>> spin_;  // spin_[p][level], homed at p
+};
+
+}  // namespace rmrsim

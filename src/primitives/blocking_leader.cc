@@ -1,0 +1,72 @@
+#include "primitives/blocking_leader.h"
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+DsmBlockingLeaderSignal::DsmBlockingLeaderSignal(SharedMemory& mem)
+    : election_(std::make_unique<TasLeaderElection>(mem)),
+      s_(mem.allocate_global(0, "S")),
+      w_(mem.allocate_global(kNil, "W")) {
+  for (ProcId i = 0; i < mem.nprocs(); ++i) {
+    reg_.push_back(mem.allocate_local(i, 0, "Reg[" + std::to_string(i) + "]"));
+    v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+  }
+}
+
+SubTask<bool> DsmBlockingLeaderSignal::poll(ProcCtx&) {
+  fail("dsm-blocking-leader implements blocking semantics only; call Wait()");
+}
+
+SubTask<void> DsmBlockingLeaderSignal::signal(ProcCtx& ctx) {
+  // The single-waiter signaler (Section 7): set S, then deliver to the
+  // registered leader if one exists.
+  co_await ctx.write(s_, 1);
+  const Word leader = co_await ctx.read(w_);
+  if (leader != kNil) {
+    co_await ctx.write(v_[static_cast<ProcId>(leader)], 1);
+  }
+}
+
+SubTask<void> DsmBlockingLeaderSignal::wait(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.write(reg_[me], 1);  // announce myself (own module)
+  const ProcId leader = co_await election_->elect(ctx);
+  if (me == leader) {
+    // Play the single waiter: register in W, then check S (closing the race
+    // with a concurrent Signal() exactly as in the single-waiter variant).
+    co_await ctx.write(w_, me);
+    const Word s = co_await ctx.read(s_);
+    if (s == 0) {
+      for (;;) {
+        const Word mine = co_await ctx.read(v_[me]);  // local spin
+        if (mine != 0) break;
+      }
+    }
+    // Propagate: deliver to every registered waiter (including late ones —
+    // each sweep pass reads the registration flags once; waiters that
+    // register after the sweep see S = 1 themselves... but with blocking
+    // semantics they spin on V, so the leader re-checks its own V stays set
+    // and sweeps everyone it can see now).
+    for (ProcId i = 0; i < static_cast<ProcId>(reg_.size()); ++i) {
+      if (i == me) continue;
+      const Word r = co_await ctx.read(reg_[i]);
+      if (r != 0) {
+        co_await ctx.write(v_[i], 1);
+      }
+    }
+    co_return;
+  }
+  // Non-leader: one more safety net against the race where the leader swept
+  // before our registration became visible — if the signal is already fully
+  // propagated (S set and leader delivered), V[me] may never be written, so
+  // check S once; if it is set we may return immediately.
+  const Word s = co_await ctx.read(s_);
+  if (s != 0) co_return;
+  for (;;) {
+    const Word mine = co_await ctx.read(v_[me]);  // local spin
+    if (mine != 0) co_return;
+  }
+}
+
+}  // namespace rmrsim

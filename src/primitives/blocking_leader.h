@@ -1,0 +1,51 @@
+// Section 7, blocking semantics, "many waiters not fixed in advance":
+// the leader-election reduction.
+//
+// "With blocking semantics, the problem can be reduced to the single-waiter
+// case by having the waiters elect a leader, which learns about the signal
+// and then ensures that the signal is propagated to the remaining waiters."
+// Waiters elect a leader (TAS election — the paper's own alternative to the
+// O(1) read/write election [13]); every waiter registers by raising a flag
+// in its own module and then spins on its private delivery flag, while the
+// leader plays the single waiter: it registers in the global W cell, spins
+// locally on its delivery flag, and on wake-up sweeps the registration
+// flags and delivers to everyone.
+//
+// Costs in DSM: non-leader waiters O(1) RMRs; the leader O(N) for the sweep
+// (the paper's [12]-based solution achieves O(1) worst-case per process; our
+// simplification is documented as substitution — the reduction's *shape* is
+// what this class reproduces). This algorithm implements Wait() natively;
+// Poll() is intentionally unsupported (the reduction is for blocking
+// semantics only).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "primitives/leader_election.h"
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+class DsmBlockingLeaderSignal final : public SignalingAlgorithm {
+ public:
+  explicit DsmBlockingLeaderSignal(SharedMemory& mem);
+
+  /// Not supported: this is the blocking-semantics reduction.
+  SubTask<bool> poll(ProcCtx& ctx) override;
+
+  SubTask<void> signal(ProcCtx& ctx) override;
+  SubTask<void> wait(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "dsm-blocking-leader"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  std::unique_ptr<TasLeaderElection> election_;
+  VarId s_;                     // global: signal issued?
+  VarId w_;                     // global: leader's registration (single-waiter W)
+  std::vector<VarId> reg_;      // reg_[i] homed at p_i: "i is waiting"
+  std::vector<VarId> v_;        // V[i] homed at p_i: delivery flag
+};
+
+}  // namespace rmrsim

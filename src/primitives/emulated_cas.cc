@@ -1,0 +1,37 @@
+#include "primitives/emulated_cas.h"
+
+namespace rmrsim {
+
+EmulatedCas::EmulatedCas(SharedMemory& mem, Word initial, std::string name)
+    : value_(mem.allocate_global(initial, std::move(name))),
+      lock_(std::make_unique<YangAndersonLock>(mem)) {}
+
+SubTask<Word> EmulatedCas::cas(ProcCtx& ctx, Word expect, Word desired) {
+  co_await lock_->acquire(ctx);
+  const Word old = co_await ctx.read(value_);
+  if (old == expect) {
+    co_await ctx.write(value_, desired);
+  }
+  co_await lock_->release(ctx);
+  co_return old;
+}
+
+SubTask<Word> EmulatedCas::read(ProcCtx& ctx) {
+  co_await lock_->acquire(ctx);
+  const Word v = co_await ctx.read(value_);
+  co_await lock_->release(ctx);
+  co_return v;
+}
+
+SubTask<void> EmulatedCas::write(ProcCtx& ctx, Word value) {
+  co_await lock_->acquire(ctx);
+  co_await ctx.write(value_, value);
+  co_await lock_->release(ctx);
+}
+
+SubTask<Word> EmulatedCas::read_unlocked(ProcCtx& ctx) {
+  const Word v = co_await ctx.read(value_);
+  co_return v;
+}
+
+}  // namespace rmrsim

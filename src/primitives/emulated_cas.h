@@ -1,0 +1,47 @@
+// CAS from reads and writes — the Corollary 6.14 transformation vehicle.
+//
+// Corollary 6.14 extends the DSM lower bound to CAS/LL-SC algorithms by
+// replacing each CAS variable with a locally-accessible implementation built
+// from reads and writes ([11, 12]; O(1) RMRs per operation). Those
+// constructions are intricate; per DESIGN.md (substitution 2) we use a
+// simpler, behaviour-preserving stand-in: a CAS object guarded by the
+// read/write Yang–Anderson lock. Each operation costs O(log N) RMRs and the
+// result is terminating (not wait-free) — which is all the corollary's
+// argument needs: the transformed algorithm uses reads and writes only, is
+// terminating and correct, so Theorem 6.2 applies to it verbatim.
+#pragma once
+
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "mutex/ya_lock.h"
+#include "runtime/coro.h"
+#include "runtime/proc_ctx.h"
+
+namespace rmrsim {
+
+class EmulatedCas {
+ public:
+  EmulatedCas(SharedMemory& mem, Word initial, std::string name = "emucas");
+
+  /// Atomic (lock-protected) compare-and-swap; returns the old value.
+  SubTask<Word> cas(ProcCtx& ctx, Word expect, Word desired);
+
+  /// Atomic read. A single-word read is atomic by itself, but we still take
+  /// the lock so reads linearize with concurrent cas/write without exposing
+  /// their two-step internals.
+  SubTask<Word> read(ProcCtx& ctx);
+
+  /// Atomic (lock-protected) write.
+  SubTask<void> write(ProcCtx& ctx, Word value);
+
+  /// Direct unlocked read of the current value — safe when the caller only
+  /// needs a snapshot (e.g. the signaler walking a quiescent list).
+  SubTask<Word> read_unlocked(ProcCtx& ctx);
+
+ private:
+  VarId value_;
+  std::unique_ptr<YangAndersonLock> lock_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,34 @@
+#include "primitives/leader_election.h"
+
+namespace rmrsim {
+
+TasLeaderElection::TasLeaderElection(SharedMemory& mem)
+    : flag_(mem.allocate_global(0, "ElectFlag")),
+      leader_(mem.allocate_global(kNil, "Leader")) {
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    known_.push_back(
+        mem.allocate_local(p, kNil, "Known[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<ProcId> TasLeaderElection::elect(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word cached = co_await ctx.read(known_[me]);  // local
+  if (cached != kNil) co_return static_cast<ProcId>(cached);
+
+  const Word old = co_await ctx.tas(flag_);
+  if (old == 0) {
+    co_await ctx.write(leader_, me);
+    co_await ctx.write(known_[me], me);
+    co_return me;
+  }
+  for (;;) {
+    const Word l = co_await ctx.read(leader_);
+    if (l != kNil) {
+      co_await ctx.write(known_[me], l);
+      co_return static_cast<ProcId>(l);
+    }
+  }
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,36 @@
+// One-shot leader election.
+//
+// Section 7 reduces several signaling variants to leader election, noting it
+// is solvable "in one step per process using virtually any read-modify-write
+// primitive (e.g., Test-And-Set or Fetch-And-Store)". This is that
+// primitive: the TAS winner publishes its id; everyone else reads it. Each
+// process caches the outcome in its own module, so repeated calls cost no
+// further RMRs. (The paper's read/write-only O(1)-RMR election [13] is a
+// documented substitution — DESIGN.md Section 4, item 3.)
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "runtime/coro.h"
+#include "runtime/proc_ctx.h"
+
+namespace rmrsim {
+
+class TasLeaderElection {
+ public:
+  explicit TasLeaderElection(SharedMemory& mem);
+
+  /// Returns the elected leader's id. The first caller to win the TAS
+  /// becomes leader; losers briefly busy-wait for the winner's announcement
+  /// (terminating under fairness). O(1) RMRs on first call, 0 after.
+  SubTask<ProcId> elect(ProcCtx& ctx);
+
+ private:
+  static constexpr Word kNil = -1;
+  VarId flag_;                 // global TAS flag
+  VarId leader_;               // global: winner's announcement
+  std::vector<VarId> known_;   // known_[p] homed at p: cached outcome
+};
+
+}  // namespace rmrsim

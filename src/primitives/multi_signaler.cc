@@ -1,0 +1,30 @@
+#include "primitives/multi_signaler.h"
+
+namespace rmrsim {
+
+MultiSignalerSignal::MultiSignalerSignal(
+    SharedMemory& mem, std::unique_ptr<SignalingAlgorithm> inner)
+    : inner_(std::move(inner)),
+      won_(mem.allocate_global(0, "SigWon")),
+      done_(mem.allocate_global(0, "SigDone")) {}
+
+SubTask<bool> MultiSignalerSignal::poll(ProcCtx& ctx) {
+  const bool r = co_await inner_->poll(ctx);
+  co_return r;
+}
+
+SubTask<void> MultiSignalerSignal::signal(ProcCtx& ctx) {
+  const Word old = co_await ctx.tas(won_);
+  if (old == 0) {
+    co_await inner_->signal(ctx);
+    co_await ctx.write(done_, 1);
+    co_return;
+  }
+  // A peer is signaling; we may only return once the signal is observable.
+  for (;;) {
+    const Word d = co_await ctx.read(done_);
+    if (d != 0) co_return;
+  }
+}
+
+}  // namespace rmrsim

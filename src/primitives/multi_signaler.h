@@ -1,0 +1,38 @@
+// Section 7, "Many waiters not fixed in advance, many signalers".
+//
+// "One possibility is to reduce this case to 'one signaler not fixed in
+// advance' by having signalers elect a leader that will signal the
+// waiters." This adapter does exactly that around any inner signaling
+// algorithm: the first signaler to win a TAS performs the inner Signal()
+// and raises a Done flag; late signalers wait for Done before returning
+// (their Signal() may not complete before the signal is actually
+// observable, or a subsequent Poll() -> false would violate Specification
+// 4.1 clause 2).
+//
+// Costs: the winning signaler pays the inner algorithm's signal cost + O(1);
+// losers pay O(1) in CC and a bounded-by-fairness busy-wait in DSM.
+#pragma once
+
+#include <memory>
+
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+class MultiSignalerSignal final : public SignalingAlgorithm {
+ public:
+  MultiSignalerSignal(SharedMemory& mem,
+                      std::unique_ptr<SignalingAlgorithm> inner);
+
+  SubTask<bool> poll(ProcCtx& ctx) override;
+  SubTask<void> signal(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "multi-signaler"; }
+
+ private:
+  std::unique_ptr<SignalingAlgorithm> inner_;
+  VarId won_;   // TAS: first signaler wins
+  VarId done_;  // set once the inner signal completed
+};
+
+}  // namespace rmrsim

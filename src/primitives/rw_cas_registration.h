@@ -1,0 +1,38 @@
+// CasRegistrationSignal after the Corollary 6.14 transformation.
+//
+// Identical logic to signaling/cas_registration.h, but the CAS'd stack head
+// is an EmulatedCas — a read/write implementation — so the whole algorithm
+// uses atomic reads and writes ONLY. It is terminating (the emulation busy-
+// waits inside its lock) and still correct; Theorem 6.2 therefore applies to
+// it directly, which is exactly how Corollary 6.14 lifts the lower bound
+// from reads/writes to reads/writes+CAS. Experiment E6 runs the adversary
+// against this transformed algorithm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "primitives/emulated_cas.h"
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+class RwCasRegistrationSignal final : public SignalingAlgorithm {
+ public:
+  explicit RwCasRegistrationSignal(SharedMemory& mem);
+
+  SubTask<bool> poll(ProcCtx& ctx) override;
+  SubTask<void> signal(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "rw-cas-registration"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  VarId s_;                         // global: signal issued?
+  std::unique_ptr<EmulatedCas> head_;  // registration stack head (read/write)
+  std::vector<VarId> next_;         // next_[i] local to p_i
+  std::vector<VarId> v_;            // V[i] local to p_i
+  std::vector<VarId> first_done_;   // first_done_[i] local to p_i
+};
+
+}  // namespace rmrsim

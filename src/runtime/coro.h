@@ -1,0 +1,186 @@
+// Coroutine plumbing for simulated processes.
+//
+// Algorithms in rmrsim are written as straight-line pseudocode, exactly like
+// the paper's listings, using C++20 coroutines:
+//
+//   SubTask<bool> Poll(ProcCtx& ctx) {
+//     Word b = co_await ctx.read(B);
+//     co_return b != 0;
+//   }
+//
+// Every shared-memory access suspends the whole coroutine stack and hands
+// control back to the simulator *before* the access is applied. That gives
+// the scheduler step-level control over interleavings (Section 2's arbitrary
+// asynchrony) and gives the lower-bound adversary its "about to perform an
+// RMR" hook (Section 6.1).
+//
+// Two task types:
+//  * ProcTask    — a process's whole program (top level, owned by Simulation).
+//  * SubTask<T>  — a procedure (Poll, Signal, Acquire, ...) callable from a
+//                  program or another procedure via co_await; uses symmetric
+//                  transfer so nesting costs nothing and suspensions bubble
+//                  straight to the simulator.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace rmrsim {
+
+/// Top-level process program. Move-only owner of the coroutine frame.
+/// Created suspended; the Simulation resumes it step by step.
+class [[nodiscard]] ProcTask {
+ public:
+  struct promise_type {
+    std::exception_ptr error;
+
+    ProcTask get_return_object() {
+      return ProcTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  ProcTask() = default;
+  explicit ProcTask(Handle h) : handle_(h) {}
+  ProcTask(ProcTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  ProcTask& operator=(ProcTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ProcTask(const ProcTask&) = delete;
+  ProcTask& operator=(const ProcTask&) = delete;
+  ~ProcTask() { destroy(); }
+
+  Handle handle() const { return handle_; }
+  bool done() const { return !handle_ || handle_.done(); }
+
+  /// Rethrows an exception the program ended with, if any.
+  void rethrow_if_error() const {
+    if (handle_ && handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = {};
+  }
+  Handle handle_;
+};
+
+/// A procedure returning T, awaited with `co_await proc(ctx, ...)`.
+template <typename T>
+class [[nodiscard]] SubTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+    T value{};
+
+    SubTask get_return_object() {
+      return SubTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        return h.promise().continuation;  // symmetric transfer to the caller
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_value(T v) { value = std::move(v); }
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit SubTask(Handle h) : handle_(h) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  // Awaiter protocol: starting the subtask lazily on first await.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  T await_resume() {
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+    return std::move(handle_.promise().value);
+  }
+
+ private:
+  Handle handle_;
+};
+
+/// void specialization.
+template <>
+class [[nodiscard]] SubTask<void> {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr error;
+
+    SubTask get_return_object() {
+      return SubTask(Handle::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        return h.promise().continuation;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() { error = std::current_exception(); }
+  };
+  using Handle = std::coroutine_handle<promise_type>;
+
+  explicit SubTask(Handle h) : handle_(h) {}
+  SubTask(SubTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, {})) {}
+  SubTask(const SubTask&) = delete;
+  SubTask& operator=(const SubTask&) = delete;
+  SubTask& operator=(SubTask&&) = delete;
+  ~SubTask() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> caller) {
+    handle_.promise().continuation = caller;
+    return handle_;
+  }
+  void await_resume() {
+    if (handle_.promise().error) {
+      std::rethrow_exception(handle_.promise().error);
+    }
+  }
+
+ private:
+  Handle handle_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,238 @@
+#include "runtime/simulation.h"
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+Simulation::Simulation(SharedMemory& memory, std::vector<Program> programs,
+                       DirectivePolicy policy)
+    : memory_(&memory), programs_(std::move(programs)),
+      policy_(std::move(policy)) {
+  ensure(static_cast<int>(programs_.size()) <= memory.nprocs(),
+         "more programs than processors");
+  procs_.reserve(programs_.size());
+  for (std::size_t i = 0; i < programs_.size(); ++i) {
+    Proc p;
+    p.ctx = std::make_unique<ProcCtx>(static_cast<ProcId>(i), memory.nprocs());
+    if (programs_[i]) {
+      p.task = programs_[i](*p.ctx);
+      p.started = true;
+    } else {
+      p.finished = true;
+    }
+    procs_.push_back(std::move(p));
+  }
+  // Run each program's local prologue to its first suspension point. No
+  // memory operation is applied here — the first pending action becomes
+  // visible, nothing more.
+  for (Proc& p : procs_) {
+    if (!p.started) continue;
+    p.task.handle().resume();
+    if (p.task.done()) {
+      p.task.rethrow_if_error();
+      p.finished = true;
+      p.ctx->mark_finished();
+    } else {
+      arm_delay(p);
+    }
+  }
+}
+
+void Simulation::arm_delay(Proc& pr) {
+  if (pr.ctx->pending().kind == ActionKind::kDelay) {
+    pr.wake_time =
+        now_ + static_cast<std::uint64_t>(pr.ctx->pending().delay_ticks);
+  }
+}
+
+bool Simulation::ready(ProcId p) const {
+  const Proc& pr = proc(p);
+  if (pr.finished) return false;
+  if (pr.ctx->pending().kind == ActionKind::kDelay) {
+    return now_ >= pr.wake_time;
+  }
+  return true;
+}
+
+Simulation::Proc& Simulation::proc(ProcId p) {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+const Simulation::Proc& Simulation::proc(ProcId p) const {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  return procs_[static_cast<std::size_t>(p)];
+}
+
+bool Simulation::runnable(ProcId p) const { return !proc(p).finished; }
+bool Simulation::terminated(ProcId p) const { return proc(p).finished; }
+
+bool Simulation::all_terminated() const {
+  for (const Proc& p : procs_) {
+    if (!p.finished) return false;
+  }
+  return true;
+}
+
+const PendingAction& Simulation::pending(ProcId p) const {
+  return proc(p).ctx->pending();
+}
+
+bool Simulation::pending_is_rmr(ProcId p) const {
+  const PendingAction& a = pending(p);
+  ensure(a.kind == ActionKind::kMemOp, "pending action is not a memory op");
+  return memory_->classify_rmr(p, a.op);
+}
+
+int Simulation::directives_consumed(ProcId p) const {
+  return proc(p).directives;
+}
+
+const StepRecord& Simulation::step(ProcId p) {
+  Proc& pr = proc(p);
+  ensure(!pr.finished, "stepping a terminated process");
+  const PendingAction a = pr.ctx->pending();
+
+  StepRecord rec;
+  rec.proc = p;
+  switch (a.kind) {
+    case ActionKind::kMemOp: {
+      const OpOutcome outcome = memory_->apply(p, a.op);
+      rec.kind = StepRecord::Kind::kMemOp;
+      rec.op = a.op;
+      rec.outcome = outcome;
+      rec.var_home = memory_->store().home(a.op.var);
+      pr.ctx->resume_with_outcome(outcome);
+      break;
+    }
+    case ActionKind::kEvent: {
+      rec.kind = StepRecord::Kind::kEvent;
+      rec.event = a.event;
+      rec.code = a.code;
+      rec.value = a.value;
+      pr.ctx->resume_plain();
+      break;
+    }
+    case ActionKind::kDirective: {
+      ensure(static_cast<bool>(policy_),
+             "driver requested a directive but no policy is set");
+      const Directive d = policy_(p, pr.directives++);
+      rec.kind = StepRecord::Kind::kEvent;
+      rec.event = EventKind::kDirective;
+      rec.code = d.action;
+      rec.value = d.arg;
+      pr.ctx->resume_with_directive(d);
+      break;
+    }
+    case ActionKind::kDelay: {
+      ensure(now_ >= pr.wake_time,
+             "stepping a delayed process before its wake time");
+      rec.kind = StepRecord::Kind::kEvent;
+      rec.event = EventKind::kDelay;
+      rec.value = a.delay_ticks;
+      pr.ctx->resume_from_delay();
+      break;
+    }
+    case ActionKind::kFinished:
+      fail("stepping a process with no pending action");
+  }
+  ++now_;
+
+  if (pr.task.done()) {
+    pr.task.rethrow_if_error();
+    pr.finished = true;
+    pr.ctx->mark_finished();
+    rec.terminated_after = true;
+  } else {
+    arm_delay(pr);
+  }
+  schedule_.push_back(p);
+  history_.append(std::move(rec));
+  return history_.records().back();
+}
+
+Simulation::Stop Simulation::run_until_rmr_pending(ProcId p,
+                                                   std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (terminated(p)) return Stop::kTerminated;
+    const PendingAction& a = pending(p);
+    if (a.kind == ActionKind::kMemOp && pending_is_rmr(p)) {
+      return Stop::kRmrPending;
+    }
+    step(p);
+  }
+  return terminated(p) ? Stop::kTerminated : Stop::kBudget;
+}
+
+void Simulation::run_to_termination(ProcId p, std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (terminated(p)) return;
+    step(p);
+  }
+  ensure(terminated(p), "run_to_termination exceeded its step budget");
+}
+
+void Simulation::erase_process(ProcId p) {
+  Proc& pr = proc(p);
+  ensure(!pr.finished, "cannot erase a finished process (Lemma 6.7 erases "
+                       "active processes only)");
+  ensure(memory_->model().pricing_is_stateless(),
+         "in-place erasure requires a stateless cost model (DSM)");
+  ensure(!history_.seen_by_other(p),
+         "process was seen by another process; erasure would change the "
+         "observable history (Lemma 6.7 precondition)");
+  ensure(!history_.uses_ll_sc(),
+         "in-place erasure does not support LL/SC reservation side effects");
+
+  // Revert p's surviving writes: each variable p overwrote goes back to the
+  // last value written by someone else, or its initial value. Because p was
+  // never seen, no other process's recorded step depended on these values,
+  // so the reverted state matches the p-free replay exactly.
+  for (const VarId v : history_.vars_written_by(p)) {
+    if (history_.last_writer(v) == p) {
+      const auto prev = history_.last_write_excluding(v, p);
+      if (prev.has_value()) {
+        memory_->store().poke(v, prev->first, prev->second);
+      } else {
+        memory_->store().poke(v, memory_->store().initial(v), kNoProc);
+      }
+    }
+    memory_->store().forget_writer(v, p);
+  }
+
+  history_.remove_proc(p);
+  memory_->ledger().forget(p);
+  std::erase(schedule_, p);
+  pr.finished = true;
+  pr.erased = true;
+  pr.ctx->mark_finished();
+}
+
+Simulation::RunResult Simulation::run(Scheduler& sched,
+                                      std::uint64_t max_steps) {
+  RunResult r;
+  while (r.steps < max_steps && !all_terminated()) {
+    const ProcId p = sched.next(*this);
+    if (p == kNoProc) {
+      // Nobody is ready. If someone is merely sleeping, advance the clock
+      // so it can wake; otherwise the scheduler is done.
+      bool sleeper = false;
+      for (ProcId q = 0; q < nprocs(); ++q) {
+        if (runnable(q) && !ready(q)) {
+          sleeper = true;
+          break;
+        }
+      }
+      if (!sleeper) break;
+      tick();
+      ++r.steps;  // ticks consume budget too (they advance time)
+      continue;
+    }
+    step(p);
+    ++r.steps;
+  }
+  r.all_terminated = all_terminated();
+  return r;
+}
+
+}  // namespace rmrsim

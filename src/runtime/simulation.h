@@ -1,0 +1,165 @@
+// Simulation: one execution of an N-process shared-memory algorithm.
+//
+// Owns the process coroutines and the recorded History; applies one pending
+// action at a time under the direction of a Scheduler (or of the lower-bound
+// adversary, which drives step() directly). Everything is deterministic: the
+// same (memory contents, programs, schedule, directive policy) always yields
+// the same history — the property the erasure-by-replay machinery of the
+// Section 6 adversary rests on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "history/history.h"
+#include "memory/shared_memory.h"
+#include "runtime/coro.h"
+#include "runtime/proc_ctx.h"
+
+namespace rmrsim {
+
+class Simulation;
+
+/// Picks which process takes the next step. Implementations in src/sched.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Returns a process with a pending action, or kNoProc to stop the run.
+  virtual ProcId next(const Simulation& sim) = 0;
+};
+
+/// A process program: invoked once per process at simulation start. Write
+/// programs as free coroutine functions taking parameters by value (copied
+/// into the frame) — see runtime/coro.h for the lifetime rules.
+using Program = std::function<ProcTask(ProcCtx&)>;
+
+class Simulation {
+ public:
+  /// Supplies directives to client drivers: called with (process, index of
+  /// the directive request for that process, counted from 0).
+  using DirectivePolicy = std::function<Directive(ProcId, int)>;
+
+  /// `programs[p]` is process p's program; an empty std::function means the
+  /// process never runs. The memory is borrowed and must outlive the
+  /// simulation. Programs run (their local prologue) up to the first
+  /// suspension point during construction.
+  Simulation(SharedMemory& memory, std::vector<Program> programs,
+             DirectivePolicy policy = {});
+
+  int nprocs() const { return static_cast<int>(procs_.size()); }
+
+  /// True iff p has a pending action to apply.
+  bool runnable(ProcId p) const;
+  bool terminated(ProcId p) const;
+  bool all_terminated() const;
+
+  /// True iff p can be stepped *now*: runnable and, if sleeping in a
+  /// delay(), its wake time has been reached. Schedulers pick among ready
+  /// processes; when none is ready but sleepers exist, run() advances the
+  /// clock with tick().
+  bool ready(ProcId p) const;
+
+  /// Simulation clock: one unit per applied step or tick. The
+  /// semi-synchronous model's Delta is expressed in these units.
+  std::uint64_t now() const { return now_; }
+
+  /// Advances the clock without any process taking a step (lets sleeping
+  /// processes reach their wake time when nobody else is ready). Recorded
+  /// in the schedule as a kNoProc entry so timed runs replay exactly.
+  void tick() {
+    ++now_;
+    schedule_.push_back(kNoProc);
+  }
+
+  const PendingAction& pending(ProcId p) const;
+
+  /// Would p's pending memory op be an RMR if applied now? Requires a
+  /// pending kMemOp. This is the adversary's "about to perform an RMR" test.
+  bool pending_is_rmr(ProcId p) const;
+
+  /// Applies p's pending action, records it, and advances p to its next
+  /// suspension point. Returns the recorded step.
+  const StepRecord& step(ProcId p);
+
+  /// Outcome classification for run_until_rmr_pending.
+  enum class Stop { kRmrPending, kTerminated, kBudget };
+
+  /// Steps p (applying local actions, events and directives) until its next
+  /// pending action is a memory op classified as an RMR, or p terminates,
+  /// or `max_steps` of p's steps have been applied.
+  Stop run_until_rmr_pending(ProcId p, std::uint64_t max_steps);
+
+  /// Steps p until it terminates (solo run); throws if the budget is hit.
+  void run_to_termination(ProcId p, std::uint64_t max_steps);
+
+  struct RunResult {
+    std::uint64_t steps = 0;
+    bool all_terminated = false;
+  };
+
+  /// Runs under a scheduler until everyone terminated, the scheduler returns
+  /// kNoProc, or max_steps total steps were applied.
+  RunResult run(Scheduler& sched, std::uint64_t max_steps);
+
+  const History& history() const { return history_; }
+  SharedMemory& memory() { return *memory_; }
+  const SharedMemory& memory() const { return *memory_; }
+
+  /// Process ids in the order stepped — a schedule that replays this run.
+  /// Clock ticks appear as kNoProc entries (ScriptedScheduler passes them
+  /// through and Simulation::run re-applies the tick).
+  const std::vector<ProcId>& schedule() const { return schedule_; }
+
+  void set_directive_policy(DirectivePolicy policy) {
+    policy_ = std::move(policy);
+  }
+
+  /// Erases process `p` from the execution in place (Lemma 6.7): drops its
+  /// steps from the history, reverts its surviving writes to the value the
+  /// previous writer left (or the initial value), forgets its ledger
+  /// contribution, and removes it from the runnable set. Sound — and
+  /// enforced — only when (a) the cost model is stateless (DSM), (b) no
+  /// other process has seen p, and (c) the history uses no LL/SC (whose
+  /// reservation side effects cannot be reverted). The resulting state is
+  /// exactly what replaying the p-filtered schedule would produce.
+  void erase_process(ProcId p);
+
+  /// True iff p was removed via erase_process.
+  bool erased(ProcId p) const { return proc(p).erased; }
+
+  /// Number of directives process p has consumed so far.
+  int directives_consumed(ProcId p) const;
+
+ private:
+  struct Proc {
+    std::unique_ptr<ProcCtx> ctx;
+    ProcTask task;
+    bool started = false;
+    bool finished = false;
+    bool erased = false;
+    int directives = 0;
+    std::uint64_t wake_time = 0;  // meaningful while pending is kDelay
+  };
+
+  Proc& proc(ProcId p);
+  const Proc& proc(ProcId p) const;
+
+  /// Arms a freshly-suspended delay (records its wake time).
+  void arm_delay(Proc& pr);
+
+  SharedMemory* memory_;
+  std::uint64_t now_ = 0;
+  // The program callables are kept alive here for the whole simulation: a
+  // coroutine created from a capturing lambda references the closure stored
+  // inside the std::function, so the vector must never be mutated after the
+  // frames are created in the constructor.
+  std::vector<Program> programs_;
+  std::vector<Proc> procs_;
+  DirectivePolicy policy_;
+  History history_;
+  std::vector<ProcId> schedule_;
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,67 @@
+#include "sched/schedulers.h"
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+ProcId RoundRobinScheduler::next(const Simulation& sim) {
+  const int n = sim.nprocs();
+  for (int i = 1; i <= n; ++i) {
+    const ProcId candidate = static_cast<ProcId>((last_ + i) % n);
+    if (sim.ready(candidate)) {
+      last_ = candidate;
+      return candidate;
+    }
+  }
+  return kNoProc;
+}
+
+ProcId RandomScheduler::next(const Simulation& sim) {
+  std::vector<ProcId> runnable;
+  runnable.reserve(static_cast<std::size_t>(sim.nprocs()));
+  for (ProcId p = 0; p < sim.nprocs(); ++p) {
+    if (sim.ready(p)) runnable.push_back(p);
+  }
+  if (runnable.empty()) return kNoProc;
+  return runnable[rng_.below(runnable.size())];
+}
+
+ProcId SoloScheduler::next(const Simulation& sim) {
+  return sim.ready(p_) ? p_ : kNoProc;
+}
+
+ProcId BoundedGapScheduler::next(const Simulation& sim) {
+  if (last_step_.empty()) {
+    last_step_.assign(static_cast<std::size_t>(sim.nprocs()), sim.now());
+  }
+  // Anyone about to bust the gap bound must run first.
+  std::vector<ProcId> ready;
+  ProcId urgent = kNoProc;
+  for (ProcId p = 0; p < sim.nprocs(); ++p) {
+    if (!sim.ready(p)) continue;
+    ready.push_back(p);
+    const std::uint64_t gap =
+        sim.now() - last_step_[static_cast<std::size_t>(p)];
+    if (gap + 1 >= delta_ &&
+        (urgent == kNoProc ||
+         last_step_[static_cast<std::size_t>(p)] <
+             last_step_[static_cast<std::size_t>(urgent)])) {
+      urgent = p;
+    }
+  }
+  if (ready.empty()) return kNoProc;
+  const ProcId pick =
+      urgent != kNoProc ? urgent : ready[rng_.below(ready.size())];
+  last_step_[static_cast<std::size_t>(pick)] = sim.now();
+  return pick;
+}
+
+ProcId ScriptedScheduler::next(const Simulation& sim) {
+  if (pos_ >= script_.size()) return kNoProc;
+  const ProcId p = script_[pos_++];
+  if (p == kNoProc) return kNoProc;  // recorded clock tick: let run() re-tick
+  ensure(sim.runnable(p), "scripted schedule names a terminated process");
+  return p;
+}
+
+}  // namespace rmrsim

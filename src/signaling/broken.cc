@@ -1,0 +1,22 @@
+#include "signaling/broken.h"
+
+namespace rmrsim {
+
+BrokenLocalSignal::BrokenLocalSignal(SharedMemory& mem)
+    : s_(mem.allocate_global(0, "S")) {
+  v_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  for (ProcId i = 0; i < mem.nprocs(); ++i) {
+    v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+  }
+}
+
+SubTask<bool> BrokenLocalSignal::poll(ProcCtx& ctx) {
+  const Word v = co_await ctx.read(v_[ctx.id()]);  // never written by anyone
+  co_return v != 0;
+}
+
+SubTask<void> BrokenLocalSignal::signal(ProcCtx& ctx) {
+  co_await ctx.write(s_, 1);  // shouting into the void
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,32 @@
+// A deliberately incorrect signaling "algorithm".
+//
+// Poll() consults only the caller's private flag, which Signal() never
+// writes for unregistered waiters — so a Poll() that begins after a
+// completed Signal() still returns false, violating clause 2 of
+// Specification 4.1. Exists to prove that check_polling_spec and the
+// adversary's violation detector have teeth (a checker nobody has ever seen
+// fail is untested).
+#pragma once
+
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+class BrokenLocalSignal final : public SignalingAlgorithm {
+ public:
+  explicit BrokenLocalSignal(SharedMemory& mem);
+
+  SubTask<bool> poll(ProcCtx& ctx) override;
+  SubTask<void> signal(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "broken-local"; }
+
+ private:
+  VarId s_;              // written by Signal() but never read by Poll()
+  std::vector<VarId> v_; // local flags that nobody ever sets
+};
+
+}  // namespace rmrsim

@@ -1,0 +1,110 @@
+#include "signaling/checker.h"
+
+#include <map>
+#include <vector>
+
+namespace rmrsim {
+
+namespace {
+
+struct CallSpan {
+  ProcId proc = kNoProc;
+  std::int64_t begin = -1;
+  std::int64_t end = -1;  ///< -1 while still pending
+  Word ret = 0;
+};
+
+/// Collects spans of calls with the given code, pairing begins with ends per
+/// process (calls do not nest within one process).
+std::vector<CallSpan> collect(const History& h, Word code) {
+  std::vector<CallSpan> out;
+  std::map<ProcId, std::size_t> open;  // proc -> index into out
+  for (const StepRecord& r : h.records()) {
+    if (r.kind != StepRecord::Kind::kEvent || r.code != code) continue;
+    if (r.event == EventKind::kCallBegin) {
+      open[r.proc] = out.size();
+      out.push_back(CallSpan{.proc = r.proc, .begin = r.index});
+    } else if (r.event == EventKind::kCallEnd) {
+      auto it = open.find(r.proc);
+      if (it != open.end()) {
+        out[it->second].end = r.index;
+        out[it->second].ret = r.value;
+        open.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<SpecViolation> check_polling_spec(const History& h) {
+  const std::vector<CallSpan> polls = collect(h, calls::kPoll);
+  const std::vector<CallSpan> signals = collect(h, calls::kSignal);
+
+  std::int64_t first_signal_begin = -1;
+  std::int64_t first_signal_end = -1;
+  for (const CallSpan& s : signals) {
+    if (first_signal_begin < 0 || s.begin < first_signal_begin) {
+      first_signal_begin = s.begin;
+    }
+    if (s.end >= 0 && (first_signal_end < 0 || s.end < first_signal_end)) {
+      first_signal_end = s.end;
+    }
+  }
+
+  for (const CallSpan& p : polls) {
+    if (p.end < 0) continue;  // call still pending: no return value yet
+    if (p.ret != 0) {
+      // Clause 1: some Signal() must have begun before this Poll() returned.
+      if (first_signal_begin < 0 || first_signal_begin > p.end) {
+        return SpecViolation{
+            p.end, "Poll() returned true but no Signal() had begun"};
+      }
+    } else {
+      // Clause 2: no Signal() may have completed before this Poll() began.
+      if (first_signal_end >= 0 && first_signal_end < p.begin) {
+        return SpecViolation{
+            p.end,
+            "Poll() returned false although a Signal() completed before it "
+            "began"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SpecViolation> check_blocking_spec(const History& h) {
+  const std::vector<CallSpan> waits = collect(h, calls::kWait);
+  const std::vector<CallSpan> signals = collect(h, calls::kSignal);
+
+  std::int64_t first_signal_begin = -1;
+  for (const CallSpan& s : signals) {
+    if (first_signal_begin < 0 || s.begin < first_signal_begin) {
+      first_signal_begin = s.begin;
+    }
+  }
+  for (const CallSpan& w : waits) {
+    if (w.end < 0) continue;
+    if (first_signal_begin < 0 || first_signal_begin > w.end) {
+      return SpecViolation{
+          w.end, "Wait() returned but no Signal() had begun"};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<SpecViolation> check_signal_once(const History& h) {
+  std::map<ProcId, int> begun;
+  for (const StepRecord& r : h.records()) {
+    if (r.kind == StepRecord::Kind::kEvent &&
+        r.event == EventKind::kCallBegin && r.code == calls::kSignal) {
+      if (++begun[r.proc] > 1) {
+        return SpecViolation{r.index, "process called Signal() twice"};
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,38 @@
+// Executable Specification 4.1 (and its blocking analogue).
+//
+// Polling semantics, checked over a recorded history:
+//   (1) if a Poll() returns true, some Signal() has already *begun* (its
+//       begin precedes the Poll's return);
+//   (2) if a Poll() returns false, no Signal() *completed* before that
+//       Poll() *began*.
+// Blocking semantics: a Wait() may return only after some Signal() began.
+//
+// The checker works purely off call-boundary records, so it applies to every
+// algorithm uniformly — including the deliberately broken one used to prove
+// the checker has teeth.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "history/history.h"
+
+namespace rmrsim {
+
+struct SpecViolation {
+  std::int64_t step_index = -1;  ///< offending record's history position
+  std::string what;
+};
+
+/// Checks Specification 4.1 over all Poll/Signal call records in `h`.
+/// Returns the first violation found, or nullopt if the history is legal.
+std::optional<SpecViolation> check_polling_spec(const History& h);
+
+/// Checks the blocking-semantics safety property over Wait/Signal records.
+std::optional<SpecViolation> check_blocking_spec(const History& h);
+
+/// Checks the "at most one Signal() call per process" usage rule of
+/// Section 4 (a harness sanity check rather than an algorithm property).
+std::optional<SpecViolation> check_signal_once(const History& h);
+
+}  // namespace rmrsim

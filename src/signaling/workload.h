@@ -1,0 +1,52 @@
+// Canned signaling workloads shared by benches, examples, and tests.
+//
+// The standard scenario throughout the paper: n waiters repeatedly Poll()
+// (or Wait()) while one signaler eventually calls Signal(). This helper
+// wires the drivers, runs the schedule to completion, and returns the live
+// pieces for measurement.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+using SignalingFactory =
+    std::function<std::unique_ptr<SignalingAlgorithm>(SharedMemory&)>;
+
+struct SignalingRun {
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<SignalingAlgorithm> alg;
+  std::unique_ptr<Simulation> sim;
+
+  /// RMRs of the signaler process (id = n_waiters).
+  std::uint64_t signaler_rmrs() const;
+  /// Maximum RMRs over the waiter processes (ids 0..n_waiters-1).
+  std::uint64_t max_waiter_rmrs() const;
+  /// total RMRs / participating processes.
+  double amortized_rmrs() const;
+
+  int n_waiters = 0;
+};
+
+struct SignalingWorkloadOptions {
+  int n_waiters = 8;
+  /// Poll() calls the signaler makes before Signal() — models the delay
+  /// during which waiters spin (drives the "unbounded RMR" contrast).
+  int signaler_idle_polls = 0;
+  int max_polls_per_waiter = 1'000'000;
+  bool blocking = false;  ///< waiters call Wait() instead of polling
+  std::uint64_t scheduler_seed = 0;  ///< 0 = round-robin, else seeded random
+  std::uint64_t step_budget = 100'000'000;
+};
+
+/// Runs waiters (procs 0..n-1) plus one signaler (proc n) to completion
+/// under a fair schedule. Throws if the run does not complete in budget.
+SignalingRun run_signaling_workload(std::unique_ptr<SharedMemory> mem,
+                                    const SignalingFactory& factory,
+                                    const SignalingWorkloadOptions& options);
+
+}  // namespace rmrsim

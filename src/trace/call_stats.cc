@@ -1,0 +1,61 @@
+#include "trace/call_stats.h"
+
+#include <algorithm>
+#include <map>
+
+namespace rmrsim {
+
+std::vector<CallCost> per_call_costs(const History& h) {
+  std::vector<CallCost> out;
+  std::map<ProcId, std::size_t> open;        // proc -> index into out
+  std::map<std::pair<ProcId, Word>, int> counters;  // per-code call index
+  for (const StepRecord& r : h.records()) {
+    if (r.kind == StepRecord::Kind::kEvent) {
+      if (r.event == EventKind::kCallBegin) {
+        CallCost c;
+        c.proc = r.proc;
+        c.call_code = r.code;
+        c.call_index = counters[{r.proc, r.code}]++;
+        open[r.proc] = out.size();
+        out.push_back(c);
+      } else if (r.event == EventKind::kCallEnd) {
+        auto it = open.find(r.proc);
+        if (it != open.end() && out[it->second].call_code == r.code) {
+          out[it->second].completed = true;
+          out[it->second].returned = r.value;
+          open.erase(it);
+        }
+      }
+      continue;
+    }
+    // Memory step: attribute to the proc's open call, if any.
+    auto it = open.find(r.proc);
+    if (it == open.end()) continue;
+    CallCost& c = out[it->second];
+    ++c.mem_steps;
+    if (r.outcome.rmr) ++c.rmrs;
+  }
+  return out;
+}
+
+std::vector<CallCost> calls_of(const std::vector<CallCost>& costs, ProcId p,
+                               Word call_code) {
+  std::vector<CallCost> out;
+  for (const CallCost& c : costs) {
+    if (c.proc == p && c.call_code == call_code) out.push_back(c);
+  }
+  return out;
+}
+
+std::uint64_t max_rmrs_from_index(const std::vector<CallCost>& costs,
+                                  Word call_code, int from_index) {
+  std::uint64_t best = 0;
+  for (const CallCost& c : costs) {
+    if (c.call_code == call_code && c.call_index >= from_index) {
+      best = std::max(best, c.rmrs);
+    }
+  }
+  return best;
+}
+
+}  // namespace rmrsim

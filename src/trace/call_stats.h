@@ -1,0 +1,40 @@
+// Per-procedure-call cost breakdowns.
+//
+// The Section 7 algorithms all share one fingerprint: an expensive *first*
+// Poll() (registration) followed by free local spins. This module slices a
+// history into procedure-call spans and attributes memory steps and RMRs to
+// each, so tests and benches can assert per-call shapes ("first call pays
+// <= 3 RMRs, every later call pays 0") rather than only totals.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "history/history.h"
+
+namespace rmrsim {
+
+struct CallCost {
+  ProcId proc = kNoProc;
+  Word call_code = 0;       ///< calls::kPoll etc.
+  int call_index = 0;       ///< per-process index among calls of this code
+  Word returned = 0;        ///< value from the kCallEnd record
+  bool completed = false;   ///< false if the call never ended in the history
+  std::uint64_t mem_steps = 0;
+  std::uint64_t rmrs = 0;
+};
+
+/// Slices the history into call spans and attributes each memory step to
+/// the call it occurred in (steps outside any call are ignored).
+std::vector<CallCost> per_call_costs(const History& h);
+
+/// Convenience filters over per_call_costs.
+std::vector<CallCost> calls_of(const std::vector<CallCost>& costs, ProcId p,
+                               Word call_code);
+
+/// Maximum RMRs across calls of `call_code` with call_index >= `from_index`
+/// (e.g. from_index = 1 to ask "what do steady-state polls cost?").
+std::uint64_t max_rmrs_from_index(const std::vector<CallCost>& costs,
+                                  Word call_code, int from_index);
+
+}  // namespace rmrsim

@@ -1,0 +1,32 @@
+// History export: CSV and JSON-lines dumps plus an ASCII lane timeline.
+//
+// Debugging distributed interleavings off a wall of step records is
+// painful; these exporters turn a History into (a) machine-readable rows
+// for offline analysis (CSV / JSON lines, one record per step) and (b) a
+// per-process lane view where each column is one step and RMRs stand out —
+// the picture one draws on a whiteboard when replaying the Section 6
+// adversary by hand.
+#pragma once
+
+#include <string>
+
+#include "history/history.h"
+
+namespace rmrsim {
+
+/// CSV with header: index,proc,kind,op,var,home,arg0,arg1,result,rmr,
+/// nontrivial,event,code,value,terminated.
+std::string history_to_csv(const History& h);
+
+/// JSON lines, one object per record (no external dependencies; fields
+/// mirror the CSV).
+std::string history_to_json_lines(const History& h);
+
+/// ASCII timeline: one lane per process, one column per step.
+///   R = local read   W = local write  other local ops = o
+///   uppercase with '!' (R!, W!, o!) = the step was an RMR
+///   b/e = call begin/end, d = directive, . = idle, X = terminated after
+/// Lanes longer than `max_cols` are truncated with an ellipsis.
+std::string history_timeline(const History& h, int max_cols = 120);
+
+}  // namespace rmrsim

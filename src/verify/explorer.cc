@@ -1,0 +1,70 @@
+#include "verify/explorer.h"
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+ExploreResult explore_all_schedules(const ExploreBuilder& build,
+                                    const ExploreChecker& check,
+                                    const ExploreOptions& options) {
+  ExploreResult result;
+
+  // Iterative DFS over schedule prefixes. Each visit rebuilds the world and
+  // replays the prefix — determinism makes this exact.
+  std::vector<std::vector<ProcId>> stack;
+  stack.push_back({});  // the empty schedule
+
+  while (!stack.empty()) {
+    if (result.nodes_visited >= options.max_nodes) {
+      result.exhausted = false;
+      break;
+    }
+    const std::vector<ProcId> prefix = std::move(stack.back());
+    stack.pop_back();
+    ++result.nodes_visited;
+
+    ExploreInstance instance = build();
+    ensure(instance.sim != nullptr, "explore builder returned no simulation");
+    Simulation& sim = *instance.sim;
+    // Replay the prefix. Under macro stepping each prefix entry denotes
+    // "flush events, then one memory op" for that process.
+    for (const ProcId p : prefix) {
+      ensure(sim.runnable(p), "explore prefix replay diverged");
+      if (options.macro_steps) {
+        while (sim.runnable(p) &&
+               sim.pending(p).kind != ActionKind::kMemOp) {
+          sim.step(p);
+        }
+        if (sim.runnable(p)) sim.step(p);
+      } else {
+        sim.step(p);
+      }
+    }
+
+    if (const auto v = check(sim.history()); v.has_value()) {
+      result.violation = v;
+      result.violating_schedule = prefix;
+      return result;
+    }
+
+    if (sim.all_terminated()) {
+      ++result.complete_schedules;
+      continue;
+    }
+    if (static_cast<int>(prefix.size()) >= options.max_depth) {
+      ++result.truncated_schedules;
+      continue;
+    }
+    // Children: every runnable process, pushed in reverse so low ids are
+    // explored first.
+    for (ProcId p = static_cast<ProcId>(sim.nprocs()) - 1; p >= 0; --p) {
+      if (!sim.runnable(p)) continue;
+      std::vector<ProcId> child = prefix;
+      child.push_back(p);
+      stack.push_back(std::move(child));
+    }
+  }
+  return result;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,78 @@
+// Exhaustive interleaving exploration for small configurations.
+//
+// Random-seed sweeps sample the schedule space; for the safety claims the
+// paper's algorithms make (Specification 4.1, mutual exclusion, GME session
+// safety), small configurations can instead be checked against EVERY
+// schedule up to a depth bound — Section 2's "process steps can be
+// scheduled arbitrarily", taken literally.
+//
+// The explorer enumerates schedules depth-first. Because rmrsim executions
+// are deterministic functions of the schedule (the property the lower-bound
+// adversary also rests on), each tree node is reconstructed by replaying
+// its schedule prefix on a fresh instance — no state snapshotting, no undo.
+// Cost is O(nodes x depth) simulated steps, which is fine for the 2-3
+// process, few-call configurations where exhaustiveness pays.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "runtime/simulation.h"
+
+namespace rmrsim {
+
+/// One disposable world: the explorer calls `build` for every node visit.
+/// `keepalive` owns whatever the programs reference (algorithm objects);
+/// destroyed after `sim`.
+struct ExploreInstance {
+  std::shared_ptr<void> keepalive;
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<Simulation> sim;
+};
+
+struct ExploreOptions {
+  /// Abandon a schedule past this many steps (spinning processes make the
+  /// tree infinite; such paths are reported as truncated, not failures).
+  int max_depth = 64;
+  /// Stop after visiting this many nodes (safety valve).
+  std::uint64_t max_nodes = 2'000'000;
+  /// Branch on *memory operations* only: each transition flushes a
+  /// process's pending events/directives and applies its next memory op
+  /// (or runs it to termination). Sound — every reduced schedule is a real
+  /// schedule, so reported violations are genuine — but event orderings
+  /// not of this shape are skipped, so checkers used with macro stepping
+  /// should be phrased over memory-op records (values), not event
+  /// positions, for completeness. Cuts tree depth ~2-3x.
+  bool macro_steps = true;
+};
+
+struct ExploreResult {
+  std::uint64_t nodes_visited = 0;
+  std::uint64_t complete_schedules = 0;  ///< all processes terminated
+  std::uint64_t truncated_schedules = 0; ///< hit max_depth
+  bool exhausted = true;                 ///< false if max_nodes tripped
+  /// First safety violation found, with the offending schedule.
+  std::optional<std::string> violation;
+  std::vector<ProcId> violating_schedule;
+};
+
+using ExploreBuilder = std::function<ExploreInstance()>;
+
+/// Checks a (possibly partial) history; returns a message on violation.
+/// Called at every node, so prefix-closed properties fail as early as
+/// possible.
+using ExploreChecker =
+    std::function<std::optional<std::string>(const History&)>;
+
+/// Explores every schedule of the instance up to the bounds, checking each
+/// visited state. Stops at the first violation.
+ExploreResult explore_all_schedules(const ExploreBuilder& build,
+                                    const ExploreChecker& check,
+                                    const ExploreOptions& options = {});
+
+}  // namespace rmrsim

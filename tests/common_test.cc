@@ -1,0 +1,123 @@
+// Unit tests for the common substrate: deterministic RNG, invariant
+// checking, table rendering, and the slope fitters' edge cases.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace rmrsim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, ChanceIsRoughlyCalibrated) {
+  SplitMix64 rng(99);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(1, 4)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Check, EnsureThrowsWithLocation) {
+  try {
+    ensure(false, "deliberate failure");
+    FAIL() << "ensure did not throw";
+  } catch (const std::logic_error& e) {
+    EXPECT_NE(std::string(e.what()).find("deliberate failure"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("common_test"), std::string::npos);
+  }
+  EXPECT_NO_THROW(ensure(true, "fine"));
+}
+
+TEST(Check, FailAlwaysThrows) {
+  EXPECT_THROW(fail("boom"), std::logic_error);
+}
+
+TEST(Table, AlignsColumnsAndRules) {
+  TextTable t;
+  t.set_header({"a", "long-header", "c"});
+  t.add_row({"xxxxx", "1", "2"});
+  t.add_row({"y", "22", "333"});
+  const std::string out = t.render();
+  // Header line, rule line, two rows.
+  int lines = 0;
+  for (const char c : out) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4);
+  // Every row starts at column 0 and the rule is dashes.
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Fixed, FormatsDigits) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fixed(2.0, 0), "2");
+  EXPECT_EQ(fixed(-1.5, 1), "-1.5");
+}
+
+TEST(Stats, LinearSlope) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> ys = {10, 12, 14, 16};
+  EXPECT_NEAR(linear_slope(xs, ys), 2.0, 1e-12);
+}
+
+TEST(Stats, LogLogRejectsNonPositive) {
+  const std::vector<double> xs = {1, 2};
+  const std::vector<double> ys = {0, 1};
+  EXPECT_THROW(loglog_slope(xs, ys), std::logic_error);
+}
+
+TEST(Stats, SlopeNeedsTwoPoints) {
+  const std::vector<double> one = {1};
+  EXPECT_THROW(linear_slope(one, one), std::logic_error);
+}
+
+TEST(Stats, QuadraticHasSlopeTwoOnLogLog) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 2; x <= 64; x *= 2) {
+    xs.push_back(x);
+    ys.push_back(x * x);
+  }
+  EXPECT_NEAR(loglog_slope(xs, ys), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rmrsim

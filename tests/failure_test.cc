@@ -1,0 +1,175 @@
+// Failure injection: crashes (Section 2 — a process that terminates while
+// performing a call) modeled as a process that is never scheduled again.
+// These tests pin down which guarantees survive a crash and which are
+// conditional on crash-freedom, exactly as the paper's progress definitions
+// state ("for any fair history ... where no process crashes").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "primitives/multi_signaler.h"
+#include "sched/schedulers.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+
+namespace rmrsim {
+namespace {
+
+/// Steps `p` until its history contains a record matching `pred`, then
+/// abandons it (crash = parked forever).
+template <typename Pred>
+void run_until_record(Simulation& sim, ProcId p, Pred pred) {
+  for (int i = 0; i < 100'000; ++i) {
+    const StepRecord& r = sim.step(p);
+    if (pred(r)) return;
+  }
+  FAIL() << "target record never appeared";
+}
+
+/// Schedules every process except `crashed`.
+class AllBut final : public Scheduler {
+ public:
+  explicit AllBut(ProcId crashed) : crashed_(crashed) {}
+  ProcId next(const Simulation& sim) override {
+    const int n = sim.nprocs();
+    for (int i = 1; i <= n; ++i) {
+      const ProcId c = static_cast<ProcId>((last_ + i) % n);
+      if (c != crashed_ && sim.runnable(c)) {
+        last_ = c;
+        return c;
+      }
+    }
+    return kNoProc;
+  }
+
+ private:
+  ProcId crashed_;
+  ProcId last_ = -1;
+};
+
+TEST(FailureInjection, WaitFreeAlgorithmsSurviveWaiterCrash) {
+  // cc-flag and dsm-registration Poll()/Signal() are wait-free: a crashed
+  // waiter cannot block anyone else.
+  for (const bool registration : {false, true}) {
+    const int n_waiters = 5;
+    const int nprocs = n_waiters + 1;
+    auto mem = make_dsm(nprocs);
+    std::unique_ptr<SignalingAlgorithm> alg;
+    if (registration) {
+      alg = std::make_unique<DsmRegistrationSignal>(
+          *mem, static_cast<ProcId>(nprocs - 1));
+    } else {
+      alg = std::make_unique<CcFlagSignal>(*mem);
+    }
+    SignalingAlgorithm* a = alg.get();
+    std::vector<Program> programs;
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [a](ProcCtx& ctx) { return polling_waiter(ctx, a, 100'000); });
+    }
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    Simulation sim(*mem, std::move(programs));
+    // Crash waiter 0 in the middle of its first Poll(): after its first
+    // memory step inside the call.
+    run_until_record(sim, 0, [](const StepRecord& r) {
+      return r.kind == StepRecord::Kind::kMemOp;
+    });
+    AllBut sched(0);
+    const auto result = sim.run(sched, 10'000'000);
+    // Everyone except the crashed waiter finishes.
+    for (ProcId p = 1; p < nprocs; ++p) {
+      EXPECT_TRUE(sim.terminated(p)) << "p" << p << " blocked by the crash";
+    }
+    EXPECT_FALSE(result.all_terminated);  // p0 is parked, as expected
+    const auto v = check_polling_spec(sim.history());
+    EXPECT_FALSE(v.has_value()) << v->what;
+  }
+}
+
+TEST(FailureInjection, QueueSignalerBlocksOnCrashBetweenClaimAndAnnounce) {
+  // The F&I queue's only wait-point: a waiter that crashes after FAI(Tail)
+  // but before announcing leaves a claimed-but-empty slot, and Signal()
+  // (terminating, not wait-free) spins on it. The paper's terminating
+  // property is explicitly conditional on crash-free histories — this test
+  // demonstrates why the condition is necessary.
+  const int n_waiters = 3;
+  const int nprocs = n_waiters + 1;
+  auto mem = make_dsm(nprocs);
+  DsmQueueSignal alg(*mem);
+  std::vector<Program> programs;
+  for (int i = 0; i < n_waiters; ++i) {
+    programs.emplace_back(
+        [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 100'000); });
+  }
+  programs.emplace_back([&alg](ProcCtx& ctx) { return signaler(ctx, &alg); });
+  Simulation sim(*mem, std::move(programs));
+  // Crash waiter 0 right after its FAI on Tail (slot claimed, no announce).
+  run_until_record(sim, 0, [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kMemOp && r.op.type == OpType::kFaa;
+  });
+  AllBut sched(0);
+  const auto result = sim.run(sched, 2'000'000);
+  EXPECT_FALSE(result.all_terminated);
+  EXPECT_FALSE(sim.terminated(nprocs - 1)) << "signaler should be spinning";
+}
+
+TEST(FailureInjection, RegistrationSignalerSurvivesAnyWaiterCrashPoint) {
+  // dsm-registration has no claim/announce gap: crash a waiter at every
+  // possible step of its first Poll() and the signaler still terminates.
+  const int n_waiters = 3;
+  const int nprocs = n_waiters + 1;
+  for (int crash_step = 1; crash_step <= 5; ++crash_step) {
+    auto mem = make_dsm(nprocs);
+    DsmRegistrationSignal alg(*mem, static_cast<ProcId>(nprocs - 1));
+    std::vector<Program> programs;
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 100'000); });
+    }
+    programs.emplace_back([&alg](ProcCtx& ctx) { return signaler(ctx, &alg); });
+    Simulation sim(*mem, std::move(programs));
+    for (int s = 0; s < crash_step && !sim.terminated(0); ++s) sim.step(0);
+    AllBut sched(0);
+    sim.run(sched, 10'000'000);
+    for (ProcId p = 1; p < nprocs; ++p) {
+      EXPECT_TRUE(sim.terminated(p))
+          << "p" << p << " blocked (crash_step=" << crash_step << ")";
+    }
+    const auto v = check_polling_spec(sim.history());
+    EXPECT_FALSE(v.has_value()) << v->what;
+  }
+}
+
+TEST(FailureInjection, MultiSignalerLosersWaitForTheWinner) {
+  // Three signalers race; with the winner crashed mid-signal the losers
+  // must NOT return (returning would complete a Signal() that is not yet
+  // observable). With no crash, everyone finishes and the spec holds.
+  const int n_waiters = 4;
+  const int n_signalers = 3;
+  const int nprocs = n_waiters + n_signalers;
+  auto mem = make_dsm(nprocs);
+  MultiSignalerSignal alg(*mem, std::make_unique<DsmQueueSignal>(*mem));
+  std::vector<Program> programs;
+  for (int i = 0; i < n_waiters; ++i) {
+    programs.emplace_back(
+        [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 100'000); });
+  }
+  for (int i = 0; i < n_signalers; ++i) {
+    programs.emplace_back([&alg](ProcCtx& ctx) { return signaler(ctx, &alg); });
+  }
+  Simulation sim(*mem, std::move(programs));
+  RoundRobinScheduler rr;
+  const auto result = sim.run(rr, 10'000'000);
+  EXPECT_TRUE(result.all_terminated);
+  const auto v = check_polling_spec(sim.history());
+  EXPECT_FALSE(v.has_value()) << v->what;
+  // check_signal_once per process still holds (each signaler signaled once).
+  EXPECT_FALSE(check_signal_once(sim.history()).has_value());
+}
+
+}  // namespace
+}  // namespace rmrsim

@@ -1,0 +1,275 @@
+// Unit tests for the memory substrate: primitive semantics, DSM/CC pricing,
+// cache-state transitions, ledger accounting, and reset-for-replay.
+#include <gtest/gtest.h>
+
+#include "memory/cc_model.h"
+#include "memory/dsm_model.h"
+#include "memory/shared_memory.h"
+
+namespace rmrsim {
+namespace {
+
+TEST(MemoryStore, ReadWriteBasics) {
+  MemoryStore store(4);
+  const VarId v = store.allocate(7, kNoProc, "v");
+  EXPECT_EQ(store.value(v), 7);
+  EXPECT_EQ(store.last_writer(v), kNoProc);
+
+  auto r = store.apply(1, MemOp::write(v, 42));
+  EXPECT_TRUE(r.wrote);
+  EXPECT_EQ(store.value(v), 42);
+  EXPECT_EQ(store.last_writer(v), 1);
+
+  r = store.apply(2, MemOp::read(v));
+  EXPECT_FALSE(r.wrote);
+  EXPECT_EQ(r.result, 42);
+  EXPECT_EQ(r.prev_writer, 1);
+}
+
+TEST(MemoryStore, CasSemantics) {
+  MemoryStore store(2);
+  const VarId v = store.allocate(5, kNoProc);
+  // Failing CAS: returns current value, does not write.
+  auto r = store.apply(0, MemOp::cas(v, 9, 1));
+  EXPECT_EQ(r.result, 5);
+  EXPECT_FALSE(r.wrote);
+  EXPECT_EQ(store.value(v), 5);
+  // Succeeding CAS.
+  r = store.apply(0, MemOp::cas(v, 5, 1));
+  EXPECT_EQ(r.result, 5);
+  EXPECT_TRUE(r.wrote);
+  EXPECT_EQ(store.value(v), 1);
+}
+
+TEST(MemoryStore, LlScReservations) {
+  MemoryStore store(3);
+  const VarId v = store.allocate(0, kNoProc);
+  // SC without LL fails.
+  auto r = store.apply(0, MemOp::sc(v, 1));
+  EXPECT_EQ(r.result, 0);
+  EXPECT_FALSE(r.wrote);
+  // LL then SC succeeds.
+  store.apply(0, MemOp::ll(v));
+  r = store.apply(0, MemOp::sc(v, 1));
+  EXPECT_EQ(r.result, 1);
+  EXPECT_EQ(store.value(v), 1);
+  // A successful SC consumes every reservation, including the writer's own.
+  r = store.apply(0, MemOp::sc(v, 2));
+  EXPECT_EQ(r.result, 0);
+  // An intervening write by another process invalidates a reservation.
+  store.apply(1, MemOp::ll(v));
+  store.apply(2, MemOp::write(v, 9));
+  r = store.apply(1, MemOp::sc(v, 5));
+  EXPECT_EQ(r.result, 0);
+  EXPECT_EQ(store.value(v), 9);
+}
+
+TEST(MemoryStore, FaaFasTas) {
+  MemoryStore store(2);
+  const VarId v = store.allocate(10, kNoProc);
+  EXPECT_EQ(store.apply(0, MemOp::faa(v, 5)).result, 10);
+  EXPECT_EQ(store.value(v), 15);
+  EXPECT_EQ(store.apply(1, MemOp::fas(v, -3)).result, 15);
+  EXPECT_EQ(store.value(v), -3);
+  const VarId t = store.allocate(0, kNoProc);
+  EXPECT_EQ(store.apply(0, MemOp::tas(t)).result, 0);
+  EXPECT_EQ(store.apply(1, MemOp::tas(t)).result, 1);
+  EXPECT_EQ(store.value(t), 1);
+}
+
+TEST(MemoryStore, DistinctWritersAndReset) {
+  MemoryStore store(3);
+  const VarId v = store.allocate(1, 2, "x");
+  store.apply(0, MemOp::write(v, 2));
+  store.apply(1, MemOp::write(v, 3));
+  store.apply(0, MemOp::write(v, 4));
+  EXPECT_EQ(store.distinct_writers(v), 2);
+  EXPECT_EQ(store.home(v), 2);
+  store.reset();
+  EXPECT_EQ(store.value(v), 1);
+  EXPECT_EQ(store.last_writer(v), kNoProc);
+  EXPECT_EQ(store.distinct_writers(v), 0);
+  EXPECT_EQ(store.home(v), 2);  // layout survives reset
+}
+
+TEST(DsmPricing, HomeDecidesEverything) {
+  auto mem = make_dsm(3);
+  const VarId mine = mem->allocate_local(0, 0);
+  const VarId yours = mem->allocate_local(1, 0);
+  const VarId global = mem->allocate_global(0);
+
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::read(mine)));
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::read(yours)));
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::read(global)));
+  EXPECT_TRUE(mem->classify_rmr(1, MemOp::write(mine, 1)));
+  EXPECT_FALSE(mem->classify_rmr(1, MemOp::write(yours, 1)));
+
+  // Pricing never changes with history in DSM: spin on own module is free.
+  for (int i = 0; i < 10; ++i) mem->apply(0, MemOp::read(mine));
+  EXPECT_EQ(mem->ledger().rmrs(0), 0u);
+  for (int i = 0; i < 10; ++i) mem->apply(0, MemOp::read(yours));
+  EXPECT_EQ(mem->ledger().rmrs(0), 10u);
+}
+
+TEST(CcWriteThrough, RepeatedReadsCostOneRmrUntilInvalidated) {
+  auto mem = make_cc(3);  // write-through = the paper's ideal cache
+  const VarId b = mem->allocate_global(0);
+  // First read misses; nine more hit.
+  for (int i = 0; i < 10; ++i) mem->apply(0, MemOp::read(b));
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);
+  // A nontrivial op by another process invalidates p0's copy...
+  mem->apply(1, MemOp::write(b, 1));
+  // ...so the next read misses once, then hits again.
+  for (int i = 0; i < 10; ++i) mem->apply(0, MemOp::read(b));
+  EXPECT_EQ(mem->ledger().rmrs(0), 2u);
+}
+
+TEST(CcWriteThrough, WritesAlwaysRemote) {
+  auto mem = make_cc(2);
+  const VarId v = mem->allocate_global(0);
+  mem->apply(0, MemOp::write(v, 1));
+  mem->apply(0, MemOp::write(v, 2));
+  EXPECT_EQ(mem->ledger().rmrs(0), 2u);
+  // Writer retains a valid copy: its own read hits.
+  mem->apply(0, MemOp::read(v));
+  EXPECT_EQ(mem->ledger().rmrs(0), 2u);
+}
+
+TEST(CcWriteThrough, TrivialOpsDoNotInvalidate) {
+  auto mem = make_cc(2);
+  const VarId v = mem->allocate_global(3);
+  mem->apply(0, MemOp::read(v));
+  // Failed CAS by p1 does not overwrite, hence does not invalidate p0.
+  mem->apply(1, MemOp::cas(v, 99, 1));
+  mem->apply(0, MemOp::read(v));
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);
+}
+
+TEST(CcWriteBack, ExclusiveOwnerWritesLocally) {
+  auto mem = make_cc(2, CcPolicy::kWriteBack);
+  const VarId v = mem->allocate_global(0);
+  mem->apply(0, MemOp::write(v, 1));  // miss: take M
+  mem->apply(0, MemOp::write(v, 2));  // hit in M
+  mem->apply(0, MemOp::write(v, 3));  // hit in M
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);
+  // p1's read demotes the owner; p0's next write re-acquires M (one RMR).
+  mem->apply(1, MemOp::read(v));
+  mem->apply(0, MemOp::write(v, 4));
+  EXPECT_EQ(mem->ledger().rmrs(0), 2u);
+  // p0's own read after its write still hits.
+  mem->apply(0, MemOp::read(v));
+  EXPECT_EQ(mem->ledger().rmrs(0), 2u);
+}
+
+TEST(CcMesi, ExclusiveCleanUpgradesSilently) {
+  auto mem = make_cc(3, CcPolicy::kMesi);
+  const VarId v = mem->allocate_global(0);
+  // p0 read-misses with no other sharers: takes E.
+  auto o = mem->apply(0, MemOp::read(v));
+  EXPECT_TRUE(o.rmr);
+  // Its first write is the silent E->M upgrade: LOCAL (vs 1 RMR under MSI).
+  o = mem->apply(0, MemOp::write(v, 1));
+  EXPECT_FALSE(o.rmr);
+  // Further writes hit in M.
+  o = mem->apply(0, MemOp::write(v, 2));
+  EXPECT_FALSE(o.rmr);
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);  // read-then-write = one RMR total
+}
+
+TEST(CcMesi, SecondReaderDemotesExclusive) {
+  auto mem = make_cc(3, CcPolicy::kMesi);
+  const VarId v = mem->allocate_global(0);
+  mem->apply(0, MemOp::read(v));  // p0 takes E
+  mem->apply(1, MemOp::read(v));  // p1 shares: E demoted to S
+  // p0's write is no longer silent: it must invalidate p1.
+  const auto o = mem->apply(0, MemOp::write(v, 1));
+  EXPECT_TRUE(o.rmr);
+  // And p1's copy is gone.
+  EXPECT_TRUE(mem->classify_rmr(1, MemOp::read(v)));
+}
+
+TEST(CcMesi, ReadThenWriteCheaperThanWriteBack) {
+  // The E state's whole purpose, quantified: private read-modify-write.
+  auto msi = make_cc(2, CcPolicy::kWriteBack);
+  auto mesi = make_cc(2, CcPolicy::kMesi);
+  const VarId a = msi->allocate_global(0);
+  const VarId b = mesi->allocate_global(0);
+  for (int i = 0; i < 10; ++i) {
+    msi->apply(0, MemOp::read(a));
+    msi->apply(0, MemOp::write(a, i));
+    mesi->apply(0, MemOp::read(b));
+    mesi->apply(0, MemOp::write(b, i));
+  }
+  EXPECT_EQ(msi->ledger().rmrs(0), 2u);   // miss to S, upgrade to M, then hits
+  EXPECT_EQ(mesi->ledger().rmrs(0), 1u);  // miss to E, silent upgrade, hits
+}
+
+TEST(CcLfcu, FailedComparisonsAreLocalOnceCached) {
+  auto mem = make_cc(2, CcPolicy::kLfcu);
+  const VarId lock = mem->allocate_global(0);
+  // p0 takes the lock: TAS writes, 1 RMR.
+  mem->apply(0, MemOp::tas(lock));
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);
+  // p1's first failed TAS fetches a copy (1 RMR)...
+  mem->apply(1, MemOp::tas(lock));
+  EXPECT_EQ(mem->ledger().rmrs(1), 1u);
+  // ...and every further failed TAS is serviced from cache: 0 extra RMRs.
+  for (int i = 0; i < 20; ++i) mem->apply(1, MemOp::tas(lock));
+  EXPECT_EQ(mem->ledger().rmrs(1), 1u);
+}
+
+TEST(CcLfcu, WriteUpdatesRemoteCopiesInsteadOfInvalidating) {
+  auto mem = make_cc(3, CcPolicy::kLfcu);
+  const VarId v = mem->allocate_global(0);
+  mem->apply(1, MemOp::read(v));  // p1 caches a copy
+  mem->apply(0, MemOp::write(v, 7));
+  // p1's copy was updated in place, so its next read hits and sees 7.
+  const OpOutcome o = mem->apply(1, MemOp::read(v));
+  EXPECT_FALSE(o.rmr);
+  EXPECT_EQ(o.result, 7);
+  EXPECT_EQ(mem->ledger().rmrs(1), 1u);
+}
+
+TEST(CcWriteThroughVsLfcu, TasSpinSeparation) {
+  // The Section 3 LFCU aside: a TAS spin loop costs O(1) RMRs under LFCU but
+  // one RMR per attempt under standard invalidation-based CC.
+  auto standard = make_cc(2, CcPolicy::kWriteThrough);
+  auto lfcu = make_cc(2, CcPolicy::kLfcu);
+  const VarId a = standard->allocate_global(0);
+  const VarId b = lfcu->allocate_global(0);
+  standard->apply(0, MemOp::tas(a));
+  lfcu->apply(0, MemOp::tas(b));
+  for (int i = 0; i < 50; ++i) {
+    standard->apply(1, MemOp::tas(a));
+    lfcu->apply(1, MemOp::tas(b));
+  }
+  EXPECT_EQ(standard->ledger().rmrs(1), 50u);
+  EXPECT_EQ(lfcu->ledger().rmrs(1), 1u);
+}
+
+TEST(Ledger, TotalsAndReset) {
+  auto mem = make_dsm(2);
+  const VarId v = mem->allocate_local(0, 0);
+  mem->apply(0, MemOp::read(v));
+  mem->apply(1, MemOp::read(v));
+  mem->apply(1, MemOp::write(v, 1));
+  EXPECT_EQ(mem->ledger().total_ops(), 3u);
+  EXPECT_EQ(mem->ledger().total_rmrs(), 2u);
+  EXPECT_EQ(mem->ledger().locals(0), 1u);
+  EXPECT_EQ(mem->ledger().max_rmrs(), 2u);
+  mem->reset();
+  EXPECT_EQ(mem->ledger().total_ops(), 0u);
+  EXPECT_EQ(mem->store().value(v), 0);
+}
+
+TEST(SharedMemoryReset, CachesAreCleared) {
+  auto mem = make_cc(2);
+  const VarId v = mem->allocate_global(0);
+  mem->apply(0, MemOp::read(v));
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::read(v)));  // cached
+  mem->reset();
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::read(v)));   // cold again
+}
+
+}  // namespace
+}  // namespace rmrsim

@@ -1,0 +1,162 @@
+// Mutation tests: the Section 7 algorithms each contain one load-bearing
+// instruction ordering (register FIRST, then check the global flag — the
+// race the paper's prose calls out: "we must handle correctly the race
+// condition when waiters register while the signaler is calling Signal()").
+// Here we build the mutated (wrong-order) variants and demand that the
+// exhaustive explorer FINDS their violating schedules — proving both that
+// the order matters and that our verification tooling can tell.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "signaling/algorithm.h"
+#include "signaling/checker.h"
+#include "verify/explorer.h"
+
+namespace rmrsim {
+namespace {
+
+// DsmRegistrationSignal with the first-call order flipped: check S BEFORE
+// registering. Wrong: the signaler can sweep between our S read (false) and
+// our registration, completing Signal() while knowing nothing about us; our
+// next polls spin on a V that will never be written... and the *first* call
+// already returned a legal false. The violation appears at the second
+// completed poll after Signal() completed.
+class RacyRegistrationSignal final : public SignalingAlgorithm {
+ public:
+  RacyRegistrationSignal(SharedMemory& mem, ProcId signaler)
+      : signaler_(signaler), s_(mem.allocate_global(0, "S")) {
+    for (ProcId i = 0; i < mem.nprocs(); ++i) {
+      reg_.push_back(
+          mem.allocate_local(signaler_, 0, "Reg[" + std::to_string(i) + "]"));
+      v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+      first_done_.push_back(
+          mem.allocate_local(i, 0, "First[" + std::to_string(i) + "]"));
+    }
+  }
+
+  SubTask<bool> poll(ProcCtx& ctx) override {
+    const ProcId me = ctx.id();
+    const Word done = co_await ctx.read(first_done_[me]);
+    if (done == 0) {
+      const Word s = co_await ctx.read(s_);  // BUG: S checked before...
+      co_await ctx.write(reg_[me], 1);       // ...registering
+      co_await ctx.write(first_done_[me], 1);
+      co_return s != 0;
+    }
+    const Word v = co_await ctx.read(v_[me]);
+    co_return v != 0;
+  }
+
+  SubTask<void> signal(ProcCtx& ctx) override {
+    co_await ctx.write(s_, 1);
+    for (ProcId i = 0; i < static_cast<ProcId>(reg_.size()); ++i) {
+      const Word r = co_await ctx.read(reg_[i]);
+      if (r != 0) co_await ctx.write(v_[i], 1);
+    }
+  }
+
+  std::string_view name() const override { return "racy-registration"; }
+
+ private:
+  ProcId signaler_;
+  VarId s_;
+  std::vector<VarId> reg_;
+  std::vector<VarId> v_;
+  std::vector<VarId> first_done_;
+};
+
+// The signaler side of the single-waiter algorithm with ITS order flipped:
+// read W before writing S. Wrong: the waiter can register and read S = 0
+// (legal false) after we read W = NIL but before we set S — then nobody
+// ever writes its V, and its next poll falsely returns false after our
+// Signal() completed.
+class RacySingleWaiterSignal final : public SignalingAlgorithm {
+ public:
+  explicit RacySingleWaiterSignal(SharedMemory& mem)
+      : w_(mem.allocate_global(-1, "W")), s_(mem.allocate_global(0, "S")) {
+    for (ProcId i = 0; i < mem.nprocs(); ++i) {
+      v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+      registered_.push_back(
+          mem.allocate_local(i, 0, "Reg[" + std::to_string(i) + "]"));
+    }
+  }
+
+  SubTask<bool> poll(ProcCtx& ctx) override {
+    const ProcId me = ctx.id();
+    const Word reg = co_await ctx.read(registered_[me]);
+    if (reg == 0) {
+      co_await ctx.write(w_, me);
+      co_await ctx.write(registered_[me], 1);
+      const Word s = co_await ctx.read(s_);
+      co_return s != 0;
+    }
+    const Word v = co_await ctx.read(v_[me]);
+    co_return v != 0;
+  }
+
+  SubTask<void> signal(ProcCtx& ctx) override {
+    const Word w = co_await ctx.read(w_);  // BUG: W read before...
+    co_await ctx.write(s_, 1);             // ...publishing S
+    if (w != -1) {
+      co_await ctx.write(v_[static_cast<ProcId>(w)], 1);
+    }
+  }
+
+  std::string_view name() const override { return "racy-single-waiter"; }
+
+ private:
+  VarId w_;
+  VarId s_;
+  std::vector<VarId> v_;
+  std::vector<VarId> registered_;
+};
+
+template <typename Alg, typename... Args>
+ExploreBuilder builder(int n_waiters, int polls, Args... args) {
+  return [=]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(n_waiters + 1);
+    auto alg = std::make_shared<Alg>(*inst.mem, args...);
+    std::vector<Program> programs;
+    SignalingAlgorithm* a = alg.get();
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [a, polls](ProcCtx& ctx) { return polling_waiter(ctx, a, polls); });
+    }
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+    inst.keepalive = alg;
+    return inst;
+  };
+}
+
+ExploreChecker polling_checker() {
+  return [](const History& h) -> std::optional<std::string> {
+    if (const auto v = check_polling_spec(h); v.has_value()) return v->what;
+    return std::nullopt;
+  };
+}
+
+TEST(Mutation, RacyRegistrationHasAViolatingSchedule) {
+  const auto r = explore_all_schedules(
+      builder<RacyRegistrationSignal>(1, 2, ProcId{1}), polling_checker(),
+      {.max_depth = 24, .max_nodes = 2'000'000});
+  ASSERT_TRUE(r.violation.has_value())
+      << "the register-before-check order is load-bearing; flipping it must "
+         "be detectable";
+  EXPECT_FALSE(r.violating_schedule.empty());
+}
+
+TEST(Mutation, RacySingleWaiterHasAViolatingSchedule) {
+  const auto r = explore_all_schedules(
+      builder<RacySingleWaiterSignal>(1, 2), polling_checker(),
+      {.max_depth = 24, .max_nodes = 2'000'000});
+  ASSERT_TRUE(r.violation.has_value())
+      << "the S-before-W signal order is load-bearing; flipping it must be "
+         "detectable";
+}
+
+}  // namespace
+}  // namespace rmrsim

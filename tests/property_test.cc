@@ -1,0 +1,277 @@
+// Cross-cutting property tests:
+//  * determinism — same schedule => identical history, for every algorithm;
+//  * erasure equivalence — in-place erasure (Lemma 6.7) produces exactly
+//    the state and history of the erased-process-free replay;
+//  * cost-model transparency — values computed by an algorithm are
+//    identical under every cost model (pricing must never change
+//    semantics);
+//  * checker unit cases on synthetic histories.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/cc_model.h"
+#include "memory/shared_memory.h"
+#include "sched/schedulers.h"
+#include "signaling/cas_registration.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/llsc_registration.h"
+#include "signaling/workload.h"
+
+namespace rmrsim {
+namespace {
+
+using Factory = SignalingFactory;
+
+std::vector<std::pair<const char*, Factory>> algorithms(int nprocs) {
+  return {
+      {"cc-flag",
+       [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); }},
+      {"dsm-registration",
+       [nprocs](SharedMemory& m) {
+         return std::make_unique<DsmRegistrationSignal>(
+             m, static_cast<ProcId>(nprocs - 1));
+       }},
+      {"dsm-queue",
+       [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); }},
+      {"cas-registration",
+       [](SharedMemory& m) {
+         return std::make_unique<CasRegistrationSignal>(m);
+       }},
+      {"llsc-registration",
+       [](SharedMemory& m) {
+         return std::make_unique<LlscRegistrationSignal>(m);
+       }},
+  };
+}
+
+void expect_same_history(const History& a, const History& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const StepRecord& x = a.records()[i];
+    const StepRecord& y = b.records()[i];
+    ASSERT_EQ(x.proc, y.proc) << "step " << i;
+    ASSERT_EQ(static_cast<int>(x.kind), static_cast<int>(y.kind)) << i;
+    if (x.kind == StepRecord::Kind::kMemOp) {
+      ASSERT_EQ(static_cast<int>(x.op.type), static_cast<int>(y.op.type)) << i;
+      ASSERT_EQ(x.op.var, y.op.var) << i;
+      ASSERT_EQ(x.outcome.result, y.outcome.result) << i;
+      ASSERT_EQ(x.outcome.rmr, y.outcome.rmr) << i;
+      ASSERT_EQ(x.outcome.nontrivial, y.outcome.nontrivial) << i;
+    } else {
+      ASSERT_EQ(x.code, y.code) << i;
+      ASSERT_EQ(x.value, y.value) << i;
+    }
+    ASSERT_EQ(x.terminated_after, y.terminated_after) << i;
+  }
+}
+
+TEST(Determinism, SameScheduleSameHistoryForEveryAlgorithm) {
+  const int n_waiters = 4;
+  const int nprocs = n_waiters + 1;
+  for (const auto& [label, factory] : algorithms(nprocs)) {
+    SCOPED_TRACE(label);
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = n_waiters;
+    opt.scheduler_seed = 777;
+    auto first = run_signaling_workload(make_dsm(nprocs), factory, opt);
+    // Replay the recorded schedule on a fresh world.
+    auto mem = make_dsm(nprocs);
+    auto alg = factory(*mem);
+    std::vector<Program> programs;
+    SignalingAlgorithm* a = alg.get();
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [a](ProcCtx& ctx) { return polling_waiter(ctx, a, 1'000'000); });
+    }
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    Simulation replay(*mem, std::move(programs));
+    ScriptedScheduler script(first.sim->schedule());
+    replay.run(script, 100'000'000);
+    expect_same_history(first.sim->history(), replay.history());
+  }
+}
+
+TEST(ErasureEquivalence, InPlaceEraseMatchesFilteredReplayExactly) {
+  // Ground truth for Lemma 6.7 as implemented: build a run, erase an
+  // invisible process in place, and compare BOTH the history and the full
+  // memory contents against a from-scratch replay of the filtered schedule.
+  const int n_waiters = 5;
+  const int nprocs = n_waiters + 1;
+  const auto factory = [nprocs](SharedMemory& m) {
+    return std::make_unique<DsmRegistrationSignal>(
+        m, static_cast<ProcId>(nprocs - 1));
+  };
+
+  // Run waiters only (no signaler steps), bounded so the victim is still
+  // active (mid-spin) and — waiters never read each other's writes here —
+  // invisible when erased.
+  const ProcId victim = 2;
+  auto mem2 = make_dsm(nprocs);
+  auto alg2 = factory(*mem2);
+  std::vector<Program> programs2;
+  SignalingAlgorithm* a2 = alg2.get();
+  for (int i = 0; i < n_waiters; ++i) {
+    const int polls = (i == victim) ? 1'000'000 : 3;
+    programs2.emplace_back(
+        [a2, polls](ProcCtx& ctx) { return polling_waiter(ctx, a2, polls); });
+  }
+  programs2.emplace_back(Program{});
+  Simulation sim2(*mem2, std::move(programs2));
+  RoundRobinScheduler rr2;
+  sim2.run(rr2, 2'000);  // bounded: victim still active mid-spin
+  ASSERT_FALSE(sim2.terminated(victim));
+  const std::vector<ProcId> schedule = sim2.schedule();
+  sim2.erase_process(victim);
+
+  // Filtered replay from scratch.
+  std::vector<ProcId> filtered;
+  for (const ProcId p : schedule) {
+    if (p != victim) filtered.push_back(p);
+  }
+  auto mem3 = make_dsm(nprocs);
+  auto alg3 = factory(*mem3);
+  std::vector<Program> programs3;
+  SignalingAlgorithm* a3 = alg3.get();
+  for (int i = 0; i < n_waiters; ++i) {
+    const int polls = (i == victim) ? 1'000'000 : 3;
+    programs3.emplace_back(
+        [a3, polls](ProcCtx& ctx) { return polling_waiter(ctx, a3, polls); });
+  }
+  programs3.emplace_back(Program{});
+  Simulation sim3(*mem3, std::move(programs3));
+  ScriptedScheduler script(filtered);
+  sim3.run(script, 1'000'000);
+
+  expect_same_history(sim2.history(), sim3.history());
+  ASSERT_EQ(mem2->store().num_vars(), mem3->store().num_vars());
+  for (VarId v = 0; v < mem2->store().num_vars(); ++v) {
+    EXPECT_EQ(mem2->store().value(v), mem3->store().value(v)) << "var " << v;
+    EXPECT_EQ(mem2->store().last_writer(v), mem3->store().last_writer(v))
+        << "var " << v;
+  }
+  EXPECT_EQ(mem2->ledger().total_rmrs(), mem3->ledger().total_rmrs());
+}
+
+TEST(CostModelTransparency, ValuesIdenticalUnderEveryModel) {
+  // Pricing must never leak into semantics: the same schedule produces the
+  // same VALUES (results, call returns) under DSM and every CC policy.
+  const int n_waiters = 4;
+  const int nprocs = n_waiters + 1;
+  const auto factory = [](SharedMemory& m) {
+    return std::make_unique<DsmQueueSignal>(m);
+  };
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = n_waiters;
+  opt.scheduler_seed = 4242;
+  auto base = run_signaling_workload(make_dsm(nprocs), factory, opt);
+
+  for (const CcPolicy policy :
+       {CcPolicy::kWriteThrough, CcPolicy::kWriteBack, CcPolicy::kMesi,
+        CcPolicy::kLfcu}) {
+    auto mem = make_cc(nprocs, policy);
+    auto alg = factory(*mem);
+    std::vector<Program> programs;
+    SignalingAlgorithm* a = alg.get();
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [a](ProcCtx& ctx) { return polling_waiter(ctx, a, 1'000'000); });
+    }
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    Simulation replay(*mem, std::move(programs));
+    ScriptedScheduler script(base.sim->schedule());
+    replay.run(script, 100'000'000);
+    const auto& a_rec = base.sim->history().records();
+    const auto& b_rec = replay.history().records();
+    ASSERT_EQ(a_rec.size(), b_rec.size());
+    for (std::size_t i = 0; i < a_rec.size(); ++i) {
+      ASSERT_EQ(a_rec[i].proc, b_rec[i].proc);
+      if (a_rec[i].kind == StepRecord::Kind::kMemOp) {
+        ASSERT_EQ(a_rec[i].outcome.result, b_rec[i].outcome.result)
+            << "step " << i << " under " << to_string(policy);
+      } else {
+        ASSERT_EQ(a_rec[i].value, b_rec[i].value) << "step " << i;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Checker unit cases on synthetic histories.
+// ---------------------------------------------------------------------------
+
+StepRecord event(ProcId p, EventKind e, Word code, Word value = 0) {
+  StepRecord r;
+  r.kind = StepRecord::Kind::kEvent;
+  r.proc = p;
+  r.event = e;
+  r.code = code;
+  r.value = value;
+  return r;
+}
+
+TEST(CheckerUnits, TrueBeforeAnySignalBeganIsViolation) {
+  History h;
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(0, EventKind::kCallEnd, calls::kPoll, 1));  // true!
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  EXPECT_TRUE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, TrueAfterSignalBeganButNotEndedIsLegal) {
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(0, EventKind::kCallEnd, calls::kPoll, 1));
+  EXPECT_FALSE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, FalseOverlappingSignalIsLegal) {
+  // Poll began before Signal completed: false is allowed.
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  h.append(event(0, EventKind::kCallEnd, calls::kPoll, 0));
+  EXPECT_FALSE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, FalseStrictlyAfterCompletedSignalIsViolation) {
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(0, EventKind::kCallEnd, calls::kPoll, 0));
+  EXPECT_TRUE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, PendingCallsImposeNothing) {
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));  // never ends
+  EXPECT_FALSE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, BlockingWaitBeforeSignalIsViolation) {
+  History h;
+  h.append(event(0, EventKind::kCallBegin, calls::kWait));
+  h.append(event(0, EventKind::kCallEnd, calls::kWait));
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  EXPECT_TRUE(check_blocking_spec(h).has_value());
+}
+
+TEST(CheckerUnits, WaitAfterSignalBeganIsLegal) {
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(0, EventKind::kCallBegin, calls::kWait));
+  h.append(event(0, EventKind::kCallEnd, calls::kWait));
+  EXPECT_FALSE(check_blocking_spec(h).has_value());
+}
+
+}  // namespace
+}  // namespace rmrsim

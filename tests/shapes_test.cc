@@ -1,0 +1,166 @@
+// Shape tests: the paper's asymptotic claims asserted as measured growth
+// rates (log-log slopes over N sweeps) rather than absolute numbers —
+// DESIGN.md substitution 6. These are the EXPERIMENTS.md numbers, enforced
+// in CI.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "lowerbound/adversary.h"
+#include "memory/cc_model.h"
+#include "mutex/simple_locks.h"
+#include "mutex/ya_lock.h"
+#include "sched/schedulers.h"
+#include "signaling/cc_flag.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+
+namespace rmrsim {
+namespace {
+
+const std::vector<double> kNs = {16, 32, 64, 128, 256};
+
+TEST(Stats, SlopeFitsKnownCurves) {
+  const std::vector<double> xs = {2, 4, 8, 16, 32};
+  std::vector<double> linear;
+  std::vector<double> constant;
+  for (const double x : xs) {
+    linear.push_back(3 * x);
+    constant.push_back(7);
+  }
+  EXPECT_NEAR(loglog_slope(xs, linear), 1.0, 1e-9);
+  EXPECT_NEAR(loglog_slope(xs, constant), 0.0, 1e-9);
+}
+
+TEST(Shapes, TheoremSeparationSlopes) {
+  // Headline: forced amortized RMRs under the strict DSM adversary grow
+  // ~N^1; the CC control stays ~N^0.
+  std::vector<double> dsm_amortized;
+  std::vector<double> cc_signaler;
+  for (const double nd : kNs) {
+    const int n = static_cast<int>(nd);
+    {
+      AdversaryConfig c;
+      c.nprocs = n;
+      c.construction = Construction::kStrict;
+      SignalingAdversary adv(
+          [n](SharedMemory& m) {
+            return std::make_unique<DsmRegistrationSignal>(
+                m, static_cast<ProcId>(n - 2));
+          },
+          c);
+      const auto r = adv.run();
+      ASSERT_TRUE(r.stabilized);
+      dsm_amortized.push_back(r.amortized_final);
+    }
+    {
+      AdversaryConfig c;
+      c.nprocs = n;
+      c.construction = Construction::kLenient;
+      c.erase_during_chase = false;
+      c.make_memory = [](int k) { return make_cc(k); };
+      SignalingAdversary adv(
+          [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+          c);
+      const auto r = adv.run();
+      ASSERT_TRUE(r.stabilized);
+      cc_signaler.push_back(
+          static_cast<double>(r.signaler_rmrs) + 1.0);  // keep logs positive
+    }
+  }
+  EXPECT_GT(loglog_slope(kNs, dsm_amortized), 0.85);
+  EXPECT_LT(loglog_slope(kNs, cc_signaler), 0.05);
+}
+
+TEST(Shapes, CcFlagPerProcessCostIsFlat) {
+  std::vector<double> max_waiter;
+  for (const double nd : kNs) {
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = static_cast<int>(nd);
+    opt.signaler_idle_polls = 64;
+    auto run = run_signaling_workload(
+        make_cc(static_cast<int>(nd) + 1),
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
+        opt);
+    max_waiter.push_back(static_cast<double>(run.max_waiter_rmrs()));
+  }
+  EXPECT_LT(loglog_slope(kNs, max_waiter), 0.05);
+}
+
+TEST(Shapes, YangAndersonGrowsLogarithmically) {
+  // Theta(log N): much slower than any power. On a log-log plot the local
+  // slope decays; across our sweep it must sit well below sqrt growth and
+  // the absolute ratio across a 16x range of N must stay near
+  // log(256)/log(16) = 2.
+  auto per_passage = [](int n) {
+    auto mem = make_dsm(n);
+    YangAndersonLock lock(*mem);
+    std::vector<Program> programs;
+    for (int i = 0; i < n; ++i) {
+      programs.emplace_back(
+          [&lock](ProcCtx& ctx) { return mutex_worker(ctx, &lock, 2); });
+    }
+    Simulation sim(*mem, std::move(programs));
+    RoundRobinScheduler rr;
+    EXPECT_TRUE(sim.run(rr, 200'000'000).all_terminated);
+    return static_cast<double>(mem->ledger().total_rmrs()) /
+           static_cast<double>(2 * n);
+  };
+  std::vector<double> costs;
+  for (const double nd : kNs) costs.push_back(per_passage(static_cast<int>(nd)));
+  EXPECT_LT(loglog_slope(kNs, costs), 0.5);       // far below linear
+  EXPECT_GT(costs.back() / costs.front(), 1.5);   // but genuinely growing
+  EXPECT_LT(costs.back() / costs.front(), 3.0);   // ~log(256)/log(16) = 2
+}
+
+TEST(Shapes, AndersonArrayLinearInDsmFlatInCc) {
+  auto per_passage = [](int n, bool cc) {
+    auto mem = cc ? make_cc(n) : make_dsm(n);
+    AndersonArrayLock lock(*mem);
+    std::vector<Program> programs;
+    for (int i = 0; i < n; ++i) {
+      programs.emplace_back(
+          [&lock](ProcCtx& ctx) { return mutex_worker(ctx, &lock, 2); });
+    }
+    Simulation sim(*mem, std::move(programs));
+    RoundRobinScheduler rr;
+    EXPECT_TRUE(sim.run(rr, 200'000'000).all_terminated);
+    return static_cast<double>(mem->ledger().total_rmrs()) /
+           static_cast<double>(2 * n);
+  };
+  std::vector<double> dsm;
+  std::vector<double> cc;
+  for (const double nd : kNs) {
+    dsm.push_back(per_passage(static_cast<int>(nd), false));
+    cc.push_back(per_passage(static_cast<int>(nd), true));
+  }
+  EXPECT_GT(loglog_slope(kNs, dsm), 0.8);
+  EXPECT_LT(loglog_slope(kNs, cc), 0.1);
+}
+
+TEST(Shapes, RegistrationAmortizedFlatInHonestRuns) {
+  // The same algorithm the adversary destroys is O(1) amortized in honest
+  // (fair, everyone-participates) executions — the contrast that makes
+  // Theorem 6.2 an *adversarial* result.
+  std::vector<double> amortized;
+  for (const double nd : kNs) {
+    const int n = static_cast<int>(nd);
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = n;
+    opt.signaler_idle_polls = 16;
+    auto run = run_signaling_workload(
+        make_dsm(n + 1),
+        [n](SharedMemory& m) {
+          return std::make_unique<DsmRegistrationSignal>(
+              m, static_cast<ProcId>(n));
+        },
+        opt);
+    amortized.push_back(run.amortized_rmrs());
+  }
+  EXPECT_LT(loglog_slope(kNs, amortized), 0.1);
+}
+
+}  // namespace
+}  // namespace rmrsim

@@ -1,0 +1,137 @@
+// Tests for the trace subsystem (per-call cost slicing, exporters) and the
+// per-call cost *shapes* of the Section 7 algorithms — the "expensive first
+// poll, free spins afterwards" fingerprint.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/llsc_registration.h"
+#include "signaling/checker.h"
+#include "signaling/workload.h"
+#include "trace/call_stats.h"
+#include "trace/export.h"
+
+namespace rmrsim {
+namespace {
+
+SignalingRun reg_run(int n_waiters) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = n_waiters;
+  opt.signaler_idle_polls = 32;
+  return run_signaling_workload(
+      make_dsm(n_waiters + 1),
+      [n_waiters](SharedMemory& m) {
+        return std::make_unique<DsmRegistrationSignal>(
+            m, static_cast<ProcId>(n_waiters));
+      },
+      opt);
+}
+
+TEST(CallStats, SlicesCallsAndAttributesRmrs) {
+  auto run = reg_run(4);
+  const auto costs = per_call_costs(run.sim->history());
+  // Every waiter made at least 2 polls (the signaler idled 32 polls' worth).
+  for (ProcId p = 0; p < 4; ++p) {
+    const auto polls = calls_of(costs, p, calls::kPoll);
+    ASSERT_GE(polls.size(), 2u) << "p" << p;
+    EXPECT_TRUE(polls.front().completed);
+    EXPECT_EQ(polls.front().call_index, 0);
+    // First poll: register (1 RMR) + S read (1 RMR) + local bookkeeping.
+    EXPECT_EQ(polls.front().rmrs, 2u) << "p" << p;
+    EXPECT_GE(polls.front().mem_steps, 3u);
+    // All steady-state polls are free (local V spin).
+    for (std::size_t i = 1; i < polls.size(); ++i) {
+      EXPECT_EQ(polls[i].rmrs, 0u) << "p" << p << " call " << i;
+    }
+    // The last poll returned true.
+    EXPECT_EQ(polls.back().returned, 1);
+  }
+  // Signaler's single Signal(): one RMR per waiter + the S write.
+  const auto signals = calls_of(costs, 4, calls::kSignal);
+  ASSERT_EQ(signals.size(), 1u);
+  EXPECT_EQ(signals.front().rmrs, 5u);
+}
+
+TEST(CallStats, MaxFromIndexIsolatesSteadyState) {
+  auto run = reg_run(6);
+  const auto costs = per_call_costs(run.sim->history());
+  EXPECT_GT(max_rmrs_from_index(costs, calls::kPoll, 0), 0u);
+  EXPECT_EQ(max_rmrs_from_index(costs, calls::kPoll, 1), 0u);
+}
+
+TEST(CallStats, QueueAlgorithmFingerprint) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = 5;
+  opt.signaler_idle_polls = 16;
+  auto run = run_signaling_workload(
+      make_dsm(6),
+      [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); },
+      opt);
+  const auto costs = per_call_costs(run.sim->history());
+  for (ProcId p = 0; p < 5; ++p) {
+    const auto polls = calls_of(costs, p, calls::kPoll);
+    ASSERT_FALSE(polls.empty());
+    EXPECT_LE(polls.front().rmrs, 3u);  // FAI + announce + S read
+  }
+  EXPECT_EQ(max_rmrs_from_index(costs, calls::kPoll, 1), 0u);
+}
+
+TEST(LlscRegistration, CorrectAndO1PerWaiter) {
+  for (const std::uint64_t seed : {21u, 2121u, 212121u}) {
+    SignalingWorkloadOptions opt;
+    opt.n_waiters = 6;
+    opt.scheduler_seed = seed;
+    auto run = run_signaling_workload(
+        make_dsm(7),
+        [](SharedMemory& m) {
+          return std::make_unique<LlscRegistrationSignal>(m);
+        },
+        opt);
+    const auto v = check_polling_spec(run.sim->history());
+    EXPECT_FALSE(v.has_value()) << v->what;
+    const auto costs = per_call_costs(run.sim->history());
+    EXPECT_EQ(max_rmrs_from_index(costs, calls::kPoll, 1), 0u);
+  }
+}
+
+TEST(Export, CsvHasOneRowPerRecordPlusHeader) {
+  auto run = reg_run(2);
+  const std::string csv = history_to_csv(run.sim->history());
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, run.sim->history().size() + 1);
+  EXPECT_NE(csv.find("READ"), std::string::npos);
+  EXPECT_NE(csv.find("call_begin"), std::string::npos);
+}
+
+TEST(Export, JsonLinesParseableShape) {
+  auto run = reg_run(2);
+  const std::string json = history_to_json_lines(run.sim->history());
+  // Cheap structural checks: every line is one object.
+  std::size_t objects = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("{\"index\":", pos)) != std::string::npos) {
+    ++objects;
+    ++pos;
+  }
+  EXPECT_EQ(objects, run.sim->history().size());
+  EXPECT_NE(json.find("\"rmr\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"event\":\"call_end\""), std::string::npos);
+}
+
+TEST(Export, TimelineHasOneLanePerParticipant) {
+  auto run = reg_run(3);
+  const std::string lanes = history_timeline(run.sim->history(), 40);
+  EXPECT_NE(lanes.find("p0 "), std::string::npos);
+  EXPECT_NE(lanes.find("p3 "), std::string::npos);  // the signaler
+  EXPECT_NE(lanes.find("R!"), std::string::npos);   // some RMR read exists
+  EXPECT_NE(lanes.find("legend"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rmrsim

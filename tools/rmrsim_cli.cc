@@ -1,0 +1,323 @@
+// rmrsim — command-line driver.
+//
+// Run any algorithm under any model and get the ledgers, per-call costs,
+// spec verdicts, or full traces without writing a harness:
+//
+//   rmrsim_cli signal    --alg registration --model dsm --waiters 32
+//                        --delay 64 --seed 7 [--trace timeline|csv|json]
+//   rmrsim_cli mutex     --lock mcs --model cc-wb --procs 16 --passages 4
+//   rmrsim_cli adversary --alg registration --n 64 [--lenient] [--no-erase]
+//   rmrsim_cli gme       --procs 16 --sessions 2 --passages 3
+//
+// Models: dsm | cc | cc-wb | cc-mesi | cc-lfcu.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/table.h"
+#include "gme/session_gme.h"
+#include "lowerbound/adversary.h"
+#include "memory/cc_model.h"
+#include "mutex/bakery_lock.h"
+#include "mutex/clh_lock.h"
+#include "mutex/mcs_lock.h"
+#include "mutex/simple_locks.h"
+#include "mutex/ya_lock.h"
+#include "primitives/blocking_leader.h"
+#include "primitives/rw_cas_registration.h"
+#include "sched/schedulers.h"
+#include "signaling/broken.h"
+#include "signaling/cas_registration.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/dsm_single_waiter.h"
+#include "signaling/llsc_registration.h"
+#include "signaling/workload.h"
+#include "trace/call_stats.h"
+#include "trace/export.h"
+
+using namespace rmrsim;
+
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> kv;
+  std::map<std::string, bool> flags;
+
+  std::string get(const std::string& key, const std::string& def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : it->second;
+  }
+  long get_int(const std::string& key, long def) const {
+    auto it = kv.find(key);
+    return it == kv.end() ? def : std::atol(it->second.c_str());
+  }
+  bool has(const std::string& flag) const { return flags.count(flag) != 0; }
+};
+
+Args parse(int argc, char** argv, int first) {
+  Args a;
+  for (int i = first; i < argc; ++i) {
+    std::string s = argv[i];
+    if (s.rfind("--", 0) != 0) continue;
+    s = s.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.kv[s] = argv[++i];
+    } else {
+      a.flags[s] = true;
+    }
+  }
+  return a;
+}
+
+std::unique_ptr<SharedMemory> make_model(const std::string& name, int nprocs) {
+  if (name == "dsm") return make_dsm(nprocs);
+  if (name == "cc") return make_cc(nprocs, CcPolicy::kWriteThrough);
+  if (name == "cc-wb") return make_cc(nprocs, CcPolicy::kWriteBack);
+  if (name == "cc-mesi") return make_cc(nprocs, CcPolicy::kMesi);
+  if (name == "cc-lfcu") return make_cc(nprocs, CcPolicy::kLfcu);
+  std::fprintf(stderr, "unknown model '%s' (dsm|cc|cc-wb|cc-mesi|cc-lfcu)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+// `fixed_home`: which process hosts the fixed-signaler state of the
+// registration variant. The workload command uses the actual signaler
+// (nprocs-1); the adversary command uses a waiter (n-2) because the
+// Lemma 6.13 signaler must have an unwritten module.
+SignalingFactory make_signal_alg(const std::string& name, int fixed_home) {
+  if (name == "flag") {
+    return [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); };
+  }
+  if (name == "single-waiter") {
+    return [](SharedMemory& m) {
+      return std::make_unique<DsmSingleWaiterSignal>(m);
+    };
+  }
+  if (name == "registration") {
+    return [fixed_home](SharedMemory& m) {
+      return std::make_unique<DsmRegistrationSignal>(
+          m, static_cast<ProcId>(fixed_home));
+    };
+  }
+  if (name == "queue") {
+    return [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); };
+  }
+  if (name == "cas") {
+    return [](SharedMemory& m) {
+      return std::make_unique<CasRegistrationSignal>(m);
+    };
+  }
+  if (name == "llsc") {
+    return [](SharedMemory& m) {
+      return std::make_unique<LlscRegistrationSignal>(m);
+    };
+  }
+  if (name == "rw-cas") {
+    return [](SharedMemory& m) {
+      return std::make_unique<RwCasRegistrationSignal>(m);
+    };
+  }
+  if (name == "blocking-leader") {
+    return [](SharedMemory& m) {
+      return std::make_unique<DsmBlockingLeaderSignal>(m);
+    };
+  }
+  if (name == "broken") {
+    return [](SharedMemory& m) { return std::make_unique<BrokenLocalSignal>(m); };
+  }
+  std::fprintf(stderr,
+               "unknown algorithm '%s' (flag|single-waiter|registration|"
+               "queue|cas|llsc|rw-cas|blocking-leader|broken)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+int cmd_signal(const Args& a) {
+  const int waiters = static_cast<int>(a.get_int("waiters", 8));
+  const int nprocs = waiters + 1;
+  const std::string alg_name = a.get("alg", "flag");
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = waiters;
+  opt.signaler_idle_polls = static_cast<int>(a.get_int("delay", 16));
+  opt.scheduler_seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
+  opt.blocking = a.has("blocking");
+  if (opt.blocking) opt.signaler_idle_polls = 0;
+  auto run =
+      run_signaling_workload(make_model(a.get("model", "dsm"), nprocs),
+                             make_signal_alg(alg_name, nprocs - 1), opt);
+
+  const std::string trace = a.get("trace", "");
+  if (trace == "csv") {
+    std::fputs(history_to_csv(run.sim->history()).c_str(), stdout);
+    return 0;
+  }
+  if (trace == "json") {
+    std::fputs(history_to_json_lines(run.sim->history()).c_str(), stdout);
+    return 0;
+  }
+  if (trace == "timeline") {
+    std::fputs(history_timeline(run.sim->history()).c_str(), stdout);
+  }
+
+  std::printf("algorithm %s, model %s, %d waiters + 1 signaler\n",
+              run.alg->name().data(), run.mem->model().name().data(),
+              waiters);
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_row({"steps", std::to_string(run.sim->history().size())});
+  t.add_row({"total RMRs", std::to_string(run.mem->ledger().total_rmrs())});
+  t.add_row({"max waiter RMRs", std::to_string(run.max_waiter_rmrs())});
+  t.add_row({"signaler RMRs", std::to_string(run.signaler_rmrs())});
+  t.add_row({"amortized RMRs", fixed(run.amortized_rmrs())});
+  const auto costs = per_call_costs(run.sim->history());
+  t.add_row({"steady-state poll RMRs (max)",
+             std::to_string(max_rmrs_from_index(costs, calls::kPoll, 1))});
+  const auto violation = opt.blocking
+                             ? check_blocking_spec(run.sim->history())
+                             : check_polling_spec(run.sim->history());
+  t.add_row({"spec", violation ? "VIOLATED: " + violation->what : "ok"});
+  std::fputs(t.render().c_str(), stdout);
+  return violation ? 1 : 0;
+}
+
+int cmd_mutex(const Args& a) {
+  const int nprocs = static_cast<int>(a.get_int("procs", 8));
+  const int passages = static_cast<int>(a.get_int("passages", 3));
+  const std::string lock_name = a.get("lock", "mcs");
+  auto mem = make_model(a.get("model", "dsm"), nprocs);
+  std::unique_ptr<MutexAlgorithm> lock;
+  if (lock_name == "mcs") lock = std::make_unique<McsLock>(*mem);
+  else if (lock_name == "ya") lock = std::make_unique<YangAndersonLock>(*mem);
+  else if (lock_name == "anderson") lock = std::make_unique<AndersonArrayLock>(*mem);
+  else if (lock_name == "ticket") lock = std::make_unique<TicketLock>(*mem);
+  else if (lock_name == "tas") lock = std::make_unique<TasLock>(*mem);
+  else if (lock_name == "clh") lock = std::make_unique<ClhLock>(*mem);
+  else if (lock_name == "bakery") lock = std::make_unique<BakeryLock>(*mem);
+  else {
+    std::fprintf(stderr,
+                 "unknown lock '%s' (mcs|ya|anderson|ticket|tas|clh|bakery)\n",
+                 lock_name.c_str());
+    return 2;
+  }
+  std::vector<Program> programs;
+  MutexAlgorithm* l = lock.get();
+  for (int i = 0; i < nprocs; ++i) {
+    programs.emplace_back(
+        [l, passages](ProcCtx& ctx) { return mutex_worker(ctx, l, passages); });
+  }
+  Simulation sim(*mem, std::move(programs));
+  const std::uint64_t seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
+  Simulation::RunResult result{};
+  if (seed == 0) {
+    RoundRobinScheduler rr;
+    result = sim.run(rr, 500'000'000);
+  } else {
+    RandomScheduler rnd(seed);
+    result = sim.run(rnd, 500'000'000);
+  }
+  const auto violation = check_mutual_exclusion(sim.history());
+  std::printf("lock %s, model %s, %d procs x %d passages\n",
+              lock->name().data(), mem->model().name().data(), nprocs,
+              passages);
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_row({"completed", result.all_terminated ? "yes" : "NO"});
+  t.add_row({"total RMRs", std::to_string(mem->ledger().total_rmrs())});
+  t.add_row({"RMRs/passage",
+             fixed(static_cast<double>(mem->ledger().total_rmrs()) /
+                   static_cast<double>(nprocs * passages))});
+  t.add_row({"mutual exclusion",
+             violation ? "VIOLATED: " + violation->what : "ok"});
+  std::fputs(t.render().c_str(), stdout);
+  return violation || !result.all_terminated ? 1 : 0;
+}
+
+int cmd_adversary(const Args& a) {
+  const int n = static_cast<int>(a.get_int("n", 32));
+  AdversaryConfig c;
+  c.nprocs = n;
+  c.construction =
+      a.has("lenient") ? Construction::kLenient : Construction::kStrict;
+  c.erase_during_chase = !a.has("no-erase");
+  const std::string model = a.get("model", "dsm");
+  if (model != "dsm") {
+    c.make_memory = [model](int k) { return make_model(model, k); };
+    c.construction = Construction::kLenient;  // strict requires DSM
+    c.erase_during_chase = false;
+  }
+  SignalingAdversary adv(make_signal_alg(a.get("alg", "registration"), n - 2),
+                         c);
+  const auto report = adv.run();
+  std::fputs(report.to_string().c_str(), stdout);
+  return report.spec_violation ? 1 : 0;
+}
+
+int cmd_gme(const Args& a) {
+  const int nprocs = static_cast<int>(a.get_int("procs", 8));
+  const int passages = static_cast<int>(a.get_int("passages", 3));
+  const int n_sessions = static_cast<int>(a.get_int("sessions", 2));
+  auto mem = make_model(a.get("model", "dsm"), nprocs);
+  SessionGme alg(*mem, std::make_unique<McsLock>(*mem));
+  std::vector<Program> programs;
+  for (int i = 0; i < nprocs; ++i) {
+    std::vector<Word> sessions = {i / std::max(1, nprocs / n_sessions)};
+    programs.emplace_back([&alg, passages, sessions](ProcCtx& ctx) {
+      return gme_worker(ctx, &alg, passages, sessions, /*cs_dwell=*/20);
+    });
+  }
+  Simulation sim(*mem, std::move(programs));
+  RoundRobinScheduler rr;
+  const auto result = sim.run(rr, 500'000'000);
+  const auto violation = check_gme_safety(sim.history());
+  TextTable t;
+  t.set_header({"metric", "value"});
+  t.add_row({"completed", result.all_terminated ? "yes" : "NO"});
+  t.add_row({"max CS occupancy",
+             std::to_string(max_cs_occupancy(sim.history()))});
+  t.add_row({"RMRs/passage",
+             fixed(static_cast<double>(mem->ledger().total_rmrs()) /
+                   static_cast<double>(nprocs * passages))});
+  t.add_row({"session safety",
+             violation ? "VIOLATED: " + violation->what : "ok"});
+  std::fputs(t.render().c_str(), stdout);
+  return violation ? 1 : 0;
+}
+
+void usage() {
+  std::fputs(
+      "usage: rmrsim_cli <signal|mutex|adversary|gme> [--key value ...]\n"
+      "  signal    --alg A --model M --waiters N --delay D --seed S\n"
+      "            [--blocking] [--trace timeline|csv|json]\n"
+      "  mutex     --lock L --model M --procs N --passages K --seed S\n"
+      "  adversary --alg A --n N [--lenient] [--no-erase] [--model M]\n"
+      "  gme       --procs N --sessions K --passages P --model M\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args = parse(argc, argv, 2);
+  try {
+    if (cmd == "signal") return cmd_signal(args);
+    if (cmd == "mutex") return cmd_mutex(args);
+    if (cmd == "adversary") return cmd_adversary(args);
+    if (cmd == "gme") return cmd_gme(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
