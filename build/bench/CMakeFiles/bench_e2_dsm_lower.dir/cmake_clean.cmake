@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_dsm_lower.dir/bench_e2_dsm_lower.cc.o"
+  "CMakeFiles/bench_e2_dsm_lower.dir/bench_e2_dsm_lower.cc.o.d"
+  "bench_e2_dsm_lower"
+  "bench_e2_dsm_lower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_dsm_lower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

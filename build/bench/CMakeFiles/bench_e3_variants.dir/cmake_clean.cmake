@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_variants.dir/bench_e3_variants.cc.o"
+  "CMakeFiles/bench_e3_variants.dir/bench_e3_variants.cc.o.d"
+  "bench_e3_variants"
+  "bench_e3_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

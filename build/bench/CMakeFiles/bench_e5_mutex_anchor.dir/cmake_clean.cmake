@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_mutex_anchor.dir/bench_e5_mutex_anchor.cc.o"
+  "CMakeFiles/bench_e5_mutex_anchor.dir/bench_e5_mutex_anchor.cc.o.d"
+  "bench_e5_mutex_anchor"
+  "bench_e5_mutex_anchor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_mutex_anchor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

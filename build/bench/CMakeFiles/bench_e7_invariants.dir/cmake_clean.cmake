@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_invariants.dir/bench_e7_invariants.cc.o"
+  "CMakeFiles/bench_e7_invariants.dir/bench_e7_invariants.cc.o.d"
+  "bench_e7_invariants"
+  "bench_e7_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

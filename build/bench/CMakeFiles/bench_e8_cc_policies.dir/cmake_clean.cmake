@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_cc_policies.dir/bench_e8_cc_policies.cc.o"
+  "CMakeFiles/bench_e8_cc_policies.dir/bench_e8_cc_policies.cc.o.d"
+  "bench_e8_cc_policies"
+  "bench_e8_cc_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_cc_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gme.dir/bench_gme.cc.o"
+  "CMakeFiles/bench_gme.dir/bench_gme.cc.o.d"
+  "bench_gme"
+  "bench_gme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

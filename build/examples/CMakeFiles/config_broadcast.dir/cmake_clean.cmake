@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_broadcast.dir/config_broadcast.cpp.o"
+  "CMakeFiles/config_broadcast.dir/config_broadcast.cpp.o.d"
+  "config_broadcast"
+  "config_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_poll.dir/profile_poll.cpp.o"
+  "CMakeFiles/profile_poll.dir/profile_poll.cpp.o.d"
+  "profile_poll"
+  "profile_poll.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_poll.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

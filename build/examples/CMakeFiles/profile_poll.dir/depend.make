@@ -1,0 +1,2 @@
+# Empty dependencies file for profile_poll.
+# This may be replaced when dependencies are built.

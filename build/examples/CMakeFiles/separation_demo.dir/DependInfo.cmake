@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/separation_demo.cpp" "examples/CMakeFiles/separation_demo.dir/separation_demo.cpp.o" "gcc" "examples/CMakeFiles/separation_demo.dir/separation_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lowerbound/CMakeFiles/rmrsim_lowerbound.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/rmrsim_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rmrsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/rmrsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/rmrsim_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/rmrsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("memory")
+subdirs("coherence")
+subdirs("runtime")
+subdirs("sched")
+subdirs("history")
+subdirs("signaling")
+subdirs("mutex")
+subdirs("primitives")
+subdirs("lowerbound")
+subdirs("gme")
+subdirs("verify")
+subdirs("trace")

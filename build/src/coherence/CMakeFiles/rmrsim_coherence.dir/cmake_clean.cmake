@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_coherence.dir/protocols.cc.o"
+  "CMakeFiles/rmrsim_coherence.dir/protocols.cc.o.d"
+  "librmrsim_coherence.a"
+  "librmrsim_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_common.dir/check.cc.o"
+  "CMakeFiles/rmrsim_common.dir/check.cc.o.d"
+  "CMakeFiles/rmrsim_common.dir/stats.cc.o"
+  "CMakeFiles/rmrsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/rmrsim_common.dir/table.cc.o"
+  "CMakeFiles/rmrsim_common.dir/table.cc.o.d"
+  "librmrsim_common.a"
+  "librmrsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

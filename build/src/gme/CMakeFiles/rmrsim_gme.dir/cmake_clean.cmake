@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_gme.dir/gme.cc.o"
+  "CMakeFiles/rmrsim_gme.dir/gme.cc.o.d"
+  "CMakeFiles/rmrsim_gme.dir/session_gme.cc.o"
+  "CMakeFiles/rmrsim_gme.dir/session_gme.cc.o.d"
+  "librmrsim_gme.a"
+  "librmrsim_gme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_gme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rmrsim_gme.
+# This may be replaced when dependencies are built.

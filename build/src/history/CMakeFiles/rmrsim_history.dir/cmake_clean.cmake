@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_history.dir/history.cc.o"
+  "CMakeFiles/rmrsim_history.dir/history.cc.o.d"
+  "librmrsim_history.a"
+  "librmrsim_history.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_history.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_lowerbound.dir/adversary.cc.o"
+  "CMakeFiles/rmrsim_lowerbound.dir/adversary.cc.o.d"
+  "CMakeFiles/rmrsim_lowerbound.dir/independent_set.cc.o"
+  "CMakeFiles/rmrsim_lowerbound.dir/independent_set.cc.o.d"
+  "librmrsim_lowerbound.a"
+  "librmrsim_lowerbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_lowerbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

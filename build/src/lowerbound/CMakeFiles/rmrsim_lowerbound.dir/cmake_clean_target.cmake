@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librmrsim_lowerbound.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/cc_model.cc" "src/memory/CMakeFiles/rmrsim_memory.dir/cc_model.cc.o" "gcc" "src/memory/CMakeFiles/rmrsim_memory.dir/cc_model.cc.o.d"
+  "/root/repo/src/memory/ledger.cc" "src/memory/CMakeFiles/rmrsim_memory.dir/ledger.cc.o" "gcc" "src/memory/CMakeFiles/rmrsim_memory.dir/ledger.cc.o.d"
+  "/root/repo/src/memory/memop.cc" "src/memory/CMakeFiles/rmrsim_memory.dir/memop.cc.o" "gcc" "src/memory/CMakeFiles/rmrsim_memory.dir/memop.cc.o.d"
+  "/root/repo/src/memory/shared_memory.cc" "src/memory/CMakeFiles/rmrsim_memory.dir/shared_memory.cc.o" "gcc" "src/memory/CMakeFiles/rmrsim_memory.dir/shared_memory.cc.o.d"
+  "/root/repo/src/memory/store.cc" "src/memory/CMakeFiles/rmrsim_memory.dir/store.cc.o" "gcc" "src/memory/CMakeFiles/rmrsim_memory.dir/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

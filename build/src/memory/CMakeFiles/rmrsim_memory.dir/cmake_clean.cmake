@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_memory.dir/cc_model.cc.o"
+  "CMakeFiles/rmrsim_memory.dir/cc_model.cc.o.d"
+  "CMakeFiles/rmrsim_memory.dir/ledger.cc.o"
+  "CMakeFiles/rmrsim_memory.dir/ledger.cc.o.d"
+  "CMakeFiles/rmrsim_memory.dir/memop.cc.o"
+  "CMakeFiles/rmrsim_memory.dir/memop.cc.o.d"
+  "CMakeFiles/rmrsim_memory.dir/shared_memory.cc.o"
+  "CMakeFiles/rmrsim_memory.dir/shared_memory.cc.o.d"
+  "CMakeFiles/rmrsim_memory.dir/store.cc.o"
+  "CMakeFiles/rmrsim_memory.dir/store.cc.o.d"
+  "librmrsim_memory.a"
+  "librmrsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutex/bakery_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/bakery_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/bakery_lock.cc.o.d"
+  "/root/repo/src/mutex/clh_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/clh_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/clh_lock.cc.o.d"
+  "/root/repo/src/mutex/fischer_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/fischer_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/fischer_lock.cc.o.d"
+  "/root/repo/src/mutex/lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/lock.cc.o.d"
+  "/root/repo/src/mutex/mcs_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/mcs_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/mcs_lock.cc.o.d"
+  "/root/repo/src/mutex/peterson_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/peterson_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/peterson_lock.cc.o.d"
+  "/root/repo/src/mutex/simple_locks.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/simple_locks.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/simple_locks.cc.o.d"
+  "/root/repo/src/mutex/ya_lock.cc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/ya_lock.cc.o" "gcc" "src/mutex/CMakeFiles/rmrsim_mutex.dir/ya_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rmrsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/rmrsim_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/rmrsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

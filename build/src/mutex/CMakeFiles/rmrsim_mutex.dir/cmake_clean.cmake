@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_mutex.dir/bakery_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/bakery_lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/clh_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/clh_lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/fischer_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/fischer_lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/mcs_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/mcs_lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/peterson_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/peterson_lock.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/simple_locks.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/simple_locks.cc.o.d"
+  "CMakeFiles/rmrsim_mutex.dir/ya_lock.cc.o"
+  "CMakeFiles/rmrsim_mutex.dir/ya_lock.cc.o.d"
+  "librmrsim_mutex.a"
+  "librmrsim_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

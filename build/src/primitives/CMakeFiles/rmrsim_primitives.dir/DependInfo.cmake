@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/primitives/blocking_leader.cc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/blocking_leader.cc.o" "gcc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/blocking_leader.cc.o.d"
+  "/root/repo/src/primitives/emulated_cas.cc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/emulated_cas.cc.o" "gcc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/emulated_cas.cc.o.d"
+  "/root/repo/src/primitives/leader_election.cc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/leader_election.cc.o" "gcc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/leader_election.cc.o.d"
+  "/root/repo/src/primitives/multi_signaler.cc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/multi_signaler.cc.o" "gcc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/multi_signaler.cc.o.d"
+  "/root/repo/src/primitives/rw_cas_registration.cc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/rw_cas_registration.cc.o" "gcc" "src/primitives/CMakeFiles/rmrsim_primitives.dir/rw_cas_registration.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rmrsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/rmrsim_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/signaling/CMakeFiles/rmrsim_signaling.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rmrsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/rmrsim_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/rmrsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_primitives.dir/blocking_leader.cc.o"
+  "CMakeFiles/rmrsim_primitives.dir/blocking_leader.cc.o.d"
+  "CMakeFiles/rmrsim_primitives.dir/emulated_cas.cc.o"
+  "CMakeFiles/rmrsim_primitives.dir/emulated_cas.cc.o.d"
+  "CMakeFiles/rmrsim_primitives.dir/leader_election.cc.o"
+  "CMakeFiles/rmrsim_primitives.dir/leader_election.cc.o.d"
+  "CMakeFiles/rmrsim_primitives.dir/multi_signaler.cc.o"
+  "CMakeFiles/rmrsim_primitives.dir/multi_signaler.cc.o.d"
+  "CMakeFiles/rmrsim_primitives.dir/rw_cas_registration.cc.o"
+  "CMakeFiles/rmrsim_primitives.dir/rw_cas_registration.cc.o.d"
+  "librmrsim_primitives.a"
+  "librmrsim_primitives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_runtime.dir/simulation.cc.o"
+  "CMakeFiles/rmrsim_runtime.dir/simulation.cc.o.d"
+  "librmrsim_runtime.a"
+  "librmrsim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

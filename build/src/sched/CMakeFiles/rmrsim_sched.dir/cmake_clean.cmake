@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_sched.dir/schedulers.cc.o"
+  "CMakeFiles/rmrsim_sched.dir/schedulers.cc.o.d"
+  "librmrsim_sched.a"
+  "librmrsim_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

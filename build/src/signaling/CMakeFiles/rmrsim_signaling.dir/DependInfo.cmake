@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signaling/algorithm.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/algorithm.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/algorithm.cc.o.d"
+  "/root/repo/src/signaling/broken.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/broken.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/broken.cc.o.d"
+  "/root/repo/src/signaling/cas_registration.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/cas_registration.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/cas_registration.cc.o.d"
+  "/root/repo/src/signaling/cc_flag.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/cc_flag.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/cc_flag.cc.o.d"
+  "/root/repo/src/signaling/checker.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/checker.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/checker.cc.o.d"
+  "/root/repo/src/signaling/dsm_fixed.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_fixed.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_fixed.cc.o.d"
+  "/root/repo/src/signaling/dsm_queue.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_queue.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_queue.cc.o.d"
+  "/root/repo/src/signaling/dsm_registration.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_registration.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_registration.cc.o.d"
+  "/root/repo/src/signaling/dsm_single_waiter.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_single_waiter.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/dsm_single_waiter.cc.o.d"
+  "/root/repo/src/signaling/llsc_registration.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/llsc_registration.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/llsc_registration.cc.o.d"
+  "/root/repo/src/signaling/workload.cc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/workload.cc.o" "gcc" "src/signaling/CMakeFiles/rmrsim_signaling.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/rmrsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/rmrsim_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/history/CMakeFiles/rmrsim_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/rmrsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_signaling.dir/algorithm.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/algorithm.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/broken.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/broken.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/cas_registration.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/cas_registration.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/cc_flag.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/cc_flag.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/checker.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/checker.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_fixed.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_fixed.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_queue.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_queue.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_registration.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_registration.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_single_waiter.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/dsm_single_waiter.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/llsc_registration.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/llsc_registration.cc.o.d"
+  "CMakeFiles/rmrsim_signaling.dir/workload.cc.o"
+  "CMakeFiles/rmrsim_signaling.dir/workload.cc.o.d"
+  "librmrsim_signaling.a"
+  "librmrsim_signaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_signaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

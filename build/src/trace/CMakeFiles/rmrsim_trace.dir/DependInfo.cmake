@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/call_stats.cc" "src/trace/CMakeFiles/rmrsim_trace.dir/call_stats.cc.o" "gcc" "src/trace/CMakeFiles/rmrsim_trace.dir/call_stats.cc.o.d"
+  "/root/repo/src/trace/export.cc" "src/trace/CMakeFiles/rmrsim_trace.dir/export.cc.o" "gcc" "src/trace/CMakeFiles/rmrsim_trace.dir/export.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/history/CMakeFiles/rmrsim_history.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/rmrsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rmrsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_trace.dir/call_stats.cc.o"
+  "CMakeFiles/rmrsim_trace.dir/call_stats.cc.o.d"
+  "CMakeFiles/rmrsim_trace.dir/export.cc.o"
+  "CMakeFiles/rmrsim_trace.dir/export.cc.o.d"
+  "librmrsim_trace.a"
+  "librmrsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

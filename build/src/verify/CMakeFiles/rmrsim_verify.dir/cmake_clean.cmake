@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_verify.dir/explorer.cc.o"
+  "CMakeFiles/rmrsim_verify.dir/explorer.cc.o.d"
+  "librmrsim_verify.a"
+  "librmrsim_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gme_test.dir/gme_test.cc.o"
+  "CMakeFiles/gme_test.dir/gme_test.cc.o.d"
+  "gme_test"
+  "gme_test.pdb"
+  "gme_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gme_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

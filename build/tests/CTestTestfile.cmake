@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/signaling_test[1]_include.cmake")
+include("/root/repo/build/tests/lowerbound_test[1]_include.cmake")
+include("/root/repo/build/tests/mutex_test[1]_include.cmake")
+include("/root/repo/build/tests/primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/gme_test[1]_include.cmake")
+include("/root/repo/build/tests/shapes_test[1]_include.cmake")
+include("/root/repo/build/tests/failure_test[1]_include.cmake")
+include("/root/repo/build/tests/explorer_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_test[1]_include.cmake")
+include("/root/repo/build/tests/mutation_test[1]_include.cmake")
+add_test(cli_signal "/root/repo/build/tools/rmrsim_cli" "signal" "--alg" "queue" "--model" "dsm" "--waiters" "12" "--delay" "24" "--seed" "5")
+set_tests_properties(cli_signal PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;28;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_signal_blocking "/root/repo/build/tools/rmrsim_cli" "signal" "--alg" "blocking-leader" "--model" "dsm" "--waiters" "8" "--blocking")
+set_tests_properties(cli_signal_blocking PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_mutex "/root/repo/build/tools/rmrsim_cli" "mutex" "--lock" "ya" "--model" "cc-wb" "--procs" "8" "--passages" "2")
+set_tests_properties(cli_mutex PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;32;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_adversary "/root/repo/build/tools/rmrsim_cli" "adversary" "--alg" "registration" "--n" "32")
+set_tests_properties(cli_adversary PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;34;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_gme "/root/repo/build/tools/rmrsim_cli" "gme" "--procs" "8" "--sessions" "2")
+set_tests_properties(cli_gme PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cli_broken_detected "/root/repo/build/tools/rmrsim_cli" "signal" "--alg" "broken" "--waiters" "2" "--delay" "4")
+set_tests_properties(cli_broken_detected PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

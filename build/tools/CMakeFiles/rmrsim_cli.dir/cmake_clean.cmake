@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmrsim_cli.dir/rmrsim_cli.cc.o"
+  "CMakeFiles/rmrsim_cli.dir/rmrsim_cli.cc.o.d"
+  "rmrsim_cli"
+  "rmrsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmrsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
