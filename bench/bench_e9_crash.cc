@@ -1,0 +1,187 @@
+// Experiment E9 — crash/recovery: which guarantees survive, at what RMR
+// cost.
+//
+// The paper's progress properties are explicitly conditional on crash-free
+// histories ("for any fair history ... where no process crashes"). This
+// experiment makes the condition quantitative under the recoverable-mutual-
+// exclusion failure model (crash = local state lost, shared memory
+// preserved, program re-runs from the top):
+//
+//  (a) Crash-in-CS demo: crash the lock holder inside its critical section.
+//      MCS — no recovery section — wedges the whole queue forever, in CC
+//      and DSM alike; the recoverable spin lock's recovery section releases
+//      the orphaned hold and every process completes all passages.
+//  (b) Crash-rate sweep: seeded random crashes at increasing rates against
+//      the recoverable lock. Mutual exclusion holds at every rate (verdict,
+//      checked); FIFO does not (measured, reported); RMRs per passage climb
+//      as recoveries re-execute prologues and (in CC) repopulate caches.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "mutex/lock.h"
+#include "mutex/mcs_lock.h"
+#include "mutex/recoverable_lock.h"
+#include "sched/fault.h"
+#include "sched/schedulers.h"
+
+using namespace rmrsim;
+
+namespace {
+
+struct World {
+  std::unique_ptr<SharedMemory> mem;
+  std::shared_ptr<MutexAlgorithm> lock;
+  std::unique_ptr<Simulation> sim;
+};
+
+/// Builds N workers over one lock; recoverable locks get the restartable
+/// worker (shared-memory progress counters), plain locks the classic one.
+World make_world(bool cc, bool recoverable, int nprocs, int passages) {
+  World w;
+  w.mem = cc ? make_cc(nprocs) : make_dsm(nprocs);
+  std::vector<Program> programs;
+  if (recoverable) {
+    auto lock = std::make_shared<RecoverableSpinLock>(*w.mem);
+    std::vector<VarId> done;
+    for (int p = 0; p < nprocs; ++p) {
+      done.push_back(w.mem->allocate_global(0, "done"));
+    }
+    for (int p = 0; p < nprocs; ++p) {
+      programs.emplace_back([lock, dv = done[p], passages](ProcCtx& ctx) {
+        return recoverable_mutex_worker(ctx, lock.get(), dv, passages);
+      });
+    }
+    w.lock = lock;
+  } else {
+    auto lock = std::make_shared<McsLock>(*w.mem);
+    for (int p = 0; p < nprocs; ++p) {
+      programs.emplace_back([lock, passages](ProcCtx& ctx) {
+        return mutex_worker(ctx, lock.get(), passages);
+      });
+    }
+    w.lock = lock;
+  }
+  w.sim = std::make_unique<Simulation>(*w.mem, std::move(programs));
+  return w;
+}
+
+int total_passages(const Simulation& sim) {
+  int total = 0;
+  for (ProcId p = 0; p < sim.nprocs(); ++p) {
+    total += passages_completed(sim.history(), p);
+  }
+  return total;
+}
+
+/// Part (a): crash the holder inside its first critical section, recover it,
+/// run everyone under round-robin.
+void crash_in_cs_row(TextTable* table, bool cc, bool recoverable, int nprocs,
+                     int passages) {
+  World w = make_world(cc, recoverable, nprocs, passages);
+  const bool reached_cs = w.sim->run_proc_until(0, [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kEvent &&
+           r.event == EventKind::kCallBegin && r.code == calls::kCritical;
+  });
+  if (!reached_cs) {
+    table->add_row({recoverable ? "recoverable-spin" : "mcs",
+                    cc ? "CC" : "DSM", "setup failed", "", "", ""});
+    return;
+  }
+  w.sim->crash(0);
+  w.sim->recover(0);
+  RoundRobinScheduler rr;
+  w.sim->run(rr, 8'000'000);
+  bool all_done = true;
+  for (ProcId p = 0; p < nprocs; ++p) {
+    if (passages_completed(w.sim->history(), p) < passages) all_done = false;
+  }
+  const CrashRunReport rep = analyze_crash_run(w.sim->history());
+  table->add_row({recoverable ? "recoverable-spin" : "mcs",
+                  cc ? "CC" : "DSM", all_done ? "yes" : "NO (wedged)",
+                  std::to_string(total_passages(*w.sim)) + "/" +
+                      std::to_string(nprocs * passages),
+                  rep.mutual_exclusion_ok ? "ok" : "VIOLATED",
+                  std::to_string(rep.fifo_inversions)});
+}
+
+/// Part (b): seeded random crashes against the recoverable lock.
+void sweep_row(TextTable* table, bool cc, double rate, int nprocs,
+               int passages) {
+  World w = make_world(cc, /*recoverable=*/true, nprocs, passages);
+  RoundRobinScheduler rr;
+  FaultScheduler faulty(rr, FaultPlan::random(/*seed=*/1234, rate,
+                                              /*recover_after=*/50,
+                                              /*max_crashes=*/64));
+  const auto result = w.sim->run(faulty, 60'000'000);
+  const CrashRunReport rep = analyze_crash_run(w.sim->history());
+  const int done = total_passages(*w.sim);
+  const double rmrs_pp =
+      done > 0 ? static_cast<double>(w.mem->ledger().total_rmrs()) / done
+               : -1.0;
+  char rate_str[16];
+  std::snprintf(rate_str, sizeof rate_str, "%.3f", rate);
+  table->add_row({cc ? "CC" : "DSM", rate_str,
+                  result.all_terminated ? "yes" : "NO",
+                  std::to_string(done) + "/" +
+                      std::to_string(nprocs * passages),
+                  fixed(rmrs_pp), std::to_string(rep.crashes),
+                  std::to_string(rep.recoveries),
+                  std::to_string(rep.failed_recoveries),
+                  std::to_string(rep.fifo_inversions),
+                  rep.mutual_exclusion_ok ? "ok" : "VIOLATED"});
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E9: crash/recovery under the RME failure model (crash loses local\n"
+      "state, shared memory survives, the program re-runs from the top)\n\n");
+
+  std::printf("(a) crash the holder inside its critical section, recover "
+              "it, run on\n    (N=4 workers, 3 passages each, round-robin)\n\n");
+  TextTable demo;
+  demo.set_header({"lock", "model", "all complete", "passages", "mutex",
+                   "fifo inv"});
+  for (const bool cc : {false, true}) {
+    crash_in_cs_row(&demo, cc, /*recoverable=*/false, 4, 3);
+    crash_in_cs_row(&demo, cc, /*recoverable=*/true, 4, 3);
+  }
+  std::fputs(demo.render().c_str(), stdout);
+  std::printf(
+      "\nMCS release is a multi-step handoff with no recovery section: the\n"
+      "crashed holder never signals its successor and the queue is wedged\n"
+      "forever (passages stall at the pre-crash count). The recoverable\n"
+      "lock's single-word transitions leave no unrepairable crash window.\n\n");
+
+  std::printf("(b) seeded random crashes vs the recoverable lock\n"
+              "    (N=6 workers, 4 passages, recover after 50 steps, "
+              "crash budget 64)\n\n");
+  TextTable sweep;
+  sweep.set_header({"model", "crash rate", "all exit", "cs exits",
+                    "rmrs/exit", "crashes", "recov", "failed recov",
+                    "fifo inv", "mutex"});
+  for (const double rate : {0.0, 0.002, 0.01, 0.05}) {
+    for (const bool cc : {false, true}) {
+      sweep_row(&sweep, cc, rate, 6, 4);
+    }
+  }
+  std::fputs(sweep.render().c_str(), stdout);
+  std::printf(
+      "\nExpected shape: mutual exclusion 'ok' and 'all exit' yes at every\n"
+      "rate — safety and progress both survive recovery. 'cs exits' counts\n"
+      "critical sections recorded end-to-end in the history; a passage cut\n"
+      "by a crash after its shared-memory increment completes logically but\n"
+      "not on the record, so high rates show slightly fewer exits than the\n"
+      "target. RMRs per exit move non-monotonically: moderate crash rates\n"
+      "*reduce* them (a crashed waiter stops burning CAS-spin RMRs during\n"
+      "its downtime) until re-executed prologues, repeated recoveries, and\n"
+      "(in CC) re-warming dropped caches dominate at high rates. FIFO\n"
+      "inversions appear as soon as crashes reorder waiters — fairness is\n"
+      "reported, not promised. Failed recoveries (a crash during the\n"
+      "recovery section itself) are re-run and must not wedge the run.\n");
+  return 0;
+}

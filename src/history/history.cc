@@ -32,6 +32,12 @@ std::string StepRecord::to_string() const {
       case EventKind::kDelay:
         out += "delay(" + std::to_string(value) + ")";
         break;
+      case EventKind::kCrash:
+        out += "CRASH";
+        break;
+      case EventKind::kRecover:
+        out += "recover";
+        break;
     }
   }
   if (terminated_after) out += " [terminated]";

@@ -22,6 +22,8 @@ enum class EventKind {
   kDirective,  ///< the client driver consumed a scheduling directive
   kMark,       ///< free-form annotation from algorithm/driver code
   kDelay,      ///< a delay(ticks) completed; value = requested ticks
+  kCrash,      ///< the process crashed mid-call (Simulation::crash)
+  kRecover,    ///< the process recovered: program restarted, locals lost
 };
 
 /// Well-known procedure codes used in kCallBegin/kCallEnd records. Kept in
@@ -35,6 +37,7 @@ inline constexpr Word kRelease = 5;  ///< mutex: lock release
 inline constexpr Word kCritical = 6; ///< mutex/GME: inside the critical section
 inline constexpr Word kGmeEnter = 7; ///< GME: enter(session)
 inline constexpr Word kGmeExit = 8;  ///< GME: exit()
+inline constexpr Word kRecover = 9;  ///< RME: a lock's crash-recovery section
 }  // namespace calls
 
 /// What a client driver should do next (supplied by the scheduler/adversary

@@ -55,6 +55,15 @@ bool CcModel::holds_exclusive_clean(ProcId p, VarId v) const {
   return l != nullptr && l->exclusive == p;
 }
 
+void CcModel::on_crash(ProcId p) {
+  for (Line& l : lines_) {
+    auto it = std::lower_bound(l.sharers.begin(), l.sharers.end(), p);
+    if (it != l.sharers.end() && *it == p) l.sharers.erase(it);
+    if (l.owner == p) l.owner = kNoProc;
+    if (l.exclusive == p) l.exclusive = kNoProc;
+  }
+}
+
 bool CcModel::read_like(ProcId p, const MemOp& op,
                         const MemoryStore& store) const {
   switch (op.type) {

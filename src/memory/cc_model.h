@@ -53,6 +53,10 @@ class CcModel final : public CostModel {
 
   void reset() override { lines_.clear(); }
 
+  /// Drops every copy the crashed process held (sharer, Modified owner, or
+  /// Exclusive-clean holder) — its cache does not survive the crash.
+  void on_crash(ProcId p) override;
+
   std::string_view name() const override;
 
   CcPolicy policy() const { return policy_; }

@@ -58,6 +58,14 @@ class CostModel {
   /// Clears all architectural state (empty caches). Used on replay.
   virtual void reset() = 0;
 
+  /// Process `p` crashed (Simulation::crash). A crash powers down p's
+  /// processor: any cached copies it held disappear, so a recovered p pays
+  /// cold-miss RMRs again for its re-executed prologue. Caches here are
+  /// pricing state only — the store always holds current values — so no
+  /// write is lost (the RME model: shared memory survives crashes). Default
+  /// is a no-op, which is exact for the stateless DSM pricing.
+  virtual void on_crash(ProcId p) { (void)p; }
+
   /// Model name for tables and diagnostics, e.g. "DSM" or "CC/write-back".
   virtual std::string_view name() const = 0;
 

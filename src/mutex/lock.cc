@@ -1,5 +1,7 @@
 #include "mutex/lock.h"
 
+#include <map>
+
 namespace rmrsim {
 
 ProcTask mutex_worker(ProcCtx& ctx, MutexAlgorithm* lock, int passages) {
@@ -15,12 +17,41 @@ ProcTask mutex_worker(ProcCtx& ctx, MutexAlgorithm* lock, int passages) {
   }
 }
 
+ProcTask recoverable_mutex_worker(ProcCtx& ctx, RecoverableMutexAlgorithm* lock,
+                                  VarId done_var, int passages) {
+  co_await ctx.call_begin(calls::kRecover);
+  co_await lock->recover(ctx);
+  co_await ctx.call_end(calls::kRecover);
+  for (;;) {
+    // Progress check reads shared memory, not a loop counter: a crash wipes
+    // the frame, so only `done_var` remembers how far this process got.
+    const Word done = co_await ctx.read(done_var);
+    if (done >= passages) break;
+    co_await ctx.call_begin(calls::kAcquire);
+    co_await lock->acquire(ctx);
+    co_await ctx.call_end(calls::kAcquire);
+    co_await ctx.call_begin(calls::kCritical);
+    co_await ctx.faa(done_var, 1);
+    co_await ctx.call_end(calls::kCritical);
+    co_await ctx.call_begin(calls::kRelease);
+    co_await lock->release(ctx);
+    co_await ctx.call_end(calls::kRelease);
+  }
+}
+
 std::optional<MutexViolation> check_mutual_exclusion(const History& h) {
   ProcId inside = kNoProc;
   for (const StepRecord& r : h.records()) {
-    if (r.kind != StepRecord::Kind::kEvent || r.code != calls::kCritical) {
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCrash) {
+      // The crash ends the victim's passage; its open CS span (if any) is
+      // closed here, not violated. Whether *another* process can now slip
+      // into the CS while the crashed holder's shared state still claims it
+      // is exactly what this checker decides on the remaining records.
+      if (inside == r.proc) inside = kNoProc;
       continue;
     }
+    if (r.code != calls::kCritical) continue;
     if (r.event == EventKind::kCallBegin) {
       if (inside != kNoProc) {
         return MutexViolation{
@@ -48,6 +79,46 @@ int passages_completed(const History& h, ProcId p) {
     }
   }
   return n;
+}
+
+CrashRunReport analyze_crash_run(const History& h) {
+  CrashRunReport rep;
+  rep.mutual_exclusion_ok = !check_mutual_exclusion(h).has_value();
+  std::map<ProcId, std::int64_t> acquiring;  // open kAcquire span -> begin idx
+  std::map<ProcId, bool> recovering;         // open kRecover span
+  for (const StepRecord& r : h.records()) {
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCrash) {
+      ++rep.crashes;
+      if (recovering[r.proc]) ++rep.failed_recoveries;
+      acquiring.erase(r.proc);
+      recovering[r.proc] = false;
+      continue;
+    }
+    if (r.event == EventKind::kRecover) {
+      ++rep.recoveries;
+      continue;
+    }
+    if (r.event == EventKind::kCallBegin && r.code == calls::kRecover) {
+      recovering[r.proc] = true;
+    } else if (r.event == EventKind::kCallEnd && r.code == calls::kRecover) {
+      recovering[r.proc] = false;
+    } else if (r.event == EventKind::kCallBegin && r.code == calls::kAcquire) {
+      acquiring[r.proc] = r.index;
+    } else if (r.event == EventKind::kCallBegin &&
+               r.code == calls::kCritical) {
+      // Everyone still waiting who started acquiring before this process did
+      // has just been overtaken once.
+      const auto me = acquiring.find(r.proc);
+      if (me != acquiring.end()) {
+        for (const auto& [q, begin] : acquiring) {
+          if (q != r.proc && begin < me->second) ++rep.fifo_inversions;
+        }
+        acquiring.erase(me);
+      }
+    }
+  }
+  return rep;
 }
 
 }  // namespace rmrsim

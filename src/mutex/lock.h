@@ -33,11 +33,34 @@ class MutexAlgorithm {
   virtual std::string_view name() const = 0;
 };
 
+/// A mutex that survives the RME failure model (Golab–Ramaraju): after a
+/// crash anywhere in acquire/critical-section/release, running `recover`
+/// (from the top of the restarted program) repairs the lock's shared state —
+/// releasing an orphaned hold if the crash struck while the caller owned the
+/// lock — after which acquire works normally again. `recover` must be
+/// idempotent: it also runs on a fresh, crash-free start.
+class RecoverableMutexAlgorithm : public MutexAlgorithm {
+ public:
+  /// Crash-recovery section. Runs before any acquire on (re)start.
+  virtual SubTask<void> recover(ProcCtx& ctx) = 0;
+};
+
 /// Canned worker: `passages` iterations of acquire -> critical section ->
 /// release, with call boundaries recorded (calls::kAcquire / kCritical /
 /// kRelease) so the checker below and the RMR-per-passage benches work off
 /// the history.
 ProcTask mutex_worker(ProcCtx& ctx, MutexAlgorithm* lock, int passages);
+
+/// Crash-restartable worker for FaultScheduler runs. Because a recovered
+/// program re-runs from the top with all locals lost, progress lives in
+/// shared memory: the worker loops until its own counter `done_var` (one
+/// variable per process, pre-allocated by the driver) reaches `passages`,
+/// incrementing it with FAA inside the critical section. On every (re)start
+/// it first runs the lock's recovery section under a calls::kRecover span —
+/// so a crash inside that span is a *failed recovery*, countable from the
+/// history.
+ProcTask recoverable_mutex_worker(ProcCtx& ctx, RecoverableMutexAlgorithm* lock,
+                                  VarId done_var, int passages);
 
 struct MutexViolation {
   std::int64_t step_index = -1;
@@ -47,10 +70,32 @@ struct MutexViolation {
 };
 
 /// Mutual exclusion safety: no two processes' critical sections
-/// (kCritical call spans) overlap in the history.
+/// (kCritical call spans) overlap in the history. Crash-aware: a crash
+/// closes the victim's open critical section (its passage ends with the
+/// crash — the RME convention), so mutual exclusion remains checkable on
+/// crashy histories and MUST still hold; fairness properties need not (see
+/// analyze_crash_run, which reports FIFO inversions instead of asserting).
 std::optional<MutexViolation> check_mutual_exclusion(const History& h);
 
 /// Completed passages (kCritical call ends) by process p.
 int passages_completed(const History& h, ProcId p);
+
+/// What a crashy run preserved and what it gave up, extracted from the
+/// history. Mutual exclusion is a verdict (it must survive crashes);
+/// FIFO/fairness is a measurement (crashes legitimately reorder waiters —
+/// a recovered process re-enters the queue from scratch).
+struct CrashRunReport {
+  int crashes = 0;
+  int recoveries = 0;
+  /// Crashes that struck while the victim's calls::kRecover span was open:
+  /// the recovery itself was cut down and had to be re-run.
+  int failed_recoveries = 0;
+  /// Critical-section entries that overtook a process which had started
+  /// acquiring earlier and was still waiting.
+  int fifo_inversions = 0;
+  bool mutual_exclusion_ok = true;
+};
+
+CrashRunReport analyze_crash_run(const History& h);
 
 }  // namespace rmrsim

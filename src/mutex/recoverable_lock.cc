@@ -1,0 +1,44 @@
+#include "mutex/recoverable_lock.h"
+
+#include <string>
+
+namespace rmrsim {
+
+RecoverableSpinLock::RecoverableSpinLock(SharedMemory& mem)
+    : owner_(mem.allocate_global(kFree, "owner")) {
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    want_.push_back(
+        mem.allocate_local(p, 0, "want[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> RecoverableSpinLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.write(want_[me], 1);
+  for (;;) {
+    const Word old = co_await ctx.cas(owner_, kFree, me);
+    // `old == me` cannot arise in a crash-free run (we only reach acquire
+    // after recover() released any orphaned hold), but tolerating it keeps
+    // acquire correct even if a driver skips the recovery section.
+    if (old == kFree || old == me) break;
+  }
+}
+
+SubTask<void> RecoverableSpinLock::release(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.cas(owner_, me, kFree);
+  co_await ctx.write(want_[me], 0);
+}
+
+SubTask<void> RecoverableSpinLock::recover(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  // If the crash struck while we held the lock (anywhere from the winning
+  // CAS in acquire to the releasing CAS in release), the hold is orphaned:
+  // release it. CAS, not write — by the time we run, we may have read a
+  // stale owner, and blind-writing kFree could free somebody else's hold.
+  const Word holder = co_await ctx.read(owner_);
+  if (holder == me) co_await ctx.cas(owner_, me, kFree);
+  co_await ctx.write(want_[me], 0);
+}
+
+}  // namespace rmrsim

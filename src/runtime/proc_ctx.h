@@ -164,6 +164,14 @@ class ProcCtx {
 
   void mark_finished() { pending_ = PendingAction{}; }
 
+  /// Crash support (Simulation::crash): the coroutine frame is destroyed by
+  /// the owner, so the parked resume point and pending action are dead —
+  /// clear both so nothing can resume into freed memory.
+  void mark_crashed() {
+    pending_ = PendingAction{};
+    resume_point_ = {};
+  }
+
  private:
   void resume() {
     ensure(static_cast<bool>(resume_point_), "process is not suspended");

@@ -47,7 +47,7 @@ void Simulation::arm_delay(Proc& pr) {
 
 bool Simulation::ready(ProcId p) const {
   const Proc& pr = proc(p);
-  if (pr.finished) return false;
+  if (pr.finished || pr.crashed) return false;
   if (pr.ctx->pending().kind == ActionKind::kDelay) {
     return now_ >= pr.wake_time;
   }
@@ -64,7 +64,10 @@ const Simulation::Proc& Simulation::proc(ProcId p) const {
   return procs_[static_cast<std::size_t>(p)];
 }
 
-bool Simulation::runnable(ProcId p) const { return !proc(p).finished; }
+bool Simulation::runnable(ProcId p) const {
+  const Proc& pr = proc(p);
+  return !pr.finished && !pr.crashed;
+}
 bool Simulation::terminated(ProcId p) const { return proc(p).finished; }
 
 bool Simulation::all_terminated() const {
@@ -91,6 +94,7 @@ int Simulation::directives_consumed(ProcId p) const {
 const StepRecord& Simulation::step(ProcId p) {
   Proc& pr = proc(p);
   ensure(!pr.finished, "stepping a terminated process");
+  ensure(!pr.crashed, "stepping a crashed process (recover it first)");
   const PendingAction a = pr.ctx->pending();
 
   StepRecord rec;
@@ -146,6 +150,7 @@ const StepRecord& Simulation::step(ProcId p) {
   } else {
     arm_delay(pr);
   }
+  ++pr.steps;
   schedule_.push_back(p);
   history_.append(std::move(rec));
   return history_.records().back();
@@ -172,8 +177,73 @@ void Simulation::run_to_termination(ProcId p, std::uint64_t max_steps) {
   ensure(terminated(p), "run_to_termination exceeded its step budget");
 }
 
+bool Simulation::run_proc_until(
+    ProcId p, const std::function<bool(const StepRecord&)>& pred,
+    std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (terminated(p)) return false;
+    if (pred(step(p))) return true;
+  }
+  return false;
+}
+
+void Simulation::crash(ProcId p) {
+  Proc& pr = proc(p);
+  ensure(!pr.erased, "cannot crash an erased process");
+  ensure(!pr.crashed, "process is already crashed");
+  ensure(!pr.finished, "cannot crash a terminated process");
+  // Destroying the suspended coroutine frame unwinds every nested SubTask
+  // frame (their destructors run), losing all coroutine-local state. The
+  // pending action is dropped unapplied; shared memory keeps every write p
+  // already performed.
+  pr.task = ProcTask{};
+  pr.crashed = true;
+  ++pr.crashes;
+  pr.ctx->mark_crashed();
+  memory_->model().on_crash(p);
+  fault_trace_.push_back(
+      {FaultRecord::Kind::kCrash, p, schedule_.size()});
+  StepRecord rec;
+  rec.proc = p;
+  rec.kind = StepRecord::Kind::kEvent;
+  rec.event = EventKind::kCrash;
+  history_.append(std::move(rec));
+}
+
+void Simulation::recover(ProcId p) {
+  Proc& pr = proc(p);
+  ensure(pr.crashed, "recover() target is not crashed");
+  // Fresh control block + fresh coroutine frame: all local state is lost,
+  // exactly the RME failure model. Shared memory is untouched.
+  pr.ctx = std::make_unique<ProcCtx>(p, memory_->nprocs());
+  pr.task = programs_[static_cast<std::size_t>(p)](*pr.ctx);
+  pr.crashed = false;
+  ++pr.recoveries;
+  fault_trace_.push_back(
+      {FaultRecord::Kind::kRecover, p, schedule_.size()});
+  StepRecord rec;
+  rec.proc = p;
+  rec.kind = StepRecord::Kind::kEvent;
+  rec.event = EventKind::kRecover;
+  history_.append(std::move(rec));
+  // Re-run the local prologue to the first suspension point, mirroring the
+  // constructor. No memory operation is applied here.
+  pr.task.handle().resume();
+  if (pr.task.done()) {
+    pr.task.rethrow_if_error();
+    pr.finished = true;
+    pr.ctx->mark_finished();
+  } else {
+    arm_delay(pr);
+  }
+}
+
 void Simulation::erase_process(ProcId p) {
   Proc& pr = proc(p);
+  ensure(!pr.crashed,
+         "cannot erase a crashed process (its crash record would survive in "
+         "the history and the fault trace; Lemma 6.7 erases live invisible "
+         "processes only)");
   ensure(!pr.finished, "cannot erase a finished process (Lemma 6.7 erases "
                        "active processes only)");
   ensure(memory_->model().pricing_is_stateless(),

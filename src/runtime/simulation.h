@@ -3,9 +3,10 @@
 // Owns the process coroutines and the recorded History; applies one pending
 // action at a time under the direction of a Scheduler (or of the lower-bound
 // adversary, which drives step() directly). Everything is deterministic: the
-// same (memory contents, programs, schedule, directive policy) always yields
-// the same history — the property the erasure-by-replay machinery of the
-// Section 6 adversary rests on.
+// same (memory contents, programs, schedule, directive policy, fault trace)
+// always yields the same history — the property the erasure-by-replay
+// machinery of the Section 6 adversary and the replay of crashy schedules
+// both rest on.
 #pragma once
 
 #include <cstdint>
@@ -23,11 +24,14 @@ namespace rmrsim {
 class Simulation;
 
 /// Picks which process takes the next step. Implementations in src/sched.
+/// The simulation is passed mutably so fault-injecting schedulers
+/// (FaultScheduler) can crash/recover processes between steps; ordinary
+/// schedulers only read it.
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
   /// Returns a process with a pending action, or kNoProc to stop the run.
-  virtual ProcId next(const Simulation& sim) = 0;
+  virtual ProcId next(Simulation& sim) = 0;
 };
 
 /// A process program: invoked once per process at simulation start. Write
@@ -94,6 +98,15 @@ class Simulation {
   /// Steps p until it terminates (solo run); throws if the budget is hit.
   void run_to_termination(ProcId p, std::uint64_t max_steps);
 
+  /// Steps p until the just-applied step satisfies `pred`. Returns true if a
+  /// matching step was applied within `max_steps`, false if p terminated or
+  /// the budget ran out first. The standard way to drive a process to a
+  /// precise crash point ("right after its FAI", "inside its critical
+  /// section") before calling crash().
+  bool run_proc_until(ProcId p,
+                      const std::function<bool(const StepRecord&)>& pred,
+                      std::uint64_t max_steps = 100'000);
+
   struct RunResult {
     std::uint64_t steps = 0;
     bool all_terminated = false;
@@ -129,6 +142,56 @@ class Simulation {
   /// True iff p was removed via erase_process.
   bool erased(ProcId p) const { return proc(p).erased; }
 
+  // ---- crash/recovery fault injection (the RME failure model) ----------
+  //
+  // A crash abandons the process mid-call: its coroutine stack (all local
+  // state, loop counters, held references) is destroyed, nothing it holds
+  // is released, and every shared-memory write it performed stays exactly
+  // as written. A recovery re-runs the process's program from the top with
+  // shared memory preserved — the Golab–Ramaraju recoverable-mutex failure
+  // model. Crashes and recoveries are recorded both in the history (as
+  // EventKind::kCrash / kRecover records) and in the fault trace, so a
+  // crashy run replays exactly: same schedule + same fault trace = same
+  // history (see FaultPlan::scripted).
+
+  /// Crashes process p: destroys its coroutine frame mid-call without
+  /// applying its pending action. p stops being runnable until recover(p).
+  /// The cost model is notified (a CC crash drops p's cached copies, so
+  /// re-executed prologues are priced as cold RMRs again; DSM pricing is
+  /// stateless and unaffected). Throws if p is terminated, erased, or
+  /// already crashed.
+  void crash(ProcId p);
+
+  /// Recovers a crashed process: re-instantiates its program (fresh
+  /// coroutine-local state, prologue run to the first suspension point)
+  /// against the preserved shared memory. RMRs of re-executed code are
+  /// charged to the ledger like any other operation — recovery is not free.
+  void recover(ProcId p);
+
+  /// True iff p is currently crashed (crash() without a later recover()).
+  bool crashed(ProcId p) const { return proc(p).crashed; }
+
+  /// Lifetime fault counters for p.
+  int crash_count(ProcId p) const { return proc(p).crashes; }
+  int recovery_count(ProcId p) const { return proc(p).recoveries; }
+
+  /// Steps applied by p so far (memory ops and events alike). The
+  /// crash-at-step fault trigger counts in these units.
+  std::uint64_t steps_taken(ProcId p) const { return proc(p).steps; }
+
+  /// One recorded fault: what happened to whom, positioned by the number of
+  /// steps (schedule entries) applied when it was injected. Replaying the
+  /// recorded schedule under FaultPlan::scripted(fault_trace()) reproduces
+  /// the crashy history exactly.
+  struct FaultRecord {
+    enum class Kind { kCrash, kRecover };
+    Kind kind = Kind::kCrash;
+    ProcId proc = kNoProc;
+    std::uint64_t at = 0;  ///< schedule().size() when the fault was applied
+  };
+
+  const std::vector<FaultRecord>& fault_trace() const { return fault_trace_; }
+
   /// Number of directives process p has consumed so far.
   int directives_consumed(ProcId p) const;
 
@@ -139,7 +202,11 @@ class Simulation {
     bool started = false;
     bool finished = false;
     bool erased = false;
+    bool crashed = false;
     int directives = 0;
+    int crashes = 0;
+    int recoveries = 0;
+    std::uint64_t steps = 0;
     std::uint64_t wake_time = 0;  // meaningful while pending is kDelay
   };
 
@@ -160,6 +227,7 @@ class Simulation {
   DirectivePolicy policy_;
   History history_;
   std::vector<ProcId> schedule_;
+  std::vector<FaultRecord> fault_trace_;
 };
 
 }  // namespace rmrsim

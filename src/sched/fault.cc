@@ -1,0 +1,252 @@
+#include "sched/fault.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+FaultPlan FaultPlan::crash_at_step(ProcId proc, std::uint64_t nth_step,
+                                   std::uint64_t recover_after) {
+  FaultPlan plan;
+  plan.triggers.push_back(
+      {Trigger::Kind::kAtStep, proc, nth_step, /*per_million=*/0});
+  plan.recover_after = recover_after;
+  return plan;
+}
+
+FaultPlan FaultPlan::crash_on_nth_rmr(ProcId proc, std::uint64_t nth_rmr,
+                                      std::uint64_t recover_after) {
+  FaultPlan plan;
+  plan.triggers.push_back(
+      {Trigger::Kind::kOnNthRmr, proc, nth_rmr, /*per_million=*/0});
+  plan.recover_after = recover_after;
+  return plan;
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, double crash_rate,
+                            std::uint64_t recover_after, int max_crashes) {
+  ensure(crash_rate >= 0.0 && crash_rate <= 1.0,
+         "crash rate must be in [0, 1]");
+  FaultPlan plan;
+  // Store the rate as an integer so draws are exactly reproducible across
+  // platforms — doubles never enter the decision.
+  const auto per_million =
+      static_cast<std::uint64_t>(crash_rate * 1'000'000.0 + 0.5);
+  plan.triggers.push_back(
+      {Trigger::Kind::kRandom, kNoProc, /*n=*/0, per_million});
+  plan.recover_after = recover_after;
+  plan.max_crashes = max_crashes;
+  plan.seed = seed;
+  return plan;
+}
+
+FaultPlan FaultPlan::crash_stop(ProcId proc, std::uint64_t nth_step) {
+  FaultPlan plan;
+  plan.triggers.push_back(
+      {Trigger::Kind::kAtStep, proc, nth_step, /*per_million=*/0});
+  plan.recover = false;
+  return plan;
+}
+
+FaultPlan FaultPlan::scripted_trace(
+    std::vector<Simulation::FaultRecord> trace) {
+  FaultPlan plan;
+  plan.script = std::move(trace);
+  plan.scripted = true;
+  return plan;
+}
+
+namespace {
+
+/// Splits "k1=v1,k2=v2" and returns v for `key`, or empty if absent.
+std::string find_field(const std::string& body, const std::string& key) {
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    std::size_t end = body.find(',', pos);
+    if (end == std::string::npos) end = body.size();
+    const std::string item = body.substr(pos, end - pos);
+    const std::size_t eq = item.find('=');
+    if (eq != std::string::npos && item.substr(0, eq) == key) {
+      return item.substr(eq + 1);
+    }
+    pos = end + 1;
+  }
+  return {};
+}
+
+std::uint64_t need_u64(const std::string& body, const std::string& key,
+                       const std::string& spec) {
+  const std::string v = find_field(body, key);
+  ensure(!v.empty(), "--fault-plan '" + spec + "' is missing " + key + "=");
+  return std::strtoull(v.c_str(), nullptr, 10);
+}
+
+std::uint64_t opt_u64(const std::string& body, const std::string& key,
+                      std::uint64_t fallback) {
+  const std::string v = find_field(body, key);
+  return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  ensure(colon != std::string::npos,
+         "--fault-plan must look like kind:key=value,... (kinds: step, rmr, "
+         "random), got '" + spec + "'");
+  const std::string kind = spec.substr(0, colon);
+  const std::string body = spec.substr(colon + 1);
+
+  if (kind == "step") {
+    const auto proc = static_cast<ProcId>(need_u64(body, "proc", spec));
+    FaultPlan plan = FaultPlan::crash_at_step(
+        proc, need_u64(body, "n", spec), opt_u64(body, "recover", 100));
+    if (find_field(body, "recover") == "never") plan.recover = false;
+    return plan;
+  }
+  if (kind == "rmr") {
+    const auto proc = static_cast<ProcId>(need_u64(body, "proc", spec));
+    return FaultPlan::crash_on_nth_rmr(proc, need_u64(body, "n", spec),
+                                       opt_u64(body, "recover", 100));
+  }
+  if (kind == "random") {
+    const std::string rate = find_field(body, "rate");
+    ensure(!rate.empty(), "--fault-plan '" + spec + "' is missing rate=");
+    return FaultPlan::random(
+        opt_u64(body, "seed", 1), std::strtod(rate.c_str(), nullptr),
+        opt_u64(body, "recover", 100),
+        static_cast<int>(opt_u64(body, "max", 1 << 20)));
+  }
+  fail("--fault-plan kind must be step, rmr, or random, got '" + kind + "'");
+}
+
+FaultScheduler::FaultScheduler(Scheduler& inner, FaultPlan plan)
+    : inner_(&inner), plan_(std::move(plan)), rng_(plan_.seed) {
+  fired_.assign(plan_.triggers.size(), false);
+}
+
+void FaultScheduler::inject_crash(Simulation& sim, ProcId p) {
+  sim.crash(p);
+  ++crashes_;
+  if (!plan_.scripted && plan_.recover) {
+    pending_.push_back({p, sim.schedule().size() + plan_.recover_after});
+  }
+}
+
+void FaultScheduler::apply_due_faults(Simulation& sim) {
+  const std::uint64_t pos = sim.schedule().size();
+
+  if (plan_.scripted) {
+    // Replay mode: re-apply the recorded faults at their recorded schedule
+    // positions, in recorded order. Nothing is drawn or decided here.
+    while (script_pos_ < plan_.script.size() &&
+           plan_.script[script_pos_].at <= pos) {
+      const Simulation::FaultRecord& r = plan_.script[script_pos_++];
+      if (r.kind == Simulation::FaultRecord::Kind::kCrash) {
+        sim.crash(r.proc);
+        ++crashes_;
+      } else {
+        sim.recover(r.proc);
+        ++recoveries_;
+      }
+    }
+    return;
+  }
+
+  // Recoveries first: a process whose downtime has elapsed comes back before
+  // any new crash decision is made.
+  for (std::size_t i = 0; i < pending_.size();) {
+    if (pending_[i].due <= pos) {
+      sim.recover(pending_[i].proc);
+      ++recoveries_;
+      pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  for (std::size_t t = 0; t < plan_.triggers.size(); ++t) {
+    if (crashes_ >= plan_.max_crashes) return;
+    const FaultPlan::Trigger& trig = plan_.triggers[t];
+    switch (trig.kind) {
+      case FaultPlan::Trigger::Kind::kAtStep:
+        if (!fired_[t] && !sim.terminated(trig.proc) &&
+            !sim.crashed(trig.proc) && sim.steps_taken(trig.proc) >= trig.n) {
+          fired_[t] = true;
+          inject_crash(sim, trig.proc);
+        }
+        break;
+      case FaultPlan::Trigger::Kind::kOnNthRmr:
+        if (!fired_[t] && !sim.terminated(trig.proc) &&
+            !sim.crashed(trig.proc) &&
+            sim.memory().ledger().rmrs(trig.proc) >= trig.n) {
+          fired_[t] = true;
+          inject_crash(sim, trig.proc);
+        }
+        break;
+      case FaultPlan::Trigger::Kind::kRandom:
+        // One draw per live process per decision, in proc-id order, so the
+        // sequence of draws — and hence the whole run — depends only on the
+        // seed and the deterministic simulation state.
+        for (ProcId p = 0; p < sim.nprocs(); ++p) {
+          if (crashes_ >= plan_.max_crashes) break;
+          if (sim.terminated(p) || sim.crashed(p) || !sim.runnable(p)) {
+            continue;
+          }
+          if (rng_.chance(trig.per_million, 1'000'000)) {
+            inject_crash(sim, p);
+          }
+        }
+        break;
+    }
+  }
+}
+
+bool FaultScheduler::fast_forward(Simulation& sim) {
+  if (plan_.scripted) {
+    // Only a *due* scripted fault may be applied out of band: the inner
+    // scheduler also returns kNoProc for recorded clock ticks, and a fault
+    // positioned after the tick must wait for the replay to get there.
+    if (script_pos_ >= plan_.script.size() ||
+        plan_.script[script_pos_].at > sim.schedule().size()) {
+      return false;
+    }
+    const Simulation::FaultRecord& r = plan_.script[script_pos_++];
+    if (r.kind == Simulation::FaultRecord::Kind::kCrash) {
+      sim.crash(r.proc);
+      ++crashes_;
+    } else {
+      sim.recover(r.proc);
+      ++recoveries_;
+    }
+    return true;
+  }
+  if (pending_.empty()) return false;
+  auto it = std::min_element(pending_.begin(), pending_.end(),
+                             [](const PendingRecovery& a,
+                                const PendingRecovery& b) {
+                               return a.due < b.due;
+                             });
+  sim.recover(it->proc);
+  ++recoveries_;
+  pending_.erase(it);
+  return true;
+}
+
+ProcId FaultScheduler::next(Simulation& sim) {
+  // Bounded by the number of outstanding recoveries (each fast_forward
+  // consumes one), so this cannot loop forever.
+  for (;;) {
+    apply_due_faults(sim);
+    const ProcId p = inner_->next(sim);
+    if (p != kNoProc) return p;
+    // Inner scheduler sees nobody to run. If a crashed process is still due
+    // to come back, bring it back now — everyone alive may be spinning on
+    // it — and ask again.
+    if (!fast_forward(sim)) return kNoProc;
+  }
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,118 @@
+// Deterministic crash/recovery fault injection.
+//
+// The paper's progress guarantees are explicitly crash-conditional ("for any
+// fair history ... where no process crashes", Section 2). This module makes
+// that condition an experimental axis: a FaultPlan describes *when* processes
+// crash and recover, and a FaultScheduler applies the plan over any inner
+// scheduler, so crashy runs are exactly as deterministic and replayable as
+// crash-free ones — same plan + same inner scheduler + same seed, same
+// history, including every crash and recovery step.
+//
+// Failure model (Golab–Ramaraju recoverable mutual exclusion, as carried
+// forward by Jayanti–Jayanti–Joshi and bounded by Chan–Woelfel): a crash
+// destroys a process's local state mid-call and releases nothing; a recovery
+// re-runs its program against the preserved shared memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "runtime/simulation.h"
+
+namespace rmrsim {
+
+/// When to crash whom, and when (if ever) to bring them back. Build with
+/// the factory functions; combine triggers by appending to `triggers`.
+struct FaultPlan {
+  struct Trigger {
+    enum class Kind {
+      kAtStep,   ///< crash `proc` once it has applied `n` steps
+      kOnNthRmr, ///< crash `proc` once it has incurred `n` RMRs
+      kRandom,   ///< every decision, each runnable process crashes with
+                 ///< probability `per_million` / 1e6 (seeded, deterministic)
+    };
+    Kind kind = Kind::kAtStep;
+    ProcId proc = kNoProc;           ///< target (kAtStep / kOnNthRmr)
+    std::uint64_t n = 0;             ///< step / RMR threshold
+    std::uint64_t per_million = 0;   ///< kRandom crash probability numerator
+  };
+
+  std::vector<Trigger> triggers;
+
+  /// Recovery policy: a crashed process is recovered once `recover_after`
+  /// further steps have been applied (schedule entries, ticks included).
+  /// With `recover = false` crashes are permanent (crash-stop).
+  bool recover = true;
+  std::uint64_t recover_after = 100;
+
+  /// Total crash budget across all triggers (bounds random plans).
+  int max_crashes = 1 << 20;
+
+  /// Seed for kRandom draws.
+  std::uint64_t seed = 1;
+
+  /// Exact replay of a recorded fault trace (Simulation::fault_trace()):
+  /// every crash and recovery is re-applied at the same schedule position.
+  /// Combined with ScriptedScheduler over the recorded schedule this
+  /// reproduces a crashy run step for step.
+  std::vector<Simulation::FaultRecord> script;
+  bool scripted = false;
+
+  static FaultPlan crash_at_step(ProcId proc, std::uint64_t nth_step,
+                                 std::uint64_t recover_after);
+  static FaultPlan crash_on_nth_rmr(ProcId proc, std::uint64_t nth_rmr,
+                                    std::uint64_t recover_after);
+  static FaultPlan random(std::uint64_t seed, double crash_rate,
+                          std::uint64_t recover_after, int max_crashes);
+  static FaultPlan crash_stop(ProcId proc, std::uint64_t nth_step);
+  static FaultPlan scripted_trace(std::vector<Simulation::FaultRecord> trace);
+};
+
+/// Parses the CLI plan syntax used by `rmrsim_cli --fault-plan`:
+///   step:proc=P,n=N[,recover=R]
+///   rmr:proc=P,n=N[,recover=R]
+///   random:rate=F,seed=S[,recover=R][,max=M]
+/// Throws std::logic_error on malformed specs.
+FaultPlan parse_fault_plan(const std::string& spec);
+
+/// Applies a FaultPlan over any inner scheduler. Before each scheduling
+/// decision it (1) recovers crashed processes whose recovery step count is
+/// due, then (2) fires any due crash triggers, then delegates to the inner
+/// scheduler. If the inner scheduler has nobody to run but a recovery is
+/// still outstanding, the recovery is fast-forwarded so the run can
+/// continue — a system where everyone alive is blocked on a crashed process
+/// resumes the moment that process comes back (the RME liveness premise).
+class FaultScheduler final : public Scheduler {
+ public:
+  FaultScheduler(Scheduler& inner, FaultPlan plan);
+
+  ProcId next(Simulation& sim) override;
+
+  int crashes_injected() const { return crashes_; }
+  int recoveries_injected() const { return recoveries_; }
+
+ private:
+  struct PendingRecovery {
+    ProcId proc = kNoProc;
+    std::uint64_t due = 0;  ///< schedule().size() at which to recover
+  };
+
+  void apply_due_faults(Simulation& sim);
+  void inject_crash(Simulation& sim, ProcId p);
+  /// Recovers the earliest outstanding recovery (or applies the next
+  /// scripted fault). Returns false if there is nothing to fast-forward.
+  bool fast_forward(Simulation& sim);
+
+  Scheduler* inner_;
+  FaultPlan plan_;
+  SplitMix64 rng_;
+  std::vector<bool> fired_;  ///< one-shot triggers already taken
+  std::vector<PendingRecovery> pending_;
+  std::size_t script_pos_ = 0;
+  int crashes_ = 0;
+  int recoveries_ = 0;
+};
+
+}  // namespace rmrsim

@@ -4,7 +4,7 @@
 
 namespace rmrsim {
 
-ProcId RoundRobinScheduler::next(const Simulation& sim) {
+ProcId RoundRobinScheduler::next(Simulation& sim) {
   const int n = sim.nprocs();
   for (int i = 1; i <= n; ++i) {
     const ProcId candidate = static_cast<ProcId>((last_ + i) % n);
@@ -16,7 +16,7 @@ ProcId RoundRobinScheduler::next(const Simulation& sim) {
   return kNoProc;
 }
 
-ProcId RandomScheduler::next(const Simulation& sim) {
+ProcId RandomScheduler::next(Simulation& sim) {
   std::vector<ProcId> runnable;
   runnable.reserve(static_cast<std::size_t>(sim.nprocs()));
   for (ProcId p = 0; p < sim.nprocs(); ++p) {
@@ -26,11 +26,11 @@ ProcId RandomScheduler::next(const Simulation& sim) {
   return runnable[rng_.below(runnable.size())];
 }
 
-ProcId SoloScheduler::next(const Simulation& sim) {
+ProcId SoloScheduler::next(Simulation& sim) {
   return sim.ready(p_) ? p_ : kNoProc;
 }
 
-ProcId BoundedGapScheduler::next(const Simulation& sim) {
+ProcId BoundedGapScheduler::next(Simulation& sim) {
   if (last_step_.empty()) {
     last_step_.assign(static_cast<std::size_t>(sim.nprocs()), sim.now());
   }
@@ -56,12 +56,27 @@ ProcId BoundedGapScheduler::next(const Simulation& sim) {
   return pick;
 }
 
-ProcId ScriptedScheduler::next(const Simulation& sim) {
+ProcId ScriptedScheduler::next(Simulation& sim) {
   if (pos_ >= script_.size()) return kNoProc;
   const ProcId p = script_[pos_++];
   if (p == kNoProc) return kNoProc;  // recorded clock tick: let run() re-tick
-  ensure(sim.runnable(p), "scripted schedule names a terminated process");
+  ensure(sim.runnable(p),
+         "scripted schedule names a terminated or crashed process (a crashy "
+         "schedule replays only together with its fault trace — see "
+         "FaultPlan::scripted)");
   return p;
+}
+
+ProcId AllButScheduler::next(Simulation& sim) {
+  const int n = sim.nprocs();
+  for (int i = 1; i <= n; ++i) {
+    const ProcId c = static_cast<ProcId>((last_ + i) % n);
+    if (c != excluded_ && sim.ready(c)) {
+      last_ = c;
+      return c;
+    }
+  }
+  return kNoProc;
 }
 
 }  // namespace rmrsim

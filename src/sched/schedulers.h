@@ -18,7 +18,7 @@ namespace rmrsim {
 /// Fair: cycles over non-terminated processes in id order.
 class RoundRobinScheduler final : public Scheduler {
  public:
-  ProcId next(const Simulation& sim) override;
+  ProcId next(Simulation& sim) override;
 
  private:
   ProcId last_ = -1;
@@ -28,7 +28,7 @@ class RoundRobinScheduler final : public Scheduler {
 class RandomScheduler final : public Scheduler {
  public:
   explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
-  ProcId next(const Simulation& sim) override;
+  ProcId next(Simulation& sim) override;
 
  private:
   SplitMix64 rng_;
@@ -38,7 +38,7 @@ class RandomScheduler final : public Scheduler {
 class SoloScheduler final : public Scheduler {
  public:
   explicit SoloScheduler(ProcId p) : p_(p) {}
-  ProcId next(const Simulation& sim) override;
+  ProcId next(Simulation& sim) override;
 
  private:
   ProcId p_;
@@ -55,7 +55,7 @@ class BoundedGapScheduler final : public Scheduler {
  public:
   BoundedGapScheduler(std::uint64_t seed, std::uint64_t delta)
       : rng_(seed), delta_(delta) {}
-  ProcId next(const Simulation& sim) override;
+  ProcId next(Simulation& sim) override;
 
  private:
   SplitMix64 rng_;
@@ -64,19 +64,35 @@ class BoundedGapScheduler final : public Scheduler {
 };
 
 /// Replays an exact schedule (e.g. one recorded by Simulation::schedule()).
-/// Stops when the script is exhausted. Scheduling a terminated process is an
-/// error — replays of erased histories must stay exact, so a mismatch means
-/// the erasure was unsound.
+/// Stops when the script is exhausted. Scheduling a terminated or crashed
+/// process is an error — replays of erased histories must stay exact, so a
+/// mismatch means the erasure was unsound, and replaying a schedule that
+/// contained crashes without also replaying its fault trace (see
+/// FaultPlan::scripted) must fail loudly rather than silently diverge.
 class ScriptedScheduler final : public Scheduler {
  public:
   explicit ScriptedScheduler(std::vector<ProcId> script)
       : script_(std::move(script)) {}
-  ProcId next(const Simulation& sim) override;
+  ProcId next(Simulation& sim) override;
   bool exhausted() const { return pos_ >= script_.size(); }
 
  private:
   std::vector<ProcId> script_;
   std::size_t pos_ = 0;
+};
+
+/// Fair among all processes except one: the classic crash-stop model ("the
+/// victim is parked and never scheduled again") expressed as a scheduler.
+/// Promoted from the failure tests; contrast with Simulation::crash, which
+/// destroys the victim's call mid-flight instead of merely starving it.
+class AllButScheduler final : public Scheduler {
+ public:
+  explicit AllButScheduler(ProcId excluded) : excluded_(excluded) {}
+  ProcId next(Simulation& sim) override;
+
+ private:
+  ProcId excluded_;
+  ProcId last_ = -1;
 };
 
 }  // namespace rmrsim

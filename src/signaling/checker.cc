@@ -15,12 +15,19 @@ struct CallSpan {
 };
 
 /// Collects spans of calls with the given code, pairing begins with ends per
-/// process (calls do not nest within one process).
+/// process (calls do not nest within one process). A crash abandons the
+/// victim's open call: the span stays end-less (the call never returned), and
+/// a later re-execution after recovery opens a fresh span.
 std::vector<CallSpan> collect(const History& h, Word code) {
   std::vector<CallSpan> out;
   std::map<ProcId, std::size_t> open;  // proc -> index into out
   for (const StepRecord& r : h.records()) {
-    if (r.kind != StepRecord::Kind::kEvent || r.code != code) continue;
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCrash) {
+      open.erase(r.proc);
+      continue;
+    }
+    if (r.code != code) continue;
     if (r.event == EventKind::kCallBegin) {
       open[r.proc] = out.size();
       out.push_back(CallSpan{.proc = r.proc, .begin = r.index});
@@ -97,8 +104,14 @@ std::optional<SpecViolation> check_blocking_spec(const History& h) {
 std::optional<SpecViolation> check_signal_once(const History& h) {
   std::map<ProcId, int> begun;
   for (const StepRecord& r : h.records()) {
-    if (r.kind == StepRecord::Kind::kEvent &&
-        r.event == EventKind::kCallBegin && r.code == calls::kSignal) {
+    if (r.kind != StepRecord::Kind::kEvent) continue;
+    if (r.event == EventKind::kCrash) {
+      // RME re-execution: a recovered program runs from the top, so a
+      // signaler that crashed mid-Signal() legitimately calls it again.
+      begun[r.proc] = 0;
+      continue;
+    }
+    if (r.event == EventKind::kCallBegin && r.code == calls::kSignal) {
       if (++begun[r.proc] > 1) {
         return SpecViolation{r.index, "process called Signal() twice"};
       }

@@ -10,6 +10,11 @@
 // The checker works purely off call-boundary records, so it applies to every
 // algorithm uniformly — including the deliberately broken one used to prove
 // the checker has teeth.
+//
+// Crash-aware: a crash (EventKind::kCrash) abandons the victim's open call —
+// the call never returns, so it imposes no obligations — and resets the
+// once-per-process Signal() budget, since a recovered program re-executes
+// from the top (the RME failure model).
 #pragma once
 
 #include <optional>

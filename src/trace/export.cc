@@ -17,6 +17,8 @@ const char* event_name(EventKind e) {
     case EventKind::kDirective: return "directive";
     case EventKind::kMark: return "mark";
     case EventKind::kDelay: return "delay";
+    case EventKind::kCrash: return "crash";
+    case EventKind::kRecover: return "recover";
   }
   return "?";
 }
@@ -99,6 +101,8 @@ std::string history_timeline(const History& h, int max_cols) {
         case EventKind::kDirective: cell = "d "; break;
         case EventKind::kMark: cell = "m "; break;
         case EventKind::kDelay: cell = "z "; break;
+        case EventKind::kCrash: cell = "# "; break;
+        case EventKind::kRecover: cell = "^ "; break;
       }
     }
     if (r.terminated_after) cell[1] = 'X';

@@ -4,6 +4,43 @@
 
 namespace rmrsim {
 
+namespace {
+
+/// Minimal fair driver (round-robin over ready processes, ticking the clock
+/// when only sleepers remain) — keeps verify free of a src/sched dependency.
+/// Returns true when every process terminated within the budget.
+bool drive_fair(Simulation& sim, std::uint64_t max_steps) {
+  ProcId last = -1;
+  for (std::uint64_t s = 0; s < max_steps; ++s) {
+    if (sim.all_terminated()) return true;
+    const int n = sim.nprocs();
+    ProcId pick = kNoProc;
+    for (int i = 1; i <= n; ++i) {
+      const ProcId c = static_cast<ProcId>((last + i) % n);
+      if (sim.ready(c)) {
+        pick = c;
+        break;
+      }
+    }
+    if (pick == kNoProc) {
+      // Nobody ready: tick if a sleeper will wake, otherwise the run is
+      // wedged (everyone left is crashed or finished).
+      bool sleeper = false;
+      for (ProcId p = 0; p < n; ++p) {
+        if (sim.runnable(p)) sleeper = true;
+      }
+      if (!sleeper) return sim.all_terminated();
+      sim.tick();
+      continue;
+    }
+    last = pick;
+    sim.step(pick);
+  }
+  return sim.all_terminated();
+}
+
+}  // namespace
+
 ExploreResult explore_all_schedules(const ExploreBuilder& build,
                                     const ExploreChecker& check,
                                     const ExploreOptions& options) {
@@ -62,6 +99,62 @@ ExploreResult explore_all_schedules(const ExploreBuilder& build,
       std::vector<ProcId> child = prefix;
       child.push_back(p);
       stack.push_back(std::move(child));
+    }
+  }
+  return result;
+}
+
+CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
+                                    const ExploreChecker& check,
+                                    ProcId victim,
+                                    const CrashSweepOptions& options) {
+  CrashSweepResult result;
+
+  // Baseline crash-free run: its schedule enumerates the victim's steps,
+  // each of which is a crash point to try.
+  std::vector<ProcId> baseline;
+  {
+    ExploreInstance base = build();
+    ensure(base.sim != nullptr, "sweep builder returned no simulation");
+    drive_fair(*base.sim, options.max_steps);
+    baseline = base.sim->schedule();
+  }
+
+  // Crash before the victim's first step, then after each of its steps.
+  std::vector<std::size_t> points{0};
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    if (baseline[i] == victim) points.push_back(i + 1);
+  }
+
+  for (const std::size_t cut : points) {
+    if (result.crash_points >= options.max_crash_points) break;
+    ExploreInstance instance = build();
+    ensure(instance.sim != nullptr, "sweep builder returned no simulation");
+    Simulation& sim = *instance.sim;
+    for (std::size_t i = 0; i < cut; ++i) {
+      const ProcId p = baseline[i];
+      if (p == kNoProc) {
+        sim.tick();
+        continue;
+      }
+      ensure(sim.runnable(p), "crash-sweep prefix replay diverged");
+      sim.step(p);
+    }
+    if (sim.terminated(victim)) continue;  // nothing left to crash
+    ++result.crash_points;
+    sim.crash(victim);
+    drive_fair(sim, options.recover_after);
+    sim.recover(victim);
+    const bool done = drive_fair(sim, options.max_steps);
+    if (const auto v = check(sim.history()); v.has_value()) {
+      result.violation = v;
+      result.violating_crash_point = static_cast<int>(cut);
+      return result;
+    }
+    if (done) {
+      ++result.completed;
+    } else {
+      ++result.stuck;
     }
   }
   return result;

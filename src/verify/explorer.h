@@ -75,4 +75,37 @@ ExploreResult explore_all_schedules(const ExploreBuilder& build,
                                     const ExploreChecker& check,
                                     const ExploreOptions& options = {});
 
+struct CrashSweepOptions {
+  /// Fair steps between the injected crash and the victim's recovery.
+  std::uint64_t recover_after = 20;
+  /// Step budget for driving each crashed run to completion; runs that
+  /// exhaust it count as `stuck` (a progress failure, not a safety one).
+  std::uint64_t max_steps = 200'000;
+  /// Safety valve on the number of crash points tried.
+  int max_crash_points = 10'000;
+};
+
+struct CrashSweepResult {
+  int crash_points = 0;  ///< crash positions actually injected
+  int completed = 0;     ///< runs where every process terminated
+  int stuck = 0;         ///< runs that hit the step budget
+  /// First safety violation found, and the crash point that produced it
+  /// (the number of baseline steps replayed before the crash).
+  std::optional<std::string> violation;
+  int violating_crash_point = -1;
+};
+
+/// The deterministic analogue of explore_all_schedules for the crash axis:
+/// runs the instance once crash-free under a fair schedule to record a
+/// baseline, then for every step of `victim` in that baseline rebuilds the
+/// world, replays the prefix, crashes the victim at that exact point, runs
+/// `recover_after` further fair steps, recovers it, and drives the run to
+/// completion — checking `check` against each final history. Exhaustive over
+/// crash positions of one victim along one schedule; combine with seeds or
+/// explore_all_schedules for breadth across schedules.
+CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
+                                    const ExploreChecker& check,
+                                    ProcId victim,
+                                    const CrashSweepOptions& options = {});
+
 }  // namespace rmrsim

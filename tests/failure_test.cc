@@ -1,59 +1,40 @@
-// Failure injection: crashes (Section 2 — a process that terminates while
-// performing a call) modeled as a process that is never scheduled again.
-// These tests pin down which guarantees survive a crash and which are
-// conditional on crash-freedom, exactly as the paper's progress definitions
-// state ("for any fair history ... where no process crashes").
+// Failure injection under the real crash model (Simulation::crash /
+// recover): a crash destroys the victim's coroutine mid-call and releases
+// nothing; a recovery re-runs its program against the preserved shared
+// memory — the recoverable-mutual-exclusion failure model. These tests pin
+// down which guarantees survive a crash and which are conditional on
+// crash-freedom, exactly as the paper's progress definitions state ("for
+// any fair history ... where no process crashes").
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "memory/cc_model.h"
 #include "memory/shared_memory.h"
+#include "mutex/lock.h"
+#include "mutex/mcs_lock.h"
+#include "mutex/recoverable_lock.h"
 #include "primitives/multi_signaler.h"
+#include "sched/fault.h"
 #include "sched/schedulers.h"
 #include "signaling/cc_flag.h"
 #include "signaling/checker.h"
 #include "signaling/dsm_queue.h"
 #include "signaling/dsm_registration.h"
 #include "signaling/workload.h"
+#include "verify/explorer.h"
 
 namespace rmrsim {
 namespace {
 
-/// Steps `p` until its history contains a record matching `pred`, then
-/// abandons it (crash = parked forever).
-template <typename Pred>
-void run_until_record(Simulation& sim, ProcId p, Pred pred) {
-  for (int i = 0; i < 100'000; ++i) {
-    const StepRecord& r = sim.step(p);
-    if (pred(r)) return;
-  }
-  FAIL() << "target record never appeared";
+bool is_memop(const StepRecord& r) {
+  return r.kind == StepRecord::Kind::kMemOp;
 }
-
-/// Schedules every process except `crashed`.
-class AllBut final : public Scheduler {
- public:
-  explicit AllBut(ProcId crashed) : crashed_(crashed) {}
-  ProcId next(const Simulation& sim) override {
-    const int n = sim.nprocs();
-    for (int i = 1; i <= n; ++i) {
-      const ProcId c = static_cast<ProcId>((last_ + i) % n);
-      if (c != crashed_ && sim.runnable(c)) {
-        last_ = c;
-        return c;
-      }
-    }
-    return kNoProc;
-  }
-
- private:
-  ProcId crashed_;
-  ProcId last_ = -1;
-};
 
 TEST(FailureInjection, WaitFreeAlgorithmsSurviveWaiterCrash) {
   // cc-flag and dsm-registration Poll()/Signal() are wait-free: a crashed
-  // waiter cannot block anyone else.
+  // waiter cannot block anyone else. The victim is genuinely crashed (frame
+  // destroyed, call abandoned), not merely starved.
   for (const bool registration : {false, true}) {
     const int n_waiters = 5;
     const int nprocs = n_waiters + 1;
@@ -75,16 +56,17 @@ TEST(FailureInjection, WaitFreeAlgorithmsSurviveWaiterCrash) {
     Simulation sim(*mem, std::move(programs));
     // Crash waiter 0 in the middle of its first Poll(): after its first
     // memory step inside the call.
-    run_until_record(sim, 0, [](const StepRecord& r) {
-      return r.kind == StepRecord::Kind::kMemOp;
-    });
-    AllBut sched(0);
+    ASSERT_TRUE(sim.run_proc_until(0, is_memop));
+    sim.crash(0);
+    EXPECT_TRUE(sim.crashed(0));
+    EXPECT_FALSE(sim.runnable(0));
+    RoundRobinScheduler sched;  // skips the crashed victim on its own
     const auto result = sim.run(sched, 10'000'000);
     // Everyone except the crashed waiter finishes.
     for (ProcId p = 1; p < nprocs; ++p) {
       EXPECT_TRUE(sim.terminated(p)) << "p" << p << " blocked by the crash";
     }
-    EXPECT_FALSE(result.all_terminated);  // p0 is parked, as expected
+    EXPECT_FALSE(result.all_terminated);  // p0 is down, as expected
     const auto v = check_polling_spec(sim.history());
     EXPECT_FALSE(v.has_value()) << v->what;
   }
@@ -108,18 +90,34 @@ TEST(FailureInjection, QueueSignalerBlocksOnCrashBetweenClaimAndAnnounce) {
   programs.emplace_back([&alg](ProcCtx& ctx) { return signaler(ctx, &alg); });
   Simulation sim(*mem, std::move(programs));
   // Crash waiter 0 right after its FAI on Tail (slot claimed, no announce).
-  run_until_record(sim, 0, [](const StepRecord& r) {
+  ASSERT_TRUE(sim.run_proc_until(0, [](const StepRecord& r) {
     return r.kind == StepRecord::Kind::kMemOp && r.op.type == OpType::kFaa;
-  });
-  AllBut sched(0);
+  }));
+  sim.crash(0);
+  RoundRobinScheduler sched;
   const auto result = sim.run(sched, 2'000'000);
   EXPECT_FALSE(result.all_terminated);
   EXPECT_FALSE(sim.terminated(nprocs - 1)) << "signaler should be spinning";
+  // Recovery does NOT unwedge it: the re-executed Poll() claims a *fresh*
+  // slot with a new FAI, and the orphaned claim stays empty forever. An
+  // algorithm without a recovery section is not recoverable — re-execution
+  // alone cannot repair shared state (contrast RecoverableSpinLock, whose
+  // recovery section releases its orphaned hold).
+  sim.recover(0);
+  const auto after = sim.run(sched, 2'000'000);
+  EXPECT_FALSE(after.all_terminated)
+      << "re-execution must not repair the orphaned slot claim";
+  EXPECT_FALSE(sim.terminated(nprocs - 1)) << "signaler still spinning";
+  EXPECT_TRUE(sim.terminated(0)) << "the recovered waiter itself finishes";
+  EXPECT_EQ(sim.crash_count(0), 1);
+  EXPECT_EQ(sim.recovery_count(0), 1);
 }
 
 TEST(FailureInjection, RegistrationSignalerSurvivesAnyWaiterCrashPoint) {
   // dsm-registration has no claim/announce gap: crash a waiter at every
   // possible step of its first Poll() and the signaler still terminates.
+  // Crash-stop flavor (never recovered), driven by AllButScheduler so even
+  // a hypothetical recovery could not be scheduled.
   const int n_waiters = 3;
   const int nprocs = n_waiters + 1;
   for (int crash_step = 1; crash_step <= 5; ++crash_step) {
@@ -133,7 +131,8 @@ TEST(FailureInjection, RegistrationSignalerSurvivesAnyWaiterCrashPoint) {
     programs.emplace_back([&alg](ProcCtx& ctx) { return signaler(ctx, &alg); });
     Simulation sim(*mem, std::move(programs));
     for (int s = 0; s < crash_step && !sim.terminated(0); ++s) sim.step(0);
-    AllBut sched(0);
+    if (!sim.terminated(0)) sim.crash(0);
+    AllButScheduler sched(0);
     sim.run(sched, 10'000'000);
     for (ProcId p = 1; p < nprocs; ++p) {
       EXPECT_TRUE(sim.terminated(p))
@@ -169,6 +168,324 @@ TEST(FailureInjection, MultiSignalerLosersWaitForTheWinner) {
   EXPECT_FALSE(v.has_value()) << v->what;
   // check_signal_once per process still holds (each signaler signaled once).
   EXPECT_FALSE(check_signal_once(sim.history()).has_value());
+}
+
+// ---- crash/recovery semantics --------------------------------------------
+
+TEST(CrashRecovery, CrashReleasesNothingAndRecoveryRerunsFromTheTop) {
+  // One process increments a shared counter, then loops forever. Crash it
+  // after the increment; the increment must survive (shared memory is
+  // preserved), and recovery must re-run the program from the top (the
+  // counter is incremented again — locals are lost, code is re-executed).
+  auto mem = make_dsm(1);
+  const VarId counter = mem->allocate_global(0, "counter");
+  const VarId stop = mem->allocate_global(0, "stop");
+  std::vector<Program> programs;
+  programs.emplace_back([counter, stop](ProcCtx& ctx) -> ProcTask {
+    co_await ctx.faa(counter, 1);
+    for (;;) {
+      const Word s = co_await ctx.read(stop);
+      if (s != 0) break;
+    }
+  });
+  Simulation sim(*mem, std::move(programs));
+  ASSERT_TRUE(sim.run_proc_until(0, [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kMemOp && r.op.type == OpType::kFaa;
+  }));
+  sim.crash(0);
+  EXPECT_EQ(mem->store().value(counter), 1) << "crash must not undo writes";
+  sim.recover(0);
+  ASSERT_TRUE(sim.run_proc_until(0, [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kMemOp && r.op.type == OpType::kFaa;
+  }));
+  EXPECT_EQ(mem->store().value(counter), 2) << "recovery re-runs the program";
+  // History carries the fault markers; the fault trace matches.
+  ASSERT_EQ(sim.fault_trace().size(), 2u);
+  EXPECT_EQ(sim.fault_trace()[0].kind, Simulation::FaultRecord::Kind::kCrash);
+  EXPECT_EQ(sim.fault_trace()[1].kind,
+            Simulation::FaultRecord::Kind::kRecover);
+}
+
+TEST(CrashRecovery, CcModelDropsTheCrashedProcessesCache) {
+  // Under CC, a crash powers down the victim's cache: a location it was
+  // reading for free becomes a cold miss again after recovery.
+  auto mem = make_cc(2);
+  const VarId x = mem->allocate_global(7, "x");
+  const VarId stop = mem->allocate_global(0, "stop");
+  std::vector<Program> programs;
+  programs.emplace_back([x, stop](ProcCtx& ctx) -> ProcTask {
+    for (;;) {
+      co_await ctx.read(x);
+      const Word s = co_await ctx.read(stop);
+      if (s != 0) break;
+    }
+  });
+  programs.emplace_back([](ProcCtx&) -> ProcTask { co_return; });
+  Simulation sim(*mem, std::move(programs));
+  for (int i = 0; i < 6; ++i) sim.step(0);
+  auto& cc = dynamic_cast<CcModel&>(mem->model());
+  EXPECT_TRUE(cc.holds_copy(0, x));
+  const std::uint64_t rmrs_before = mem->ledger().rmrs(0);
+  sim.step(0);  // cached re-read: free
+  sim.step(0);
+  EXPECT_EQ(mem->ledger().rmrs(0), rmrs_before);
+  sim.crash(0);
+  EXPECT_FALSE(cc.holds_copy(0, x)) << "crash must drop the victim's cache";
+  sim.recover(0);
+  sim.step(0);  // first read after recovery: cold miss, pays an RMR
+  EXPECT_GT(mem->ledger().rmrs(0), rmrs_before)
+      << "re-executed code must be re-priced as cold";
+}
+
+// ---- recoverable mutual exclusion ----------------------------------------
+
+/// Drives `victim` into its critical section, crashes it there, and runs
+/// everyone else. Returns the simulation for post-mortem inspection.
+struct CrashInCsRun {
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<Simulation> sim;
+  bool others_completed = false;
+};
+
+template <typename Lock>
+CrashInCsRun crash_in_cs(int nprocs, int passages, bool recover_victim) {
+  CrashInCsRun r;
+  r.mem = make_dsm(nprocs);
+  auto lock = std::make_shared<Lock>(*r.mem);
+  std::vector<VarId> done;
+  for (int p = 0; p < nprocs; ++p) {
+    done.push_back(r.mem->allocate_global(0, "done"));
+  }
+  std::vector<Program> programs;
+  for (int p = 0; p < nprocs; ++p) {
+    if constexpr (std::is_base_of_v<RecoverableMutexAlgorithm, Lock>) {
+      programs.emplace_back([lock, dv = done[p], passages](ProcCtx& ctx) {
+        return recoverable_mutex_worker(ctx, lock.get(), dv, passages);
+      });
+    } else {
+      programs.emplace_back([lock, passages](ProcCtx& ctx) {
+        return mutex_worker(ctx, lock.get(), passages);
+      });
+    }
+  }
+  r.sim = std::make_unique<Simulation>(*r.mem, std::move(programs));
+  // Drive the victim alone into its first critical section, then crash it.
+  const bool in_cs = r.sim->run_proc_until(0, [](const StepRecord& rec) {
+    return rec.kind == StepRecord::Kind::kEvent &&
+           rec.event == EventKind::kCallBegin && rec.code == calls::kCritical;
+  });
+  EXPECT_TRUE(in_cs);
+  r.sim->crash(0);
+  if (recover_victim) r.sim->recover(0);
+  RoundRobinScheduler rr;
+  const auto result = r.sim->run(rr, 4'000'000);
+  r.others_completed = true;
+  for (ProcId p = 1; p < nprocs; ++p) {
+    if (passages_completed(r.sim->history(), p) < passages) {
+      r.others_completed = false;
+    }
+  }
+  (void)result;
+  return r;
+}
+
+TEST(CrashRecovery, McsDeadlocksAfterCrashInCriticalSection) {
+  // MCS has no recovery section: the crashed holder never signals its
+  // successor, so every other process spins forever. This is the contrast
+  // case for the recoverable lock below.
+  auto r = crash_in_cs<McsLock>(4, 3, /*recover_victim=*/false);
+  EXPECT_FALSE(r.others_completed)
+      << "MCS should deadlock after a crash in the CS";
+  // Nobody past the victim's first passage: total completed passages stall.
+  int total = 0;
+  for (ProcId p = 1; p < 4; ++p) {
+    total += passages_completed(r.sim->history(), p);
+  }
+  EXPECT_EQ(total, 0) << "the crashed holder should wedge the whole queue";
+}
+
+TEST(CrashRecovery, RecoverableLockCompletesDespiteCrashInCriticalSection) {
+  // Same crash point, but the recoverable lock's recovery section releases
+  // the orphaned hold, and the other processes finish all their passages.
+  // Mutual exclusion must hold on the crashy history.
+  auto r = crash_in_cs<RecoverableSpinLock>(4, 3, /*recover_victim=*/true);
+  EXPECT_TRUE(r.others_completed)
+      << "recoverable lock must make progress after the crash";
+  const auto report = analyze_crash_run(r.sim->history());
+  EXPECT_TRUE(report.mutual_exclusion_ok);
+  EXPECT_EQ(report.crashes, 1);
+  EXPECT_EQ(report.recoveries, 1);
+}
+
+TEST(CrashRecovery, RecoverableLockSurvivesEveryCrashPoint) {
+  // Exhaustive: crash proc 0 at every step of a 3-proc recoverable-lock
+  // run; mutual exclusion must hold at every crash point and every run must
+  // complete. (FIFO is *not* asserted — crashes legitimately reorder
+  // waiters; analyze_crash_run reports inversions instead.)
+  const int nprocs = 3;
+  const int passages = 2;
+  auto build = [&]() {
+    ExploreInstance inst;
+    auto mem = make_dsm(nprocs);
+    auto lock = std::make_shared<RecoverableSpinLock>(*mem);
+    std::vector<VarId> done;
+    for (int p = 0; p < nprocs; ++p) {
+      done.push_back(mem->allocate_global(0, "done"));
+    }
+    std::vector<Program> programs;
+    for (int p = 0; p < nprocs; ++p) {
+      programs.emplace_back([lock, dv = done[p], passages](ProcCtx& ctx) {
+        return recoverable_mutex_worker(ctx, lock.get(), dv, passages);
+      });
+    }
+    inst.sim = std::make_unique<Simulation>(*mem, std::move(programs));
+    inst.keepalive = lock;
+    inst.mem = std::move(mem);
+    return inst;
+  };
+  auto check = [](const History& h) -> std::optional<std::string> {
+    if (const auto v = check_mutual_exclusion(h); v.has_value()) {
+      return v->what;
+    }
+    return std::nullopt;
+  };
+  const CrashSweepResult sweep = sweep_crash_points(build, check, 0);
+  EXPECT_FALSE(sweep.violation.has_value())
+      << *sweep.violation << " at crash point "
+      << sweep.violating_crash_point;
+  EXPECT_GT(sweep.crash_points, 0);
+  EXPECT_EQ(sweep.stuck, 0) << "every crash point must still complete";
+  EXPECT_EQ(sweep.completed, sweep.crash_points);
+}
+
+// ---- deterministic fault plans -------------------------------------------
+
+/// Builds a 4-proc recoverable-lock simulation for fault-plan runs.
+struct PlanRun {
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<Simulation> sim;
+  std::shared_ptr<RecoverableSpinLock> lock;
+};
+
+PlanRun make_plan_run(int nprocs, int passages) {
+  PlanRun r;
+  r.mem = make_dsm(nprocs);
+  r.lock = std::make_shared<RecoverableSpinLock>(*r.mem);
+  std::vector<VarId> done;
+  for (int p = 0; p < nprocs; ++p) {
+    done.push_back(r.mem->allocate_global(0, "done"));
+  }
+  std::vector<Program> programs;
+  for (int p = 0; p < nprocs; ++p) {
+    programs.emplace_back(
+        [lock = r.lock, dv = done[p], passages](ProcCtx& ctx) {
+          return recoverable_mutex_worker(ctx, lock.get(), dv, passages);
+        });
+  }
+  r.sim = std::make_unique<Simulation>(*r.mem, std::move(programs));
+  return r;
+}
+
+TEST(FaultPlanDeterminism, SamePlanSameSeedSameHistory) {
+  // The acceptance criterion: same FaultPlan + same scheduler + same seed
+  // => identical history, including every crash and recovery step.
+  auto run_once = [](std::string* rendered,
+                     std::vector<Simulation::FaultRecord>* trace,
+                     std::vector<ProcId>* schedule) {
+    PlanRun r = make_plan_run(4, 3);
+    RandomScheduler inner(42);
+    FaultScheduler faulty(inner,
+                          FaultPlan::random(/*seed=*/7, /*crash_rate=*/0.02,
+                                            /*recover_after=*/40,
+                                            /*max_crashes=*/8));
+    r.sim->run(faulty, 2'000'000);
+    EXPECT_GT(faulty.crashes_injected(), 0)
+        << "rate 2% over thousands of steps should crash somebody";
+    *rendered = r.sim->history().to_string();
+    *trace = r.sim->fault_trace();
+    *schedule = r.sim->schedule();
+  };
+  std::string h1, h2;
+  std::vector<Simulation::FaultRecord> t1, t2;
+  std::vector<ProcId> s1, s2;
+  run_once(&h1, &t1, &s1);
+  run_once(&h2, &t2, &s2);
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(s1, s2);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].kind, t2[i].kind);
+    EXPECT_EQ(t1[i].proc, t2[i].proc);
+    EXPECT_EQ(t1[i].at, t2[i].at);
+  }
+}
+
+TEST(FaultPlanDeterminism, ScriptedFaultTraceReplaysCrashyRunExactly) {
+  // Record a crashy run, then replay schedule + fault trace on a fresh
+  // world: the histories must be bit-identical (crashes, recoveries, and
+  // the RMR ledger included).
+  PlanRun first = make_plan_run(4, 3);
+  RandomScheduler inner(9);
+  FaultScheduler faulty(inner, FaultPlan::random(3, 0.02, 30, 6));
+  first.sim->run(faulty, 2'000'000);
+  ASSERT_FALSE(first.sim->fault_trace().empty());
+
+  PlanRun second = make_plan_run(4, 3);
+  ScriptedScheduler scripted(first.sim->schedule());
+  FaultScheduler replay(scripted,
+                        FaultPlan::scripted_trace(first.sim->fault_trace()));
+  second.sim->run(replay, 2'000'000);
+
+  EXPECT_EQ(first.sim->history().to_string(),
+            second.sim->history().to_string());
+  EXPECT_EQ(first.sim->schedule(), second.sim->schedule());
+  EXPECT_EQ(first.mem->ledger().total_rmrs(),
+            second.mem->ledger().total_rmrs());
+}
+
+TEST(FaultPlanDeterminism, CrashAtStepAndOnNthRmrFireWhereAsked) {
+  {
+    PlanRun r = make_plan_run(2, 2);
+    RoundRobinScheduler rr;
+    FaultScheduler faulty(rr, FaultPlan::crash_at_step(1, 5, 10));
+    r.sim->run(faulty, 1'000'000);
+    EXPECT_EQ(r.sim->crash_count(1), 1);
+    EXPECT_EQ(r.sim->recovery_count(1), 1);
+    EXPECT_TRUE(r.sim->terminated(1)) << "victim recovers and finishes";
+  }
+  {
+    PlanRun r = make_plan_run(2, 2);
+    RoundRobinScheduler rr;
+    FaultScheduler faulty(rr, FaultPlan::crash_on_nth_rmr(0, 4, 10));
+    r.sim->run(faulty, 1'000'000);
+    EXPECT_EQ(r.sim->crash_count(0), 1);
+    EXPECT_GE(r.mem->ledger().rmrs(0), 4u);
+    EXPECT_TRUE(r.sim->terminated(0));
+  }
+}
+
+TEST(FaultPlanDeterminism, ParseFaultPlanGrammar) {
+  const FaultPlan step = parse_fault_plan("step:proc=2,n=17,recover=33");
+  ASSERT_EQ(step.triggers.size(), 1u);
+  EXPECT_EQ(step.triggers[0].kind, FaultPlan::Trigger::Kind::kAtStep);
+  EXPECT_EQ(step.triggers[0].proc, 2);
+  EXPECT_EQ(step.triggers[0].n, 17u);
+  EXPECT_EQ(step.recover_after, 33u);
+
+  const FaultPlan rmr = parse_fault_plan("rmr:proc=0,n=9");
+  EXPECT_EQ(rmr.triggers[0].kind, FaultPlan::Trigger::Kind::kOnNthRmr);
+  EXPECT_EQ(rmr.recover_after, 100u) << "default downtime";
+
+  const FaultPlan rnd =
+      parse_fault_plan("random:rate=0.25,seed=11,recover=50,max=3");
+  EXPECT_EQ(rnd.triggers[0].kind, FaultPlan::Trigger::Kind::kRandom);
+  EXPECT_EQ(rnd.triggers[0].per_million, 250'000u);
+  EXPECT_EQ(rnd.seed, 11u);
+  EXPECT_EQ(rnd.max_crashes, 3);
+
+  EXPECT_THROW(parse_fault_plan("bogus"), std::logic_error);
+  EXPECT_THROW(parse_fault_plan("step:n=1"), std::logic_error);
+  EXPECT_THROW(parse_fault_plan("random:seed=4"), std::logic_error);
 }
 
 }  // namespace

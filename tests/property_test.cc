@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "memory/cc_model.h"
 #include "memory/shared_memory.h"
+#include "sched/fault.h"
 #include "sched/schedulers.h"
 #include "signaling/cas_registration.h"
 #include "signaling/cc_flag.h"
@@ -200,6 +202,130 @@ TEST(CostModelTransparency, ValuesIdenticalUnderEveryModel) {
 }
 
 // ---------------------------------------------------------------------------
+// Crash/erasure interaction. Erasure (Lemma 6.7) removes a process from the
+// execution as if it never ran; a crash is the opposite — a permanent,
+// visible event. The two must refuse to compose, and crashy schedules must
+// replay only together with their fault trace.
+// ---------------------------------------------------------------------------
+
+/// Waiters-only world (as in ErasureEquivalence): victim mid-spin, erasable.
+struct ErasableRun {
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<SignalingAlgorithm> alg;
+  std::unique_ptr<Simulation> sim;
+};
+
+ErasableRun make_erasable_run(int n_waiters, ProcId victim) {
+  const int nprocs = n_waiters + 1;
+  ErasableRun r;
+  r.mem = make_dsm(nprocs);
+  r.alg = std::make_unique<DsmRegistrationSignal>(
+      *r.mem, static_cast<ProcId>(nprocs - 1));
+  std::vector<Program> programs;
+  SignalingAlgorithm* a = r.alg.get();
+  for (int i = 0; i < n_waiters; ++i) {
+    const int polls = (i == victim) ? 1'000'000 : 3;
+    programs.emplace_back(
+        [a, polls](ProcCtx& ctx) { return polling_waiter(ctx, a, polls); });
+  }
+  programs.emplace_back(Program{});
+  r.sim = std::make_unique<Simulation>(*r.mem, std::move(programs));
+  RoundRobinScheduler rr;
+  r.sim->run(rr, 2'000);
+  return r;
+}
+
+TEST(CrashEraseInteraction, ErasingACrashedProcessThrows) {
+  // A crash leaves permanent marks (kCrash history record, fault trace
+  // entry) that erasure cannot revert; Lemma 6.7 erases live invisible
+  // processes only.
+  auto r = make_erasable_run(5, 2);
+  ASSERT_FALSE(r.sim->terminated(2));
+  r.sim->crash(2);
+  EXPECT_THROW(r.sim->erase_process(2), std::logic_error);
+}
+
+TEST(CrashEraseInteraction, CrashingAnErasedProcessThrows) {
+  // The erased process never existed, so there is nothing left to crash.
+  auto r = make_erasable_run(5, 2);
+  ASSERT_FALSE(r.sim->terminated(2));
+  r.sim->erase_process(2);
+  EXPECT_THROW(r.sim->crash(2), std::logic_error);
+}
+
+TEST(CrashEraseInteraction, PlainReplayOfACrashyScheduleFailsLoudly) {
+  // A schedule recorded from a crashy run is meaningless without its fault
+  // trace: replayed crash-free, the victim does not re-execute, terminates
+  // early, and the ScriptedScheduler must throw rather than diverge
+  // silently.
+  const auto make = [](std::unique_ptr<SharedMemory>* mem_out) {
+    auto mem = make_dsm(2);
+    const VarId x = mem->allocate_global(0, "x");
+    std::vector<Program> programs;
+    programs.emplace_back([x](ProcCtx& ctx) -> ProcTask {
+      for (int i = 0; i < 3; ++i) co_await ctx.read(x);
+    });
+    programs.emplace_back([x](ProcCtx& ctx) -> ProcTask {
+      for (int i = 0; i < 6; ++i) co_await ctx.read(x);
+    });
+    *mem_out = std::move(mem);
+    return programs;
+  };
+  std::unique_ptr<SharedMemory> mem1;
+  auto programs1 = make(&mem1);
+  Simulation crashy(*mem1, std::move(programs1));
+  crashy.step(0);     // first read applied
+  crashy.crash(0);    // locals (the loop counter) lost
+  crashy.recover(0);  // re-runs from the top: three more reads needed
+  RoundRobinScheduler rr;
+  crashy.run(rr, 100);
+  ASSERT_TRUE(crashy.terminated(0));
+  // Proc 0 took 4 steps total: 1 pre-crash + 3 re-executed.
+  int victim_steps = 0;
+  for (const ProcId p : crashy.schedule()) victim_steps += (p == 0) ? 1 : 0;
+  ASSERT_EQ(victim_steps, 4);
+
+  std::unique_ptr<SharedMemory> mem2;
+  auto programs2 = make(&mem2);
+  Simulation replay(*mem2, std::move(programs2));
+  ScriptedScheduler script(crashy.schedule());
+  EXPECT_THROW(replay.run(script, 100), std::logic_error)
+      << "crash-free replay finishes proc 0 after 3 steps; its 4th scripted "
+         "step must fail";
+}
+
+TEST(CrashEraseInteraction, SchedulePlusFaultTraceReplaysExactly) {
+  // The positive half: the same schedule under FaultPlan::scripted_trace
+  // reproduces the crashy history record for record.
+  auto make = []() {
+    auto mem = make_dsm(1);
+    const VarId x = mem->allocate_global(0, "x");
+    std::vector<Program> programs{[x](ProcCtx& ctx) -> ProcTask {
+      for (int i = 0; i < 3; ++i) co_await ctx.read(x);
+    }};
+    return std::make_pair(std::move(mem),
+                          std::move(programs));
+  };
+  auto [mem, programs] = make();
+  Simulation sim(*mem, std::move(programs));
+  sim.step(0);
+  sim.crash(0);
+  sim.recover(0);
+  RoundRobinScheduler rr;
+  sim.run(rr, 100);
+  ASSERT_TRUE(sim.terminated(0));
+
+  auto [mem2, programs2] = make();
+  Simulation replay(*mem2, std::move(programs2));
+  ScriptedScheduler script(sim.schedule());
+  FaultScheduler faulty(script, FaultPlan::scripted_trace(sim.fault_trace()));
+  replay.run(faulty, 100);
+  expect_same_history(sim.history(), replay.history());
+  ASSERT_EQ(replay.fault_trace().size(), sim.fault_trace().size());
+  EXPECT_EQ(mem->ledger().total_rmrs(), mem2->ledger().total_rmrs());
+}
+
+// ---------------------------------------------------------------------------
 // Checker unit cases on synthetic histories.
 // ---------------------------------------------------------------------------
 
@@ -271,6 +397,39 @@ TEST(CheckerUnits, WaitAfterSignalBeganIsLegal) {
   h.append(event(0, EventKind::kCallBegin, calls::kWait));
   h.append(event(0, EventKind::kCallEnd, calls::kWait));
   EXPECT_FALSE(check_blocking_spec(h).has_value());
+}
+
+TEST(CheckerUnits, CrashAbandonsTheOpenCall) {
+  // A Poll() cut down by a crash never returned, so it imposes nothing —
+  // even though a Signal() completed before the victim's NEXT (re-executed)
+  // Poll() began and returned true.
+  History h;
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(0, EventKind::kCrash, 0));
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  h.append(event(0, EventKind::kRecover, 0));
+  h.append(event(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(event(0, EventKind::kCallEnd, calls::kPoll, 1));
+  EXPECT_FALSE(check_polling_spec(h).has_value());
+}
+
+TEST(CheckerUnits, SignalOnceBudgetResetsAcrossACrash) {
+  // RME re-execution: a signaler that crashed mid-Signal() legitimately
+  // calls Signal() again after recovery...
+  History h;
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCrash, 0));
+  h.append(event(1, EventKind::kRecover, 0));
+  h.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  h.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  EXPECT_FALSE(check_signal_once(h).has_value());
+  // ...but a second Signal() with no crash in between is still a violation.
+  History bad;
+  bad.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  bad.append(event(1, EventKind::kCallEnd, calls::kSignal));
+  bad.append(event(1, EventKind::kCallBegin, calls::kSignal));
+  EXPECT_TRUE(check_signal_once(bad).has_value());
 }
 
 }  // namespace

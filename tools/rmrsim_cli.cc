@@ -24,10 +24,12 @@
 #include "mutex/bakery_lock.h"
 #include "mutex/clh_lock.h"
 #include "mutex/mcs_lock.h"
+#include "mutex/recoverable_lock.h"
 #include "mutex/simple_locks.h"
 #include "mutex/ya_lock.h"
 #include "primitives/blocking_leader.h"
 #include "primitives/rw_cas_registration.h"
+#include "sched/fault.h"
 #include "sched/schedulers.h"
 #include "signaling/broken.h"
 #include "signaling/cas_registration.h"
@@ -199,27 +201,57 @@ int cmd_mutex(const Args& a) {
   else if (lock_name == "tas") lock = std::make_unique<TasLock>(*mem);
   else if (lock_name == "clh") lock = std::make_unique<ClhLock>(*mem);
   else if (lock_name == "bakery") lock = std::make_unique<BakeryLock>(*mem);
-  else {
+  else if (lock_name == "recoverable") {
+    lock = std::make_unique<RecoverableSpinLock>(*mem);
+  } else {
     std::fprintf(stderr,
-                 "unknown lock '%s' (mcs|ya|anderson|ticket|tas|clh|bakery)\n",
+                 "unknown lock '%s' "
+                 "(mcs|ya|anderson|ticket|tas|clh|bakery|recoverable)\n",
                  lock_name.c_str());
     return 2;
   }
   std::vector<Program> programs;
-  MutexAlgorithm* l = lock.get();
-  for (int i = 0; i < nprocs; ++i) {
-    programs.emplace_back(
-        [l, passages](ProcCtx& ctx) { return mutex_worker(ctx, l, passages); });
+  // Recoverable locks get the crash-restartable worker (progress lives in
+  // shared memory, so a recovered program resumes where its done-counter
+  // says); plain locks keep the classic worker — under a fault plan they
+  // may wedge, which is the point of the comparison.
+  if (auto* rec = dynamic_cast<RecoverableMutexAlgorithm*>(lock.get())) {
+    std::vector<VarId> done;
+    for (int p = 0; p < nprocs; ++p) {
+      done.push_back(mem->allocate_global(0, "done"));
+    }
+    for (int p = 0; p < nprocs; ++p) {
+      programs.emplace_back([rec, dv = done[p], passages](ProcCtx& ctx) {
+        return recoverable_mutex_worker(ctx, rec, dv, passages);
+      });
+    }
+  } else {
+    MutexAlgorithm* l = lock.get();
+    for (int i = 0; i < nprocs; ++i) {
+      programs.emplace_back([l, passages](ProcCtx& ctx) {
+        return mutex_worker(ctx, l, passages);
+      });
+    }
   }
   Simulation sim(*mem, std::move(programs));
   const std::uint64_t seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
-  Simulation::RunResult result{};
+  std::unique_ptr<Scheduler> inner;
   if (seed == 0) {
-    RoundRobinScheduler rr;
-    result = sim.run(rr, 500'000'000);
+    inner = std::make_unique<RoundRobinScheduler>();
   } else {
-    RandomScheduler rnd(seed);
-    result = sim.run(rnd, 500'000'000);
+    inner = std::make_unique<RandomScheduler>(seed);
+  }
+  const std::string plan_spec = a.get("fault-plan", "");
+  // A crashed non-recoverable lock wedges forever; --max-steps bounds how
+  // long we spin before reporting "completed NO".
+  const auto max_steps =
+      static_cast<std::uint64_t>(a.get_int("max-steps", 500'000'000));
+  Simulation::RunResult result{};
+  if (plan_spec.empty()) {
+    result = sim.run(*inner, max_steps);
+  } else {
+    FaultScheduler faulty(*inner, parse_fault_plan(plan_spec));
+    result = sim.run(faulty, max_steps);
   }
   const auto violation = check_mutual_exclusion(sim.history());
   std::printf("lock %s, model %s, %d procs x %d passages\n",
@@ -234,6 +266,14 @@ int cmd_mutex(const Args& a) {
                    static_cast<double>(nprocs * passages))});
   t.add_row({"mutual exclusion",
              violation ? "VIOLATED: " + violation->what : "ok"});
+  if (!plan_spec.empty()) {
+    const CrashRunReport rep = analyze_crash_run(sim.history());
+    t.add_row({"crashes", std::to_string(rep.crashes)});
+    t.add_row({"recoveries", std::to_string(rep.recoveries)});
+    t.add_row({"failed recoveries", std::to_string(rep.failed_recoveries)});
+    t.add_row({"FIFO inversions (reported, not asserted)",
+               std::to_string(rep.fifo_inversions)});
+  }
   std::fputs(t.render().c_str(), stdout);
   return violation || !result.all_terminated ? 1 : 0;
 }
@@ -295,6 +335,11 @@ void usage() {
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
       "  mutex     --lock L --model M --procs N --passages K --seed S\n"
+      "            L: mcs|ya|anderson|ticket|tas|clh|bakery|recoverable\n"
+      "            [--fault-plan step:proc=P,n=N[,recover=R]\n"
+      "                        | rmr:proc=P,n=N[,recover=R]\n"
+      "                        | random:rate=F[,seed=S][,recover=R][,max=M]]\n"
+      "            [--max-steps B]  (bound for wedged crash runs)\n"
       "  adversary --alg A --n N [--lenient] [--no-erase] [--model M]\n"
       "  gme       --procs N --sessions K --passages P --model M\n",
       stderr);
