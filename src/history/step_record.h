@@ -40,6 +40,20 @@ inline constexpr Word kGmeExit = 8;  ///< GME: exit()
 inline constexpr Word kRecover = 9;  ///< RME: a lock's crash-recovery section
 }  // namespace calls
 
+/// True for event kinds that checkers may order *across* processes:
+/// procedure-call boundaries (Specification 4.1, ME, GME are all phrased
+/// over begin/end order) and free-form marks. The model checker treats steps
+/// that record an observable event as mutually dependent, so the relative
+/// order of call boundaries is preserved within every equivalence class of
+/// schedules it reduces over — checkers phrased over memory-op values and/or
+/// call-boundary order therefore see identical verdicts on every
+/// representative. Directives and delay completions are process-local
+/// bookkeeping and stay invisible to the independence relation.
+constexpr bool observable_event(EventKind e) {
+  return e == EventKind::kCallBegin || e == EventKind::kCallEnd ||
+         e == EventKind::kMark;
+}
+
 /// What a client driver should do next (supplied by the scheduler/adversary
 /// through the simulation's directive policy).
 struct Directive {

@@ -73,6 +73,23 @@ constexpr bool is_comparison(OpType t) {
   return t == OpType::kCas || t == OpType::kSc || t == OpType::kTas;
 }
 
+/// How an *applied* operation acted on its variable, for the model checker's
+/// independence relation: two ops on the same variable commute iff both are
+/// kObserve. Classification is dynamic (per outcome), which is what makes it
+/// exact: a failed CAS/SC observed the value but left it untouched, so it
+/// commutes with other observers of the variable, while any overwrite — or an
+/// RMW whose recorded result encodes the pre-value, like FAA — does not. LL
+/// counts as kObserve: its reservation is invalidated only by overwrites of
+/// the same variable, which are kMutate and hence already dependent.
+enum class AccessClass {
+  kObserve,  ///< read the value, did not change it (read, LL, failed CAS/SC)
+  kMutate,   ///< overwrote the value (write, FAA, FAS, TAS, successful CAS/SC)
+};
+
+constexpr AccessClass access_class(const OpOutcome& outcome) {
+  return outcome.nontrivial ? AccessClass::kMutate : AccessClass::kObserve;
+}
+
 /// Short human-readable mnemonic, e.g. "CAS".
 std::string to_string(OpType t);
 

@@ -156,6 +156,37 @@ const StepRecord& Simulation::step(ProcId p) {
   return history_.records().back();
 }
 
+Simulation::MacroFootprint Simulation::macro_step(ProcId p) {
+  ensure(runnable(p), "macro_step on a non-runnable process");
+  MacroFootprint fp;
+  while (runnable(p) && pending(p).kind != ActionKind::kMemOp) {
+    if (pending(p).kind == ActionKind::kDelay && !ready(p)) {
+      // Sleeping: advance the clock to its wake time. The explorers treat
+      // time coarsely — a macro step never branches on tick placement.
+      tick();
+      continue;
+    }
+    const StepRecord& rec = step(p);
+    if (rec.kind == StepRecord::Kind::kEvent && observable_event(rec.event)) {
+      fp.observable = true;
+    }
+    if (rec.terminated_after) {
+      fp.terminated = true;
+      return fp;
+    }
+  }
+  if (!runnable(p)) {
+    fp.terminated = terminated(p);
+    return fp;
+  }
+  const StepRecord& rec = step(p);
+  fp.has_op = true;
+  fp.var = rec.op.var;
+  fp.access = access_class(rec.outcome);
+  fp.terminated = rec.terminated_after;
+  return fp;
+}
+
 Simulation::Stop Simulation::run_until_rmr_pending(ProcId p,
                                                    std::uint64_t max_steps) {
   for (std::uint64_t i = 0; i < max_steps; ++i) {

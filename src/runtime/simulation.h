@@ -87,6 +87,34 @@ class Simulation {
   /// suspension point. Returns the recorded step.
   const StepRecord& step(ProcId p);
 
+  /// Memory-access footprint of one *macro step* — the model checker's unit
+  /// transition ("flush p's local events, then apply its next memory op").
+  /// Two macro steps of different processes commute iff !dependent(a, b):
+  /// they may not conflict on a variable (same var with at least one
+  /// kMutate) and may not both carry observable events (whose cross-process
+  /// order checkers are allowed to inspect — see observable_event()).
+  struct MacroFootprint {
+    bool has_op = false;          ///< a memory op was applied
+    VarId var = kNoVar;           ///< its variable (valid iff has_op)
+    AccessClass access = AccessClass::kObserve;
+    bool observable = false;      ///< flushed a call boundary or mark
+    bool terminated = false;      ///< p ran to completion during this step
+  };
+
+  static bool dependent(const MacroFootprint& a, const MacroFootprint& b) {
+    if (a.observable && b.observable) return true;
+    return a.has_op && b.has_op && a.var == b.var &&
+           (a.access == AccessClass::kMutate ||
+            b.access == AccessClass::kMutate);
+  }
+
+  /// Applies one macro step of p: flushes pending events/directives (ticking
+  /// the clock through any delay) up to p's next memory op, applies that op
+  /// (or runs p to termination if none remains), and returns the footprint
+  /// of everything applied. Exactly the replay unit the schedule explorers
+  /// branch on; requires runnable(p).
+  MacroFootprint macro_step(ProcId p);
+
   /// Outcome classification for run_until_rmr_pending.
   enum class Stop { kRmrPending, kTerminated, kBudget };
 

@@ -56,6 +56,46 @@ ProcId BoundedGapScheduler::next(Simulation& sim) {
   return pick;
 }
 
+DriveOutcome fair_drive(Simulation& sim, std::uint64_t max_steps) {
+  ProcId last = -1;
+  for (std::uint64_t s = 0; s < max_steps; ++s) {
+    if (sim.all_terminated()) return DriveOutcome::kAllTerminated;
+    const int n = sim.nprocs();
+    ProcId pick = kNoProc;
+    for (int i = 1; i <= n; ++i) {
+      const ProcId c = static_cast<ProcId>((last + i) % n);
+      if (sim.ready(c)) {
+        pick = c;
+        break;
+      }
+    }
+    if (pick == kNoProc) {
+      // Nobody ready: tick if a sleeper will wake, otherwise the run is
+      // wedged — everyone left is crashed, and no budget would change that.
+      bool sleeper = false;
+      for (ProcId p = 0; p < n; ++p) {
+        if (sim.runnable(p)) {
+          sleeper = true;
+          break;
+        }
+      }
+      if (!sleeper) {
+        return sim.all_terminated() ? DriveOutcome::kAllTerminated
+                                    : DriveOutcome::kWedged;
+      }
+      sim.tick();
+      continue;
+    }
+    last = pick;
+    sim.step(pick);
+  }
+  if (sim.all_terminated()) return DriveOutcome::kAllTerminated;
+  for (ProcId p = 0; p < sim.nprocs(); ++p) {
+    if (sim.runnable(p)) return DriveOutcome::kBudget;
+  }
+  return DriveOutcome::kWedged;
+}
+
 ProcId ScriptedScheduler::next(Simulation& sim) {
   if (pos_ >= script_.size()) return kNoProc;
   const ProcId p = script_[pos_++];

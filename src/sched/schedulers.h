@@ -81,6 +81,23 @@ class ScriptedScheduler final : public Scheduler {
   std::size_t pos_ = 0;
 };
 
+/// How a fair_drive() run ended. kWedged and kBudget are distinct progress
+/// failures: a wedged run can never move again no matter the budget (every
+/// non-terminated process is crashed), while a budget-exhausted run still had
+/// ready processes — typically spinners — when the driver gave up. Crash
+/// sweeps report the two separately (CrashSweepResult).
+enum class DriveOutcome {
+  kAllTerminated,  ///< every process ran to completion
+  kWedged,         ///< no process can ever step again
+  kBudget,         ///< the step budget ran out with ready processes left
+};
+
+/// Drives the simulation fair (round-robin over ready processes, ticking the
+/// clock when only sleepers remain) for at most `max_steps` steps/ticks.
+/// The fair-history workhorse of the crash sweeps; scheduler-free so callers
+/// that replay exact prefixes can keep driving the same Simulation.
+DriveOutcome fair_drive(Simulation& sim, std::uint64_t max_steps);
+
 /// Fair among all processes except one: the classic crash-stop model ("the
 /// victim is parked and never scheduled again") expressed as a scheduler.
 /// Promoted from the failure tests; contrast with Simulation::crash, which

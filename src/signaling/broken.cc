@@ -1,5 +1,7 @@
 #include "signaling/broken.h"
 
+#include <string>
+
 namespace rmrsim {
 
 BrokenLocalSignal::BrokenLocalSignal(SharedMemory& mem)
@@ -17,6 +19,126 @@ SubTask<bool> BrokenLocalSignal::poll(ProcCtx& ctx) {
 
 SubTask<void> BrokenLocalSignal::signal(ProcCtx& ctx) {
   co_await ctx.write(s_, 1);  // shouting into the void
+}
+
+LateFlagSignal::LateFlagSignal(SharedMemory& mem, ProcId signaler)
+    : signaler_(signaler), s_(mem.allocate_global(0, "S")) {
+  reg_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  v_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  first_done_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  for (ProcId i = 0; i < mem.nprocs(); ++i) {
+    reg_.push_back(
+        mem.allocate_local(signaler_, 0, "Reg[" + std::to_string(i) + "]"));
+    v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+    first_done_.push_back(
+        mem.allocate_local(i, 0, "First[" + std::to_string(i) + "]"));
+  }
+}
+
+SubTask<bool> LateFlagSignal::poll(ProcCtx& ctx) {
+  // Identical to DsmRegistrationSignal::poll. The after-registration read of
+  // S is the waiter's half of the race-closing handshake — sound only if the
+  // signaler writes S *before* sweeping, which this variant does not.
+  const ProcId me = ctx.id();
+  const Word done = co_await ctx.read(first_done_[me]);
+  if (done == 0) {
+    co_await ctx.write(reg_[me], 1);
+    co_await ctx.write(first_done_[me], 1);
+    const Word s = co_await ctx.read(s_);
+    co_return s != 0;
+  }
+  const Word v = co_await ctx.read(v_[me]);
+  co_return v != 0;
+}
+
+SubTask<void> LateFlagSignal::signal(ProcCtx& ctx) {
+  // BUG: the sweep runs before S is written. A waiter that registers after
+  // the sweep passed its slot but before the final write reads S = 0 and is
+  // never delivered a private flag — lost wakeup.
+  for (ProcId i = 0; i < static_cast<ProcId>(reg_.size()); ++i) {
+    const Word r = co_await ctx.read(reg_[i]);  // local to the signaler
+    if (r != 0) {
+      co_await ctx.write(v_[i], 1);
+    }
+  }
+  co_await ctx.write(s_, 1);
+}
+
+DroppedRecheckCasSignal::DroppedRecheckCasSignal(SharedMemory& mem)
+    : s_(mem.allocate_global(0, "S")),
+      head_(mem.allocate_global(kNil, "Head")) {
+  next_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  v_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  first_done_.reserve(static_cast<std::size_t>(mem.nprocs()));
+  for (ProcId i = 0; i < mem.nprocs(); ++i) {
+    next_.push_back(
+        mem.allocate_local(i, kNil, "Next[" + std::to_string(i) + "]"));
+    v_.push_back(mem.allocate_local(i, 0, "V[" + std::to_string(i) + "]"));
+    first_done_.push_back(
+        mem.allocate_local(i, 0, "First[" + std::to_string(i) + "]"));
+  }
+}
+
+SubTask<bool> DroppedRecheckCasSignal::poll(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  const Word done = co_await ctx.read(first_done_[me]);
+  if (done == 0) {
+    // BUG: one CAS attempt, result ignored. When two first Polls race, the
+    // loser's push silently vanishes — it is not on the stack, yet it marks
+    // itself registered and trusts a private flag no sweep will ever write.
+    const Word h = co_await ctx.read(head_);
+    co_await ctx.write(next_[me], h);
+    co_await ctx.cas(head_, h, me);
+    co_await ctx.write(first_done_[me], 1);
+    const Word s = co_await ctx.read(s_);
+    co_return s != 0;
+  }
+  const Word v = co_await ctx.read(v_[me]);
+  co_return v != 0;
+}
+
+SubTask<void> DroppedRecheckCasSignal::signal(ProcCtx& ctx) {
+  co_await ctx.write(s_, 1);
+  Word node = co_await ctx.read(head_);
+  while (node != kNil) {
+    const ProcId w = static_cast<ProcId>(node);
+    co_await ctx.write(v_[w], 1);
+    node = co_await ctx.read(next_[w]);
+  }
+}
+
+BrokenRecoveryLock::BrokenRecoveryLock(SharedMemory& mem)
+    : owner_(mem.allocate_global(kFree, "owner")) {
+  for (ProcId p = 0; p < mem.nprocs(); ++p) {
+    want_.push_back(
+        mem.allocate_local(p, 0, "want[" + std::to_string(p) + "]"));
+  }
+}
+
+SubTask<void> BrokenRecoveryLock::acquire(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.write(want_[me], 1);
+  for (;;) {
+    const Word old = co_await ctx.cas(owner_, kFree, me);
+    if (old == kFree || old == me) break;
+  }
+}
+
+SubTask<void> BrokenRecoveryLock::release(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  co_await ctx.cas(owner_, me, kFree);
+  co_await ctx.write(want_[me], 0);
+}
+
+SubTask<void> BrokenRecoveryLock::recover(ProcCtx& ctx) {
+  const ProcId me = ctx.id();
+  // BUG: infers "the crash caught me holding the lock" from the local
+  // doorway flag instead of reading owner. want = 1 also covers a crash
+  // while merely spinning in acquire — in that case owner is some other
+  // live process, and this write frees a hold that is not ours.
+  const Word want = co_await ctx.read(want_[me]);
+  if (want != 0) co_await ctx.write(owner_, kFree);
+  co_await ctx.write(want_[me], 0);
 }
 
 }  // namespace rmrsim

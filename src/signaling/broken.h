@@ -1,20 +1,26 @@
-// A deliberately incorrect signaling "algorithm".
+// Deliberately incorrect algorithms — the conviction-suite subjects.
 //
-// Poll() consults only the caller's private flag, which Signal() never
-// writes for unregistered waiters — so a Poll() that begins after a
-// completed Signal() still returns false, violating clause 2 of
-// Specification 4.1. Exists to prove that check_polling_spec and the
-// adversary's violation detector have teeth (a checker nobody has ever seen
-// fail is untested).
+// A checker or an explorer nobody has ever seen fail is untested. Each
+// class here carries one seeded bug of a realistic shape; the mutation
+// tests (tests/mutation_test.cc) convict every one of them with the DPOR
+// explorer and shrink the counterexample to a minimal witness. If a
+// refactor of the checkers, the explorers, or the independence relation
+// ever makes one of these convictions pass silently, that refactor lost
+// the teeth these exist to prove.
 #pragma once
 
 #include <vector>
 
 #include "memory/shared_memory.h"
+#include "mutex/lock.h"
 #include "signaling/algorithm.h"
 
 namespace rmrsim {
 
+/// Poll() consults only the caller's private flag, which Signal() never
+/// writes for unregistered waiters — so a Poll() that begins after a
+/// completed Signal() still returns false, violating clause 2 of
+/// Specification 4.1. The bluntest mutant: convictable on any schedule.
 class BrokenLocalSignal final : public SignalingAlgorithm {
  public:
   explicit BrokenLocalSignal(SharedMemory& mem);
@@ -27,6 +33,81 @@ class BrokenLocalSignal final : public SignalingAlgorithm {
  private:
   VarId s_;              // written by Signal() but never read by Poll()
   std::vector<VarId> v_; // local flags that nobody ever sets
+};
+
+/// DsmRegistrationSignal with the flag write reordered past the
+/// registration sweep: Signal() delivers private flags to registered
+/// waiters FIRST and only then writes S. The correct order closes the race
+/// with a concurrent first Poll() (register, then read S): a waiter the
+/// sweep missed is guaranteed to see S = 1. With the order flipped there is
+/// a window — sweep passes the not-yet-registered waiter, the waiter
+/// registers and reads S = 0, Signal() completes — after which every later
+/// Poll() of that waiter reads its never-delivered private flag and returns
+/// false: a clause-2 violation on that specific interleaving only.
+class LateFlagSignal final : public SignalingAlgorithm {
+ public:
+  LateFlagSignal(SharedMemory& mem, ProcId signaler);
+
+  SubTask<bool> poll(ProcCtx& ctx) override;
+  SubTask<void> signal(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "late-flag"; }
+
+ private:
+  ProcId signaler_;
+  VarId s_;                        // global: signal issued (written last!)
+  std::vector<VarId> reg_;         // reg_[i] homed at the signaler
+  std::vector<VarId> v_;           // V[i] homed at waiter i
+  std::vector<VarId> first_done_;  // first_done_[i] homed at waiter i
+};
+
+/// CasRegistrationSignal with the retry loop collapsed to a single CAS
+/// attempt: a waiter whose push races another waiter's push loses the CAS
+/// and carries on as if registered — it marks its first call done without
+/// being on the stack. The sweep never reaches it, so after Signal()
+/// completes its Polls return false forever: a clause-2 violation that
+/// needs two waiters' first Polls overlapping, then a completed Signal().
+class DroppedRecheckCasSignal final : public SignalingAlgorithm {
+ public:
+  explicit DroppedRecheckCasSignal(SharedMemory& mem);
+
+  SubTask<bool> poll(ProcCtx& ctx) override;
+  SubTask<void> signal(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "dropped-recheck-cas"; }
+
+ private:
+  static constexpr Word kNil = -1;
+  VarId s_;                        // global: signal issued?
+  VarId head_;                     // global: top of registration stack
+  std::vector<VarId> next_;        // next_[i] homed at waiter i
+  std::vector<VarId> v_;           // V[i] homed at waiter i
+  std::vector<VarId> first_done_;  // first_done_[i] homed at waiter i
+};
+
+/// RecoverableSpinLock with the recovery's owner check replaced by a guess:
+/// instead of reading `owner` and releasing only its own hold, recover()
+/// consults the caller's doorway flag (`want`) and blindly frees the lock
+/// whenever the crash struck past the doorway — "I was in acquire, so I
+/// must have held it". Crash-free runs are indistinguishable from the
+/// correct lock (want starts 0, so recovery is a no-op), but a process that
+/// crashes while merely *spinning* frees somebody else's hold on recovery,
+/// and the next CAS steals the critical section. Convictable only by the
+/// crash x schedule product.
+class BrokenRecoveryLock final : public RecoverableMutexAlgorithm {
+ public:
+  explicit BrokenRecoveryLock(SharedMemory& mem);
+
+  SubTask<void> acquire(ProcCtx& ctx) override;
+  SubTask<void> release(ProcCtx& ctx) override;
+  SubTask<void> recover(ProcCtx& ctx) override;
+
+  std::string_view name() const override { return "broken-recovery"; }
+
+ private:
+  static constexpr Word kFree = -1;
+  VarId owner_;              // global: kFree or the holder's id
+  std::vector<VarId> want_;  // want_[p] homed at p: p is past its doorway
 };
 
 }  // namespace rmrsim

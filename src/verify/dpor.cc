@@ -1,0 +1,643 @@
+#include "verify/dpor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+
+#include "common/check.h"
+#include "sched/schedulers.h"
+
+namespace rmrsim {
+
+namespace {
+
+using MacroFootprint = Simulation::MacroFootprint;
+
+/// One executed macro step on the current path, with its vector clock:
+/// clock[q] = index of the last q-step that happens-before this step (its
+/// own entry is its own index), -1 if none. Happens-before is program order
+/// plus the dependence relation over executed steps.
+struct PathStep {
+  ProcId proc = kNoProc;
+  MacroFootprint fp;
+  std::vector<std::int32_t> clock;
+};
+
+/// A process asleep at a node, with the footprint its next macro step had
+/// when it was executed from an equivalent state. The footprint stays exact
+/// while the process sleeps: it is woken (dropped from the set) by exactly
+/// the dependent steps that could change its op's outcome.
+struct SleepEntry {
+  ProcId proc = kNoProc;
+  MacroFootprint fp;
+};
+
+bool asleep(const std::vector<SleepEntry>& sleep, ProcId p) {
+  for (const SleepEntry& e : sleep) {
+    if (e.proc == p) return true;
+  }
+  return false;
+}
+
+/// Child sleep set: inherited entries plus previously executed siblings,
+/// keeping only those independent of the step taken (dependent entries are
+/// woken — their subtrees are no longer covered).
+std::vector<SleepEntry> child_sleep(const std::vector<SleepEntry>& inherited,
+                                    const std::vector<SleepEntry>& siblings,
+                                    const MacroFootprint& fp) {
+  std::vector<SleepEntry> out;
+  out.reserve(inherited.size() + siblings.size());
+  for (const SleepEntry& e : inherited) {
+    if (!Simulation::dependent(e.fp, fp)) out.push_back(e);
+  }
+  for (const SleepEntry& e : siblings) {
+    if (!Simulation::dependent(e.fp, fp)) out.push_back(e);
+  }
+  return out;
+}
+
+/// Retroactive race detection: computes the clock of a newly executed step
+/// (proc `p`, footprint `fp`, appended after `path`) and collects the
+/// indices of earlier steps racing with it — dependent steps not already
+/// ordered before it by happens-before. Scans descending with an
+/// accumulated clock so only the maximal concurrent step of each dependence
+/// chain is flagged.
+std::vector<std::int32_t> race_scan(const std::vector<PathStep>& path,
+                                    ProcId p, const MacroFootprint& fp,
+                                    int nprocs,
+                                    std::vector<std::size_t>* races) {
+  std::vector<std::int32_t> acc(static_cast<std::size_t>(nprocs), -1);
+  for (std::size_t j = path.size(); j-- > 0;) {
+    if (path[j].proc == p) {
+      acc = path[j].clock;  // program-order predecessor
+      break;
+    }
+  }
+  for (std::size_t j = path.size(); j-- > 0;) {
+    const PathStep& e = path[j];
+    if (!Simulation::dependent(e.fp, fp)) continue;
+    if (e.proc != p &&
+        static_cast<std::int32_t>(j) > acc[static_cast<std::size_t>(e.proc)]) {
+      races->push_back(j);
+    }
+    for (std::size_t q = 0; q < acc.size(); ++q) {
+      acc[q] = std::max(acc[q], e.clock[q]);
+    }
+  }
+  acc[static_cast<std::size_t>(p)] = static_cast<std::int32_t>(path.size());
+  return acc;
+}
+
+struct Violation {
+  std::vector<ProcId> schedule;
+  std::string message;
+};
+
+/// A race insertion that targets a trunk node: drained by the coordinator
+/// at the round barrier, in canonical (path, proc) order.
+struct ExternalAdd {
+  std::vector<ProcId> node_path;
+  ProcId proc = kNoProc;
+};
+
+/// A closed subtree handed to a worker: the macro path to its root, the
+/// executed steps (footprints + clocks) along it, and the sleep set at the
+/// root. Everything below the root is local to the item; only race targets
+/// above it escape, as ExternalAdds.
+struct WorkItem {
+  std::vector<ProcId> schedule;
+  std::vector<PathStep> path;
+  std::vector<SleepEntry> sleep;
+  double naive_product = 1.0;  // prod of enabled-set sizes along the path
+  double naive_sum = 1.0;      // naive nodes along the path so far
+};
+
+struct ItemOutcome {
+  std::uint64_t nodes = 0;
+  std::uint64_t complete = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t sleep_prunes = 0;
+  std::uint64_t sleep_blocked = 0;
+  std::uint64_t backtracks = 0;
+  std::uint64_t replayed = 0;
+  double estimate_sum = 0.0;
+  std::uint64_t leaves = 0;
+  std::vector<Violation> violations;
+  std::vector<std::vector<ProcId>> completes;  // macro schedules (if collected)
+  std::vector<ExternalAdd> externals;
+};
+
+struct Shared {
+  const ExploreBuilder* build = nullptr;
+  const ExploreChecker* check = nullptr;
+  int max_depth = 0;
+  std::uint64_t max_nodes = 0;
+  bool collect_completes = false;
+  std::atomic<std::uint64_t> nodes{0};
+  std::atomic<bool> budget_hit{false};
+};
+
+bool charge_node(Shared& sh) {
+  const std::uint64_t n = sh.nodes.fetch_add(1, std::memory_order_relaxed);
+  if (n >= sh.max_nodes) {
+    sh.budget_hit.store(true, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+/// Stateless DFS over one item's subtree. Backtracking rebuilds the world
+/// and replays the schedule prefix, like the naive explorer; races whose
+/// reversal point lies inside the subtree grow local backtrack sets, races
+/// targeting the trunk are emitted as externals.
+void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
+  struct Frame {
+    std::vector<ProcId> enabled;
+    std::vector<SleepEntry> sleep;
+    std::set<ProcId> backtrack;
+    std::set<ProcId> done;
+    std::vector<SleepEntry> siblings;
+    double naive_product = 1.0;
+    double naive_sum = 1.0;
+  };
+
+  std::vector<ProcId> schedule = item.schedule;
+  std::vector<PathStep> path = item.path;
+  const std::size_t root_depth = schedule.size();
+  std::vector<Frame> frames;
+
+  ExploreInstance inst = replay_macro_schedule(*sh.build, schedule);
+  out.replayed += schedule.size();
+  bool sim_valid = true;
+  const int nprocs = inst.sim->nprocs();
+
+  // Classifies the just-reached state: records leaves (complete, truncated,
+  // sleep-blocked) and pushes a frame otherwise. The violation check for
+  // non-root states happens before this, right after the step executes.
+  const auto enter_node = [&](std::vector<SleepEntry> sleep, double product,
+                              double sum) -> bool {
+    Simulation& sim = *inst.sim;
+    Frame f;
+    f.sleep = std::move(sleep);
+    f.naive_product = product;
+    f.naive_sum = sum;
+    for (ProcId p = 0; p < sim.nprocs(); ++p) {
+      if (sim.runnable(p)) f.enabled.push_back(p);
+    }
+    if (f.enabled.empty()) {
+      ++out.complete;
+      if (sh.collect_completes) out.completes.push_back(schedule);
+      out.estimate_sum += sum;
+      ++out.leaves;
+      return false;
+    }
+    if (static_cast<int>(schedule.size()) >= sh.max_depth) {
+      ++out.truncated;
+      out.estimate_sum += sum;
+      ++out.leaves;
+      return false;
+    }
+    ProcId seed = kNoProc;
+    for (const ProcId p : f.enabled) {
+      if (!asleep(f.sleep, p)) {
+        seed = p;
+        break;
+      }
+    }
+    if (seed == kNoProc) {
+      ++out.sleep_blocked;
+      out.estimate_sum += sum;
+      ++out.leaves;
+      return false;
+    }
+    f.backtrack.insert(seed);
+    frames.push_back(std::move(f));
+    return true;
+  };
+
+  if (!enter_node(item.sleep, item.naive_product, item.naive_sum)) return;
+
+  while (!frames.empty()) {
+    Frame& f = frames.back();
+    ProcId q = kNoProc;
+    for (const ProcId c : f.backtrack) {
+      if (!f.done.count(c)) {
+        q = c;
+        break;
+      }
+    }
+    if (q == kNoProc) {
+      frames.pop_back();
+      if (!frames.empty()) {
+        schedule.pop_back();
+        path.pop_back();
+      }
+      sim_valid = false;
+      continue;
+    }
+    f.done.insert(q);
+    if (asleep(f.sleep, q)) {
+      ++out.sleep_prunes;
+      continue;
+    }
+    if (!charge_node(sh)) return;  // budget: abandon the item (best effort)
+    if (!sim_valid) {
+      inst = replay_macro_schedule(*sh.build, schedule);
+      out.replayed += schedule.size();
+      sim_valid = true;
+    }
+    const MacroFootprint fp = inst.sim->macro_step(q);
+    ++out.nodes;
+
+    std::vector<std::size_t> races;
+    std::vector<std::int32_t> clock = race_scan(path, q, fp, nprocs, &races);
+    for (const std::size_t j : races) {
+      if (j >= root_depth) {
+        Frame& tf = frames[j - root_depth];
+        if (!tf.done.count(q) && tf.backtrack.insert(q).second) {
+          ++out.backtracks;
+        }
+      } else {
+        out.externals.push_back(
+            {std::vector<ProcId>(schedule.begin(),
+                                 schedule.begin() +
+                                     static_cast<std::ptrdiff_t>(j)),
+             q});
+      }
+    }
+
+    std::vector<SleepEntry> sleep = child_sleep(f.sleep, f.siblings, fp);
+    f.siblings.push_back({q, fp});
+    const double product =
+        f.naive_product * static_cast<double>(f.enabled.size());
+    const double sum = f.naive_sum + product;
+
+    schedule.push_back(q);
+    path.push_back({q, fp, std::move(clock)});
+
+    if (const auto v = (*sh.check)(inst.sim->history()); v.has_value()) {
+      out.violations.push_back({schedule, *v});
+      out.estimate_sum += sum;
+      ++out.leaves;
+      schedule.pop_back();
+      path.pop_back();
+      sim_valid = false;
+      continue;
+    }
+    if (!enter_node(std::move(sleep), product, sum)) {
+      schedule.pop_back();
+      path.pop_back();
+      sim_valid = false;
+    }
+  }
+}
+
+/// A persistent node of the sequentially-owned trunk (depth < trunk_depth).
+/// Trunk nodes live across rounds so that race insertions arriving from
+/// deep items can still open new branches near the root.
+struct TrunkNode {
+  std::vector<PathStep> path;
+  std::vector<ProcId> enabled;
+  std::vector<SleepEntry> sleep;
+  std::set<ProcId> done;
+  std::vector<SleepEntry> siblings;
+  double naive_product = 1.0;
+  double naive_sum = 1.0;
+};
+
+}  // namespace
+
+ExploreInstance replay_macro_schedule(const ExploreBuilder& build,
+                                      const std::vector<ProcId>& schedule) {
+  ExploreInstance inst = build();
+  ensure(inst.sim != nullptr, "explore builder returned no simulation");
+  for (const ProcId p : schedule) {
+    ensure(inst.sim->runnable(p), "macro schedule replay diverged");
+    inst.sim->macro_step(p);
+  }
+  return inst;
+}
+
+ExploreResult explore_dpor(const ExploreBuilder& build,
+                           const ExploreChecker& check,
+                           const DporOptions& options) {
+  ExploreResult result;
+  Shared sh;
+  sh.build = &build;
+  sh.check = &check;
+  sh.max_depth = options.max_depth;
+  sh.max_nodes = options.max_nodes;
+  sh.collect_completes = static_cast<bool>(options.on_complete_schedule);
+
+  const int trunk_depth =
+      std::max(0, std::min(options.trunk_depth, options.max_depth));
+
+  std::map<std::vector<ProcId>, TrunkNode> trunk;
+  std::set<std::pair<std::vector<ProcId>, ProcId>> pending;
+  std::vector<Violation> violations;
+  double estimate_sum = 0.0;
+  std::uint64_t leaves = 0;
+
+  const auto emit_complete = [&](const std::vector<ProcId>& sched) {
+    ++result.complete_schedules;
+    if (options.on_complete_schedule) options.on_complete_schedule(sched);
+  };
+
+  // Creates the trunk node / work item / leaf for a state just reached by
+  // replaying `sched` (its live simulation in `sim`; violation already
+  // checked by the caller). Returns a work item when the state sits at the
+  // trunk boundary.
+  std::vector<WorkItem> items;
+  const auto enter_trunk_state = [&](const std::vector<ProcId>& sched,
+                                     std::vector<PathStep> path,
+                                     std::vector<SleepEntry> sleep,
+                                     double product, double sum,
+                                     Simulation& sim) {
+    std::vector<ProcId> enabled;
+    for (ProcId p = 0; p < sim.nprocs(); ++p) {
+      if (sim.runnable(p)) enabled.push_back(p);
+    }
+    if (enabled.empty()) {
+      emit_complete(sched);
+      estimate_sum += sum;
+      ++leaves;
+      return;
+    }
+    if (static_cast<int>(sched.size()) >= options.max_depth) {
+      ++result.truncated_schedules;
+      estimate_sum += sum;
+      ++leaves;
+      return;
+    }
+    if (static_cast<int>(sched.size()) >= trunk_depth) {
+      items.push_back(
+          {sched, std::move(path), std::move(sleep), product, sum});
+      return;
+    }
+    TrunkNode node;
+    node.path = std::move(path);
+    node.enabled = std::move(enabled);
+    node.sleep = std::move(sleep);
+    node.naive_product = product;
+    node.naive_sum = sum;
+    ProcId seed = kNoProc;
+    for (const ProcId p : node.enabled) {
+      if (!asleep(node.sleep, p)) {
+        seed = p;
+        break;
+      }
+    }
+    trunk.emplace(sched, std::move(node));
+    if (seed == kNoProc) {
+      ++result.stats.sleep_blocked_paths;
+      estimate_sum += sum;
+      ++leaves;
+    } else {
+      pending.insert({sched, seed});
+    }
+  };
+
+  // Root.
+  {
+    if (!charge_node(sh)) {
+      result.exhausted = false;
+      return result;
+    }
+    ExploreInstance root = replay_macro_schedule(build, {});
+    if (const auto v = check(root.sim->history()); v.has_value()) {
+      result.nodes_visited = sh.nodes.load();
+      result.violation = v;
+      return result;
+    }
+    enter_trunk_state({}, {}, {}, 1.0, 1.0, *root.sim);
+  }
+
+  const int nprocs = [&] {
+    ExploreInstance probe = build();
+    ensure(probe.sim != nullptr, "explore builder returned no simulation");
+    return probe.sim->nprocs();
+  }();
+
+  // Round fixpoint: drain trunk expansions in canonical order (spawning
+  // items at the trunk boundary), run the items, integrate their external
+  // race insertions, repeat until nothing new appears.
+  while ((!pending.empty() || !items.empty()) &&
+         !sh.budget_hit.load(std::memory_order_relaxed)) {
+    ++result.stats.rounds;
+
+    while (!pending.empty() &&
+           !sh.budget_hit.load(std::memory_order_relaxed)) {
+      const auto [sched, q] = *pending.begin();
+      pending.erase(pending.begin());
+      auto it = trunk.find(sched);
+      ensure(it != trunk.end(), "dpor trunk expansion targets unknown node");
+      TrunkNode& node = it->second;
+      if (node.done.count(q)) continue;
+      node.done.insert(q);
+      if (asleep(node.sleep, q)) {
+        ++result.stats.sleep_set_prunes;
+        continue;
+      }
+      if (!charge_node(sh)) break;
+
+      ExploreInstance inst = replay_macro_schedule(build, sched);
+      result.stats.replayed_steps += sched.size();
+      const MacroFootprint fp = inst.sim->macro_step(q);
+
+      std::vector<std::size_t> races;
+      std::vector<std::int32_t> clock =
+          race_scan(node.path, q, fp, nprocs, &races);
+      for (const std::size_t j : races) {
+        const std::vector<ProcId> target(
+            sched.begin(), sched.begin() + static_cast<std::ptrdiff_t>(j));
+        auto tit = trunk.find(target);
+        ensure(tit != trunk.end(), "dpor race targets unknown trunk node");
+        if (!tit->second.done.count(q) && pending.insert({target, q}).second) {
+          ++result.stats.backtrack_points;
+        }
+      }
+
+      std::vector<SleepEntry> sleep =
+          child_sleep(node.sleep, node.siblings, fp);
+      node.siblings.push_back({q, fp});
+      const double product =
+          node.naive_product * static_cast<double>(node.enabled.size());
+      const double sum = node.naive_sum + product;
+
+      std::vector<ProcId> child_sched = sched;
+      child_sched.push_back(q);
+      std::vector<PathStep> child_path = node.path;
+      child_path.push_back({q, fp, std::move(clock)});
+
+      if (const auto v = check(inst.sim->history()); v.has_value()) {
+        violations.push_back({child_sched, *v});
+        estimate_sum += sum;
+        ++leaves;
+        continue;
+      }
+      enter_trunk_state(child_sched, std::move(child_path), std::move(sleep),
+                        product, sum, *inst.sim);
+    }
+
+    if (sh.budget_hit.load(std::memory_order_relaxed)) break;
+    if (items.empty()) continue;  // new pending may have appeared; re-drain
+
+    // Run this round's items — inline, or on a work-stealing pool. Each
+    // item is self-contained, so results are independent of which worker
+    // runs what; outcomes merge in item order (canonical).
+    std::vector<ItemOutcome> outcomes(items.size());
+    result.stats.work_items += items.size();
+    const int workers =
+        std::min<int>(std::max(1, options.workers),
+                      static_cast<int>(items.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        run_item(sh, items[i], outcomes[i]);
+      }
+    } else {
+      std::vector<std::deque<std::size_t>> queues(
+          static_cast<std::size_t>(workers));
+      std::vector<std::mutex> locks(static_cast<std::size_t>(workers));
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        queues[i % static_cast<std::size_t>(workers)].push_back(i);
+      }
+      const auto worker = [&](int w) {
+        for (;;) {
+          std::size_t job = items.size();
+          {
+            std::lock_guard<std::mutex> g(locks[static_cast<std::size_t>(w)]);
+            auto& mine = queues[static_cast<std::size_t>(w)];
+            if (!mine.empty()) {
+              job = mine.back();
+              mine.pop_back();
+            }
+          }
+          if (job == items.size()) {
+            // Steal from the front of the longest-suffering victim. No new
+            // items appear mid-round, so one empty sweep means done.
+            for (int v = 0; v < workers && job == items.size(); ++v) {
+              if (v == w) continue;
+              std::lock_guard<std::mutex> g(
+                  locks[static_cast<std::size_t>(v)]);
+              auto& theirs = queues[static_cast<std::size_t>(v)];
+              if (!theirs.empty()) {
+                job = theirs.front();
+                theirs.pop_front();
+              }
+            }
+          }
+          if (job == items.size()) return;
+          run_item(sh, items[job], outcomes[job]);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<std::size_t>(workers));
+      for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
+      for (std::thread& t : pool) t.join();
+    }
+    items.clear();
+
+    for (const ItemOutcome& out : outcomes) {
+      result.complete_schedules += out.complete;
+      result.truncated_schedules += out.truncated;
+      result.stats.sleep_set_prunes += out.sleep_prunes;
+      result.stats.sleep_blocked_paths += out.sleep_blocked;
+      result.stats.backtrack_points += out.backtracks;
+      result.stats.replayed_steps += out.replayed;
+      estimate_sum += out.estimate_sum;
+      leaves += out.leaves;
+      for (const Violation& v : out.violations) violations.push_back(v);
+      if (options.on_complete_schedule) {
+        for (const auto& s : out.completes) options.on_complete_schedule(s);
+      }
+      for (const ExternalAdd& add : out.externals) {
+        auto tit = trunk.find(add.node_path);
+        ensure(tit != trunk.end(), "dpor external add targets unknown node");
+        if (!tit->second.done.count(add.proc) &&
+            pending.insert({add.node_path, add.proc}).second) {
+          ++result.stats.backtrack_points;
+        }
+      }
+    }
+  }
+
+  result.nodes_visited = std::min<std::uint64_t>(sh.nodes.load(), sh.max_nodes);
+  result.exhausted = !sh.budget_hit.load(std::memory_order_relaxed);
+  result.stats.naive_tree_estimate =
+      leaves > 0 ? estimate_sum / static_cast<double>(leaves) : 1.0;
+  if (!violations.empty()) {
+    const Violation* best = &violations.front();
+    for (const Violation& v : violations) {
+      if (v.schedule < best->schedule) best = &v;
+    }
+    result.violation = best->message;
+    result.violating_schedule = best->schedule;
+  }
+  return result;
+}
+
+CrashProductResult sweep_crash_product(const ExploreBuilder& build,
+                                       const ExploreChecker& check,
+                                       ProcId victim,
+                                       const CrashProductOptions& options) {
+  CrashProductResult result;
+
+  // Enumerate complete schedules with the reduced exploration, keeping the
+  // lexicographically least max_schedules of them as crash bases.
+  std::set<std::vector<ProcId>> bases;
+  DporOptions ex = options.explore;
+  ex.on_complete_schedule = [&](const std::vector<ProcId>& s) {
+    bases.insert(s);
+    if (static_cast<int>(bases.size()) > options.max_schedules) {
+      bases.erase(std::prev(bases.end()));
+    }
+  };
+  const ExploreResult er = explore_dpor(build, check, ex);
+  if (er.violation.has_value()) {
+    result.schedule_violation = er.violation;
+    result.violating_schedule = er.violating_schedule;
+    return result;
+  }
+
+  for (const std::vector<ProcId>& sched : bases) {
+    ++result.schedules_swept;
+    // Crash before the victim's first step, then after each of its steps.
+    std::vector<std::size_t> points{0};
+    for (std::size_t i = 0; i < sched.size(); ++i) {
+      if (sched[i] == victim) points.push_back(i + 1);
+    }
+    for (const std::size_t cut : points) {
+      if (result.sweep.crash_points >= options.max_crash_points) return result;
+      ExploreInstance inst = replay_macro_schedule(
+          build, std::vector<ProcId>(sched.begin(),
+                                     sched.begin() +
+                                         static_cast<std::ptrdiff_t>(cut)));
+      Simulation& sim = *inst.sim;
+      if (sim.terminated(victim)) continue;  // nothing left to crash
+      ++result.sweep.crash_points;
+      sim.crash(victim);
+      fair_drive(sim, options.recover_after);
+      if (options.recover_victim) sim.recover(victim);
+      const DriveOutcome done = fair_drive(sim, options.max_steps);
+      if (const auto v = check(sim.history()); v.has_value()) {
+        result.sweep.violation = v;
+        result.sweep.violating_crash_point = static_cast<int>(cut);
+        result.violating_schedule = sched;
+        return result;
+      }
+      switch (done) {
+        case DriveOutcome::kAllTerminated: ++result.sweep.completed; break;
+        case DriveOutcome::kBudget: ++result.sweep.stuck; break;
+        case DriveOutcome::kWedged: ++result.sweep.wedged; break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,133 @@
+// Dynamic partial-order reduction over macro-step schedules.
+//
+// explore_all_schedules (explorer.h) enumerates the full schedule tree;
+// most of that tree is redundant, because macro steps of different
+// processes that touch different variables (or only read a shared one)
+// commute — swapping them yields the same memory contents, the same op
+// outcomes, and the same cross-process order of observable events, hence
+// the same verdict from any checker phrased over those. explore_dpor
+// explores one representative per such equivalence class, plus the
+// schedules needed to cover every reachable class:
+//
+//   Soundness   — every schedule the reduced search executes is a real
+//                 schedule of the instance (transitions are executed, never
+//                 synthesized), so any reported violation is genuine.
+//   Completeness — backtrack points are inserted at every race discovered
+//                 between executed macro steps (persistent-set style, with
+//                 a conservative "add all enabled" fallback when the racing
+//                 process took intermediate steps), so every equivalence
+//                 class of schedules within the depth bound has an explored
+//                 representative. Sleep sets only skip transitions whose
+//                 subtree is provably covered by an already-explored
+//                 sibling. Checkers must be phrased over memory-op records
+//                 and observable-event order (see observable_event());
+//                 checkers that key on the positions of process-local
+//                 bookkeeping events can distinguish members of a class
+//                 and are outside the reduction's contract.
+//
+// Two macro steps are dependent iff they touch the same variable with at
+// least one mutation, or both flush observable events
+// (Simulation::dependent). Races are detected retroactively with vector
+// clocks over the executed path; the search is stateless — each backtrack
+// rebuilds a disposable world and replays the schedule prefix, exactly like
+// the naive explorer.
+//
+// Parallel exploration is deterministic by construction: a sequential
+// coordinator owns the top of the tree (the "trunk", up to trunk_depth),
+// subtrees hanging off trunk leaves become self-contained work items
+// executed by a work-stealing pool, and race insertions that target trunk
+// nodes are drained at round barriers in canonical (path, process) order.
+// The set of explored nodes — and therefore the verdict, the violating
+// schedule, and every statistic — is a function of the instance and the
+// options alone, not of thread timing, whenever the search completes
+// (exhausted == true). On a max_nodes trip the verdict is best-effort.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "verify/explorer.h"
+
+namespace rmrsim {
+
+struct DporOptions {
+  /// Abandon a schedule past this many macro steps (same meaning as
+  /// ExploreOptions::max_depth under macro stepping).
+  int max_depth = 64;
+  /// Stop after visiting this many nodes (safety valve). Verdicts are
+  /// deterministic across worker counts only when the search finishes
+  /// under this budget.
+  std::uint64_t max_nodes = 2'000'000;
+  /// Worker threads for subtree exploration. 1 = run everything on the
+  /// calling thread (same code path, bit-identical results). Builders and
+  /// checkers are called concurrently when workers > 1 and must be
+  /// thread-safe (build fresh worlds, write no shared state).
+  int workers = 1;
+  /// Depth of the sequentially-owned trunk. Subtrees rooted at this depth
+  /// become parallel work items; smaller values make bigger items.
+  int trunk_depth = 6;
+  /// Called once per complete schedule (every process terminated), in the
+  /// canonical deterministic order, with the macro schedule that reaches
+  /// it. Used by sweep_crash_product to enumerate crash-injection bases.
+  std::function<void(const std::vector<ProcId>&)> on_complete_schedule = {};
+};
+
+/// Explores a persistent-set-reduced schedule tree of the instance.
+/// Violations are collected over the whole reduced tree and the
+/// lexicographically least violating macro schedule is reported, so the
+/// verdict matches explore_all_schedules (which explores children in
+/// ascending process order and stops at the first violation — the lex
+/// least one of the full tree).
+ExploreResult explore_dpor(const ExploreBuilder& build,
+                           const ExploreChecker& check,
+                           const DporOptions& options = {});
+
+/// Rebuilds a world and replays a macro schedule on it: each entry flushes
+/// that process's local events and applies its next memory op (or runs it
+/// to termination), via Simulation::macro_step. The replay unit shared by
+/// the explorers, the shrinker, and the crash product sweep.
+ExploreInstance replay_macro_schedule(const ExploreBuilder& build,
+                                      const std::vector<ProcId>& schedule);
+
+struct CrashProductOptions {
+  /// Bounds for the schedule-exploration half of the product.
+  DporOptions explore;
+  /// Lex-least complete schedules to sweep crash points along.
+  int max_schedules = 32;
+  /// Fair steps between the injected crash and the victim's recovery.
+  std::uint64_t recover_after = 20;
+  /// Step budget for driving each crashed run to completion.
+  std::uint64_t max_steps = 200'000;
+  /// Safety valve on the total number of crash points tried.
+  int max_crash_points = 10'000;
+  /// See CrashSweepOptions::recover_victim.
+  bool recover_victim = true;
+};
+
+struct CrashProductResult {
+  /// Complete schedules enumerated by the reduced exploration and swept.
+  int schedules_swept = 0;
+  /// Aggregated crash-point outcomes across all swept schedules; the
+  /// violation fields report the first (lex-least schedule, earliest crash
+  /// point) violation.
+  CrashSweepResult sweep;
+  /// The macro schedule whose sweep produced the violation (empty if none).
+  std::vector<ProcId> violating_schedule;
+  /// A crash-free violation found during exploration itself, if any (the
+  /// product then reports it without sweeping).
+  std::optional<std::string> schedule_violation;
+};
+
+/// The crash x schedule product: explores the (reduced) schedule space,
+/// then for each of the lexicographically least `max_schedules` complete
+/// schedules sweeps every crash point of `victim` along it — rebuild,
+/// replay the macro prefix, crash, run `recover_after` fair steps, recover
+/// (optionally), drive to completion, check the final history. Generalizes
+/// sweep_crash_points, which sweeps along the single fair schedule.
+CrashProductResult sweep_crash_product(const ExploreBuilder& build,
+                                       const ExploreChecker& check,
+                                       ProcId victim,
+                                       const CrashProductOptions& options = {});
+
+}  // namespace rmrsim

@@ -1,45 +1,9 @@
 #include "verify/explorer.h"
 
 #include "common/check.h"
+#include "sched/schedulers.h"
 
 namespace rmrsim {
-
-namespace {
-
-/// Minimal fair driver (round-robin over ready processes, ticking the clock
-/// when only sleepers remain) — keeps verify free of a src/sched dependency.
-/// Returns true when every process terminated within the budget.
-bool drive_fair(Simulation& sim, std::uint64_t max_steps) {
-  ProcId last = -1;
-  for (std::uint64_t s = 0; s < max_steps; ++s) {
-    if (sim.all_terminated()) return true;
-    const int n = sim.nprocs();
-    ProcId pick = kNoProc;
-    for (int i = 1; i <= n; ++i) {
-      const ProcId c = static_cast<ProcId>((last + i) % n);
-      if (sim.ready(c)) {
-        pick = c;
-        break;
-      }
-    }
-    if (pick == kNoProc) {
-      // Nobody ready: tick if a sleeper will wake, otherwise the run is
-      // wedged (everyone left is crashed or finished).
-      bool sleeper = false;
-      for (ProcId p = 0; p < n; ++p) {
-        if (sim.runnable(p)) sleeper = true;
-      }
-      if (!sleeper) return sim.all_terminated();
-      sim.tick();
-      continue;
-    }
-    last = pick;
-    sim.step(pick);
-  }
-  return sim.all_terminated();
-}
-
-}  // namespace
 
 ExploreResult explore_all_schedules(const ExploreBuilder& build,
                                     const ExploreChecker& check,
@@ -116,7 +80,7 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
   {
     ExploreInstance base = build();
     ensure(base.sim != nullptr, "sweep builder returned no simulation");
-    drive_fair(*base.sim, options.max_steps);
+    fair_drive(*base.sim, options.max_steps);
     baseline = base.sim->schedule();
   }
 
@@ -143,18 +107,18 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
     if (sim.terminated(victim)) continue;  // nothing left to crash
     ++result.crash_points;
     sim.crash(victim);
-    drive_fair(sim, options.recover_after);
-    sim.recover(victim);
-    const bool done = drive_fair(sim, options.max_steps);
+    fair_drive(sim, options.recover_after);
+    if (options.recover_victim) sim.recover(victim);
+    const DriveOutcome done = fair_drive(sim, options.max_steps);
     if (const auto v = check(sim.history()); v.has_value()) {
       result.violation = v;
       result.violating_crash_point = static_cast<int>(cut);
       return result;
     }
-    if (done) {
-      ++result.completed;
-    } else {
-      ++result.stuck;
+    switch (done) {
+      case DriveOutcome::kAllTerminated: ++result.completed; break;
+      case DriveOutcome::kBudget: ++result.stuck; break;
+      case DriveOutcome::kWedged: ++result.wedged; break;
     }
   }
   return result;

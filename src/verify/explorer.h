@@ -51,14 +51,34 @@ struct ExploreOptions {
   bool macro_steps = true;
 };
 
+/// Reduction statistics. The naive explorer leaves everything but
+/// `replayed_steps` zero; explore_dpor (verify/dpor.h) fills the rest.
+/// `naive_tree_estimate` is the mean over maximal explored paths of the
+/// product of enabled-set sizes — an *estimate* of the naive tree, labelled
+/// as such; the exact naive count for configurations both explorers can
+/// finish is measured by running explore_all_schedules itself.
+struct ExploreStats {
+  std::uint64_t replayed_steps = 0;      ///< simulator steps spent on replays
+  std::uint64_t sleep_set_prunes = 0;    ///< children skipped via sleep sets
+  std::uint64_t backtrack_points = 0;    ///< race-driven backtrack insertions
+  std::uint64_t sleep_blocked_paths = 0; ///< nodes where every child slept
+  double naive_tree_estimate = 0.0;      ///< est. nodes a naive DFS visits
+  int rounds = 0;                        ///< parallel fixpoint rounds
+  std::uint64_t work_items = 0;          ///< parallel work items executed
+};
+
 struct ExploreResult {
   std::uint64_t nodes_visited = 0;
   std::uint64_t complete_schedules = 0;  ///< all processes terminated
   std::uint64_t truncated_schedules = 0; ///< hit max_depth
   bool exhausted = true;                 ///< false if max_nodes tripped
-  /// First safety violation found, with the offending schedule.
+  /// First safety violation found, with the offending schedule. The naive
+  /// explorer and explore_dpor both report the lexicographically least
+  /// violating schedule of their search, so verdicts are comparable and
+  /// deterministic (explore_dpor: across worker counts too).
   std::optional<std::string> violation;
   std::vector<ProcId> violating_schedule;
+  ExploreStats stats;
 };
 
 using ExploreBuilder = std::function<ExploreInstance()>;
@@ -83,12 +103,22 @@ struct CrashSweepOptions {
   std::uint64_t max_steps = 200'000;
   /// Safety valve on the number of crash points tried.
   int max_crash_points = 10'000;
+  /// Recover the victim `recover_after` fair steps after the crash. With
+  /// false the victim stays crashed forever — the crash-stop model — and
+  /// runs whose survivors wait on it end up wedged, not budget-exhausted.
+  bool recover_victim = true;
 };
 
 struct CrashSweepResult {
   int crash_points = 0;  ///< crash positions actually injected
   int completed = 0;     ///< runs where every process terminated
-  int stuck = 0;         ///< runs that hit the step budget
+  /// Runs that exhausted the step budget with ready processes left —
+  /// typically spinners that a larger budget might finish.
+  int stuck = 0;
+  /// Runs that can never take another step no matter the budget: every
+  /// non-terminated process is crashed (DriveOutcome::kWedged). Distinct
+  /// from `stuck` because no budget increase can un-wedge them.
+  int wedged = 0;
   /// First safety violation found, and the crash point that produced it
   /// (the number of baseline steps replayed before the crash).
   std::optional<std::string> violation;

@@ -1,0 +1,101 @@
+#include "verify/shrink.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+std::optional<std::pair<std::string, std::size_t>> reproduce_violation(
+    const ExploreBuilder& build, const ExploreChecker& check,
+    const std::vector<ProcId>& schedule) {
+  ExploreInstance inst = build();
+  ensure(inst.sim != nullptr, "shrink builder returned no simulation");
+  Simulation& sim = *inst.sim;
+  if (const auto v = check(sim.history()); v.has_value()) {
+    return std::make_pair(*v, std::size_t{0});
+  }
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    const ProcId p = schedule[i];
+    if (p < 0 || p >= sim.nprocs() || !sim.runnable(p)) {
+      return std::nullopt;  // invalid candidate: a dropped step was needed
+    }
+    sim.macro_step(p);
+    if (const auto v = check(sim.history()); v.has_value()) {
+      return std::make_pair(*v, i + 1);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ShrinkResult> shrink_counterexample(
+    const ExploreBuilder& build, const ExploreChecker& check,
+    const std::vector<ProcId>& schedule, int max_passes) {
+  const auto base = reproduce_violation(build, check, schedule);
+  if (!base.has_value()) return std::nullopt;
+
+  ShrinkResult result;
+  result.message = base->first;
+  result.schedule.assign(schedule.begin(),
+                         schedule.begin() +
+                             static_cast<std::ptrdiff_t>(base->second));
+
+  // Accepts the candidate iff it reproduces the same violation; truncates
+  // at the reproduction point so trailing noise never survives an edit.
+  const auto attempt = [&](const std::vector<ProcId>& cand) {
+    ++result.candidates_tried;
+    const auto r = reproduce_violation(build, check, cand);
+    if (!r.has_value() || r->first != result.message) return false;
+    ++result.candidates_reproduced;
+    result.schedule.assign(cand.begin(),
+                           cand.begin() +
+                               static_cast<std::ptrdiff_t>(r->second));
+    return true;
+  };
+
+  for (int pass = 0; pass < max_passes; ++pass) {
+    bool changed = false;
+
+    // 1. Drop every step of one process at a time (non-participants vanish
+    // wholesale instead of one step per round).
+    const std::set<ProcId> procs(result.schedule.begin(),
+                                 result.schedule.end());
+    for (const ProcId p : procs) {
+      std::vector<ProcId> cand;
+      cand.reserve(result.schedule.size());
+      for (const ProcId q : result.schedule) {
+        if (q != p) cand.push_back(q);
+      }
+      if (cand.size() < result.schedule.size() && attempt(cand)) {
+        changed = true;
+      }
+    }
+
+    // 2. Drop single steps, to a fixpoint within the pass.
+    for (std::size_t i = 0; i < result.schedule.size();) {
+      std::vector<ProcId> cand = result.schedule;
+      cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+      if (attempt(cand)) {
+        changed = true;  // the element now at i is new: retry the same slot
+      } else {
+        ++i;
+      }
+    }
+
+    // 3. Canonicalize: adjacent swaps that make the schedule smaller
+    // lexicographically (closest to ascending round-robin order).
+    for (std::size_t i = 0; i + 1 < result.schedule.size(); ++i) {
+      if (result.schedule[i + 1] >= result.schedule[i]) continue;
+      std::vector<ProcId> cand = result.schedule;
+      std::swap(cand[i], cand[i + 1]);
+      if (attempt(cand)) changed = true;
+    }
+
+    if (!changed) break;
+  }
+  return result;
+}
+
+}  // namespace rmrsim

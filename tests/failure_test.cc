@@ -317,14 +317,9 @@ TEST(CrashRecovery, RecoverableLockCompletesDespiteCrashInCriticalSection) {
   EXPECT_EQ(report.recoveries, 1);
 }
 
-TEST(CrashRecovery, RecoverableLockSurvivesEveryCrashPoint) {
-  // Exhaustive: crash proc 0 at every step of a 3-proc recoverable-lock
-  // run; mutual exclusion must hold at every crash point and every run must
-  // complete. (FIFO is *not* asserted — crashes legitimately reorder
-  // waiters; analyze_crash_run reports inversions instead.)
-  const int nprocs = 3;
-  const int passages = 2;
-  auto build = [&]() {
+/// Fresh-world builder for crash sweeps over a recoverable-lock config.
+ExploreBuilder recoverable_lock_builder(int nprocs, int passages) {
+  return [=]() {
     ExploreInstance inst;
     auto mem = make_dsm(nprocs);
     auto lock = std::make_shared<RecoverableSpinLock>(*mem);
@@ -343,19 +338,70 @@ TEST(CrashRecovery, RecoverableLockSurvivesEveryCrashPoint) {
     inst.mem = std::move(mem);
     return inst;
   };
-  auto check = [](const History& h) -> std::optional<std::string> {
+}
+
+ExploreChecker mutual_exclusion_checker() {
+  return [](const History& h) -> std::optional<std::string> {
     if (const auto v = check_mutual_exclusion(h); v.has_value()) {
       return v->what;
     }
     return std::nullopt;
   };
+}
+
+TEST(CrashRecovery, RecoverableLockSurvivesEveryCrashPoint) {
+  // Exhaustive: crash proc 0 at every step of a 3-proc recoverable-lock
+  // run; mutual exclusion must hold at every crash point and every run must
+  // complete. (FIFO is *not* asserted — crashes legitimately reorder
+  // waiters; analyze_crash_run reports inversions instead.)
+  const auto build = recoverable_lock_builder(3, 2);
+  const auto check = mutual_exclusion_checker();
   const CrashSweepResult sweep = sweep_crash_points(build, check, 0);
   EXPECT_FALSE(sweep.violation.has_value())
       << *sweep.violation << " at crash point "
       << sweep.violating_crash_point;
   EXPECT_GT(sweep.crash_points, 0);
   EXPECT_EQ(sweep.stuck, 0) << "every crash point must still complete";
+  EXPECT_EQ(sweep.wedged, 0);
   EXPECT_EQ(sweep.completed, sweep.crash_points);
+}
+
+TEST(CrashRecovery, CrashStopSweepSeparatesWedgedFromStuck) {
+  // Crash-stop flavor (recover_victim = false): the victim never comes
+  // back, so no run can complete, and the sweep must tell the two distinct
+  // progress failures apart. Early crash points (victim down before it
+  // acquires) let the survivors finish all their passages, leaving only the
+  // corpse non-terminated — kWedged, unfixable by any budget. Mid-CS crash
+  // points leave the survivors spinning on the orphaned owner word forever —
+  // kBudget, reported as `stuck`. A sweep that lumped these together (the
+  // old fair_drive early-break did) could not make this assertion.
+  const auto build = recoverable_lock_builder(3, 2);
+  const auto check = mutual_exclusion_checker();
+  const CrashSweepResult sweep = sweep_crash_points(
+      build, check, 0,
+      {.recover_after = 20, .max_steps = 20'000, .recover_victim = false});
+  EXPECT_FALSE(sweep.violation.has_value()) << *sweep.violation;
+  EXPECT_GT(sweep.crash_points, 0);
+  EXPECT_EQ(sweep.completed, 0) << "the victim can never terminate";
+  EXPECT_GT(sweep.wedged, 0) << "pre-acquire crashes wedge the run";
+  EXPECT_GT(sweep.stuck, 0) << "in-CS crashes leave survivors spinning";
+  EXPECT_EQ(sweep.wedged + sweep.stuck, sweep.crash_points);
+}
+
+TEST(CrashRecovery, BudgetExhaustionIsStuckNotWedged) {
+  // With the victim recovered, no process is ever permanently down, so a
+  // starved step budget must surface as `stuck` (kBudget: runnable work
+  // left) and never as `wedged`. The generous-budget run above turns these
+  // same crash points into completions — pinning that `stuck` really means
+  // "needs more budget", not "dead".
+  const auto build = recoverable_lock_builder(3, 2);
+  const auto check = mutual_exclusion_checker();
+  const CrashSweepResult sweep = sweep_crash_points(
+      build, check, 0,
+      {.recover_after = 10, .max_steps = 40, .recover_victim = true});
+  EXPECT_GT(sweep.crash_points, 0);
+  EXPECT_GT(sweep.stuck, 0) << "40 steps cannot finish 3x2 passages";
+  EXPECT_EQ(sweep.wedged, 0) << "a recovered world is never wedged";
 }
 
 // ---- deterministic fault plans -------------------------------------------

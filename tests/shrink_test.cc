@@ -1,0 +1,140 @@
+// Shrinker unit tests: a counterexample with a known minimal core must
+// shrink to exactly that core; the shrinker must never return a schedule
+// that fails to reproduce the violation; and shrinking must canonicalize —
+// different witnesses of the same bug converge to the same minimal one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "signaling/algorithm.h"
+#include "signaling/broken.h"
+#include "signaling/checker.h"
+#include "verify/dpor.h"
+#include "verify/explorer.h"
+#include "verify/shrink.h"
+
+namespace rmrsim {
+namespace {
+
+// One BrokenLocalSignal waiter (proc 0, `polls` polls) + signaler (proc 1).
+// The bug fires on ANY schedule where a completed Signal() precedes a
+// completed Poll(): the minimal witness is exactly
+//   [1, 1, 0, 0]
+// — signaler writes S, signaler terminates (flushing Signal's call-end),
+// waiter reads its flag (flushing Poll's call-begin, now after the
+// completed Signal), waiter terminates (flushing the false return).
+ExploreBuilder broken_local_builder(int polls) {
+  return [=]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(2);
+    auto alg = std::make_shared<BrokenLocalSignal>(*inst.mem);
+    std::vector<Program> programs;
+    SignalingAlgorithm* a = alg.get();
+    programs.emplace_back(
+        [a, polls](ProcCtx& ctx) { return polling_waiter(ctx, a, polls); });
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+    inst.keepalive = alg;
+    return inst;
+  };
+}
+
+ExploreChecker polling_checker() {
+  return [](const History& h) -> std::optional<std::string> {
+    if (const auto v = check_polling_spec(h); v.has_value()) return v->what;
+    return std::nullopt;
+  };
+}
+
+const std::vector<ProcId> kMinimalCore{1, 1, 0, 0};
+
+TEST(Shrink, KnownMinimalCoreShrinksExactly) {
+  const auto build = broken_local_builder(2);
+  const auto check = polling_checker();
+
+  // A noisy witness: the waiter burns a first (legal-false) poll before the
+  // signaler runs; its second poll then begins after Signal() completed and
+  // still returns false.
+  const std::vector<ProcId> noisy{0, 1, 1, 0, 0};
+  const auto base = reproduce_violation(build, check, noisy);
+  ASSERT_TRUE(base.has_value()) << "the noisy witness must itself violate";
+
+  const auto shrunk = shrink_counterexample(build, check, noisy);
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_EQ(shrunk->schedule, kMinimalCore);
+  EXPECT_EQ(shrunk->message, base->first);
+  EXPECT_GT(shrunk->candidates_tried, 0);
+}
+
+TEST(Shrink, MinimalCoreIsAFixpoint) {
+  const auto build = broken_local_builder(1);
+  const auto check = polling_checker();
+  const auto shrunk = shrink_counterexample(build, check, kMinimalCore);
+  ASSERT_TRUE(shrunk.has_value());
+  EXPECT_EQ(shrunk->schedule, kMinimalCore);
+
+  // Sharpness of the core: every single-step deletion kills reproduction.
+  for (std::size_t i = 0; i < kMinimalCore.size(); ++i) {
+    std::vector<ProcId> cand = kMinimalCore;
+    cand.erase(cand.begin() + static_cast<std::ptrdiff_t>(i));
+    EXPECT_FALSE(reproduce_violation(build, check, cand).has_value())
+        << "dropping step " << i << " should not reproduce";
+  }
+}
+
+TEST(Shrink, DifferentWitnessesCanonicalizeToTheSameCore) {
+  const auto build = broken_local_builder(2);
+  const auto check = polling_checker();
+  const std::vector<std::vector<ProcId>> witnesses{
+      {1, 1, 0, 0},
+      {1, 0, 1, 0, 0},  // first poll begins mid-Signal (legal), second trips
+      {0, 1, 1, 0, 0},  // first poll burned before the signaler runs
+      {1, 1, 0, 0, 0},  // trailing steps beyond the violation point
+  };
+  for (const auto& w : witnesses) {
+    const auto shrunk = shrink_counterexample(build, check, w);
+    ASSERT_TRUE(shrunk.has_value()) << "witness did not reproduce";
+    EXPECT_EQ(shrunk->schedule, kMinimalCore);
+  }
+}
+
+TEST(Shrink, NonViolatingScheduleReturnsNullopt) {
+  const auto build = broken_local_builder(1);
+  const auto check = polling_checker();
+  // Waiter-only steps: poll returns a legal false, nothing violates.
+  EXPECT_FALSE(
+      shrink_counterexample(build, check, {0, 0}).has_value());
+  // Invalid schedule: process id out of range.
+  EXPECT_FALSE(
+      shrink_counterexample(build, check, {5, 1, 1, 0, 0}).has_value());
+  // Empty schedule: empty history, no violation.
+  EXPECT_FALSE(shrink_counterexample(build, check, {}).has_value());
+}
+
+TEST(Shrink, ResultAlwaysReproduces) {
+  // Property pinned across a batch of DPOR-found witnesses: whatever the
+  // shrinker returns replays to the same message. Uses the DPOR explorer's
+  // violating schedule for several poll budgets (deeper trees each time).
+  for (const int polls : {1, 2, 3}) {
+    const auto build = broken_local_builder(polls);
+    const auto check = polling_checker();
+    const auto r =
+        explore_dpor(build, check, {.max_depth = 20, .max_nodes = 200'000});
+    ASSERT_TRUE(r.violation.has_value());
+    const auto shrunk =
+        shrink_counterexample(build, check, r.violating_schedule);
+    ASSERT_TRUE(shrunk.has_value());
+    const auto replay = reproduce_violation(build, check, shrunk->schedule);
+    ASSERT_TRUE(replay.has_value());
+    EXPECT_EQ(replay->first, shrunk->message);
+    EXPECT_EQ(replay->second, shrunk->schedule.size())
+        << "shrunk schedule carries steps past the violation";
+    EXPECT_LE(shrunk->schedule.size(), r.violating_schedule.size());
+  }
+}
+
+}  // namespace
+}  // namespace rmrsim

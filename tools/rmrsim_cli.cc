@@ -42,6 +42,9 @@
 #include "signaling/workload.h"
 #include "trace/call_stats.h"
 #include "trace/export.h"
+#include "verify/dpor.h"
+#include "verify/explorer.h"
+#include "verify/shrink.h"
 
 using namespace rmrsim;
 
@@ -140,6 +143,23 @@ SignalingFactory make_signal_alg(const std::string& name, int fixed_home) {
   std::exit(2);
 }
 
+std::unique_ptr<MutexAlgorithm> make_lock(const std::string& name,
+                                          SharedMemory& mem) {
+  if (name == "mcs") return std::make_unique<McsLock>(mem);
+  if (name == "ya") return std::make_unique<YangAndersonLock>(mem);
+  if (name == "anderson") return std::make_unique<AndersonArrayLock>(mem);
+  if (name == "ticket") return std::make_unique<TicketLock>(mem);
+  if (name == "tas") return std::make_unique<TasLock>(mem);
+  if (name == "clh") return std::make_unique<ClhLock>(mem);
+  if (name == "bakery") return std::make_unique<BakeryLock>(mem);
+  if (name == "recoverable") return std::make_unique<RecoverableSpinLock>(mem);
+  std::fprintf(stderr,
+               "unknown lock '%s' "
+               "(mcs|ya|anderson|ticket|tas|clh|bakery|recoverable)\n",
+               name.c_str());
+  std::exit(2);
+}
+
 int cmd_signal(const Args& a) {
   const int waiters = static_cast<int>(a.get_int("waiters", 8));
   const int nprocs = waiters + 1;
@@ -193,23 +213,7 @@ int cmd_mutex(const Args& a) {
   const int passages = static_cast<int>(a.get_int("passages", 3));
   const std::string lock_name = a.get("lock", "mcs");
   auto mem = make_model(a.get("model", "dsm"), nprocs);
-  std::unique_ptr<MutexAlgorithm> lock;
-  if (lock_name == "mcs") lock = std::make_unique<McsLock>(*mem);
-  else if (lock_name == "ya") lock = std::make_unique<YangAndersonLock>(*mem);
-  else if (lock_name == "anderson") lock = std::make_unique<AndersonArrayLock>(*mem);
-  else if (lock_name == "ticket") lock = std::make_unique<TicketLock>(*mem);
-  else if (lock_name == "tas") lock = std::make_unique<TasLock>(*mem);
-  else if (lock_name == "clh") lock = std::make_unique<ClhLock>(*mem);
-  else if (lock_name == "bakery") lock = std::make_unique<BakeryLock>(*mem);
-  else if (lock_name == "recoverable") {
-    lock = std::make_unique<RecoverableSpinLock>(*mem);
-  } else {
-    std::fprintf(stderr,
-                 "unknown lock '%s' "
-                 "(mcs|ya|anderson|ticket|tas|clh|bakery|recoverable)\n",
-                 lock_name.c_str());
-    return 2;
-  }
+  std::unique_ptr<MutexAlgorithm> lock = make_lock(lock_name, *mem);
   std::vector<Program> programs;
   // Recoverable locks get the crash-restartable worker (progress lives in
   // shared memory, so a recovered program resumes where its done-counter
@@ -329,9 +333,166 @@ int cmd_gme(const Args& a) {
   return violation ? 1 : 0;
 }
 
+std::string schedule_str(const std::vector<ProcId>& s) {
+  std::string out;
+  for (const ProcId p : s) {
+    if (!out.empty()) out += ' ';
+    out += std::to_string(p);
+  }
+  return out;
+}
+
+// Model-check a small configuration: DPOR exploration of every schedule
+// class up to --depth, optionally racing the naive explorer on the same
+// bounds (--naive) and shrinking any counterexample (--shrink). The builder
+// is called once per tree node (and concurrently when --workers > 1), so it
+// closes over nothing mutable.
+int cmd_explore(const Args& a) {
+  const std::string target = a.get("target", "signal");
+  const std::string model = a.get("model", "dsm");
+
+  ExploreBuilder build;
+  ExploreChecker check;
+  if (target == "signal") {
+    const int waiters = static_cast<int>(a.get_int("waiters", 2));
+    const int polls = static_cast<int>(a.get_int("polls", 1));
+    const int nprocs = waiters + 1;
+    make_model(model, nprocs);  // validate the name before workers spawn
+    const SignalingFactory factory =
+        make_signal_alg(a.get("alg", "registration"), nprocs - 1);
+    build = [=]() {
+      ExploreInstance inst;
+      inst.mem = make_model(model, nprocs);
+      std::shared_ptr<SignalingAlgorithm> alg{factory(*inst.mem)};
+      std::vector<Program> programs;
+      for (int i = 0; i < waiters; ++i) {
+        programs.emplace_back([a = alg.get(), polls](ProcCtx& ctx) {
+          return polling_waiter(ctx, a, polls);
+        });
+      }
+      programs.emplace_back(
+          [a = alg.get()](ProcCtx& ctx) { return signaler(ctx, a); });
+      inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+      inst.keepalive = alg;
+      return inst;
+    };
+    check = [](const History& h) -> std::optional<std::string> {
+      if (const auto v = check_polling_spec(h)) return v->what;
+      return std::nullopt;
+    };
+    std::printf("explore signal: alg %s, model %s, %d waiters x %d polls\n",
+                a.get("alg", "registration").c_str(), model.c_str(), waiters,
+                polls);
+  } else if (target == "mutex") {
+    const int nprocs = static_cast<int>(a.get_int("procs", 2));
+    const int passages = static_cast<int>(a.get_int("passages", 1));
+    const std::string lock_name = a.get("lock", "tas");
+    make_lock(lock_name, *make_model(model, nprocs));  // validate names
+    build = [=]() {
+      ExploreInstance inst;
+      inst.mem = make_model(model, nprocs);
+      std::shared_ptr<MutexAlgorithm> lock{make_lock(lock_name, *inst.mem)};
+      std::vector<Program> programs;
+      if (auto* rec = dynamic_cast<RecoverableMutexAlgorithm*>(lock.get())) {
+        std::vector<VarId> done;
+        for (int p = 0; p < nprocs; ++p) {
+          done.push_back(inst.mem->allocate_global(0, "done"));
+        }
+        for (int p = 0; p < nprocs; ++p) {
+          programs.emplace_back([rec, dv = done[p], passages](ProcCtx& ctx) {
+            return recoverable_mutex_worker(ctx, rec, dv, passages);
+          });
+        }
+      } else {
+        for (int p = 0; p < nprocs; ++p) {
+          programs.emplace_back([l = lock.get(), passages](ProcCtx& ctx) {
+            return mutex_worker(ctx, l, passages);
+          });
+        }
+      }
+      inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+      inst.keepalive = lock;
+      return inst;
+    };
+    check = [](const History& h) -> std::optional<std::string> {
+      if (const auto v = check_mutual_exclusion(h)) return v->what;
+      return std::nullopt;
+    };
+    std::printf("explore mutex: lock %s, model %s, %d procs x %d passages\n",
+                lock_name.c_str(), model.c_str(), nprocs, passages);
+  } else {
+    std::fprintf(stderr, "unknown explore target '%s' (signal|mutex)\n",
+                 target.c_str());
+    return 2;
+  }
+
+  DporOptions opt;
+  opt.max_depth = static_cast<int>(a.get_int("depth", 20));
+  opt.max_nodes = static_cast<std::uint64_t>(a.get_int("max-nodes", 2'000'000));
+  opt.workers = static_cast<int>(a.get_int("workers", 1));
+  opt.trunk_depth = static_cast<int>(a.get_int("trunk-depth", 6));
+  const ExploreResult dpor = explore_dpor(build, check, opt);
+
+  TextTable t;
+  t.set_header({"metric", "dpor"});
+  t.add_row({"nodes visited", std::to_string(dpor.nodes_visited)});
+  t.add_row({"complete schedules", std::to_string(dpor.complete_schedules)});
+  t.add_row({"truncated schedules", std::to_string(dpor.truncated_schedules)});
+  t.add_row({"exhausted", dpor.exhausted ? "yes" : "NO (max-nodes hit)"});
+  t.add_row({"sleep-set prunes", std::to_string(dpor.stats.sleep_set_prunes)});
+  t.add_row({"backtrack points", std::to_string(dpor.stats.backtrack_points)});
+  t.add_row({"replayed sim steps", std::to_string(dpor.stats.replayed_steps)});
+  t.add_row({"naive tree estimate", fixed(dpor.stats.naive_tree_estimate)});
+  if (opt.workers > 1) {
+    t.add_row({"parallel rounds", std::to_string(dpor.stats.rounds)});
+    t.add_row({"work items", std::to_string(dpor.stats.work_items)});
+  }
+  t.add_row({"verdict", dpor.violation ? "VIOLATED: " + *dpor.violation
+                                       : "no violation"});
+  std::fputs(t.render().c_str(), stdout);
+
+  if (dpor.violation) {
+    std::printf("violating schedule (%zu steps): %s\n",
+                dpor.violating_schedule.size(),
+                schedule_str(dpor.violating_schedule).c_str());
+    if (a.has("shrink")) {
+      const auto shrunk =
+          shrink_counterexample(build, check, dpor.violating_schedule);
+      if (shrunk.has_value()) {
+        std::printf("shrunk to %zu steps (%d candidates tried): %s\n",
+                    shrunk->schedule.size(), shrunk->candidates_tried,
+                    schedule_str(shrunk->schedule).c_str());
+      }
+    }
+  }
+
+  if (a.has("naive")) {
+    ExploreOptions naive_opt;
+    naive_opt.max_depth = opt.max_depth;
+    naive_opt.max_nodes = opt.max_nodes;
+    const ExploreResult naive = explore_all_schedules(build, check, naive_opt);
+    std::printf("naive: %llu nodes, %s, verdict %s\n",
+                static_cast<unsigned long long>(naive.nodes_visited),
+                naive.exhausted ? "exhausted" : "max-nodes hit",
+                naive.violation ? ("VIOLATED: " + *naive.violation).c_str()
+                                : "no violation");
+    if (naive.exhausted && dpor.exhausted) {
+      std::printf("agreement: %s; reduction: %.1fx fewer nodes\n",
+                  naive.violation.has_value() == dpor.violation.has_value()
+                      ? "yes"
+                      : "NO — explorer bug",
+                  static_cast<double>(naive.nodes_visited) /
+                      static_cast<double>(std::max<std::uint64_t>(
+                          1, dpor.nodes_visited)));
+    }
+  }
+  return dpor.violation ? 1 : 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: rmrsim_cli <signal|mutex|adversary|gme> [--key value ...]\n"
+      "usage: rmrsim_cli <signal|mutex|adversary|gme|explore> "
+      "[--key value ...]\n"
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
       "  mutex     --lock L --model M --procs N --passages K --seed S\n"
@@ -341,7 +502,15 @@ void usage() {
       "                        | random:rate=F[,seed=S][,recover=R][,max=M]]\n"
       "            [--max-steps B]  (bound for wedged crash runs)\n"
       "  adversary --alg A --n N [--lenient] [--no-erase] [--model M]\n"
-      "  gme       --procs N --sessions K --passages P --model M\n",
+      "  gme       --procs N --sessions K --passages P --model M\n"
+      "  explore   --target signal|mutex --model M [--depth D]\n"
+      "            [--max-nodes N] [--workers W] [--trunk-depth T]\n"
+      "            [--naive]  (also run the unreduced explorer, compare)\n"
+      "            [--shrink] (minimize any counterexample)\n"
+      "            signal: --alg A --waiters N --polls P\n"
+      "            mutex:  --lock L --procs N --passages K\n"
+      "            model-checks every schedule class up to D macro steps;\n"
+      "            exits 1 iff a violation is found\n",
       stderr);
 }
 
@@ -359,6 +528,7 @@ int main(int argc, char** argv) {
     if (cmd == "mutex") return cmd_mutex(args);
     if (cmd == "adversary") return cmd_adversary(args);
     if (cmd == "gme") return cmd_gme(args);
+    if (cmd == "explore") return cmd_explore(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
