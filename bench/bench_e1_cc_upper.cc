@@ -5,48 +5,50 @@
 // regardless of how many waiters there are or how long they spin before the
 // signal arrives. The same algorithm has unbounded RMR complexity in DSM.
 //
-// Output: one row per N, both models: max waiter RMRs, signaler RMRs, and
-// amortized RMRs per participant. The CC columns must stay flat (<= 2); the
-// DSM columns grow with the spin time (here proportional to the signaler's
-// idle polls).
+// Driven by the e1 entry of the experiment registry: the sweep runs
+// flag-delay64 (fixed 64-poll signaler delay) and flag-spin-n (delay
+// scaling with N, so DSM's unbounded cost grows along the x axis) in both
+// models, this binary renders the table, and the fitter must classify the
+// CC series O(1) and the DSM spin-n series super-constant. The same run is
+// written to BENCH_e1.json.
 #include <cstdio>
 
 #include "common/table.h"
-#include "memory/cc_model.h"
-#include "signaling/cc_flag.h"
-#include "signaling/checker.h"
-#include "signaling/workload.h"
+#include "harness/experiments.h"
 
 using namespace rmrsim;
 
 int main() {
   std::printf("E1: Section 5 CC upper bound — flag signaling, reads/writes\n");
-  std::printf("(signaler delays %d polls; waiters spin meanwhile)\n\n", 64);
+  std::printf(
+      "(flag-delay64: signaler idles 64 polls; flag-spin-n: idles N polls)\n\n");
+
+  const Experiment* exp = find_experiment("e1");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e1_cc_upper");
 
   TextTable table;
-  table.set_header({"N waiters", "model", "max waiter RMRs", "signaler RMRs",
-                    "amortized RMRs", "spec"});
-  for (const int n : {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}) {
-    for (const bool cc : {true, false}) {
-      SignalingWorkloadOptions opt;
-      opt.n_waiters = n;
-      opt.signaler_idle_polls = 64;
-      auto run = run_signaling_workload(
-          cc ? make_cc(n + 1) : make_dsm(n + 1),
-          [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
-          opt);
-      const auto violation = check_polling_spec(run.sim->history());
-      table.add_row({std::to_string(n), cc ? "CC (ideal)" : "DSM",
-                     std::to_string(run.max_waiter_rmrs()),
-                     std::to_string(run.signaler_rmrs()),
-                     fixed(run.amortized_rmrs()),
-                     violation.has_value() ? "VIOLATED" : "ok"});
-    }
+  table.set_header({"N waiters", "model", "algorithm", "max waiter RMRs",
+                    "signaler RMRs", "amortized RMRs", "spec"});
+  for (const SweepPointResult& pr : artifact.result.points) {
+    const MetricsRegistry& m = pr.metrics;
+    table.add_row({std::to_string(pr.point.n),
+                   pr.point.model == "cc" ? "CC (ideal)" : "DSM",
+                   pr.point.algorithm,
+                   format_metric_number(m.value("rmrs.max_waiter")),
+                   format_metric_number(m.value("rmrs.signaler")),
+                   fixed(m.value("rmrs.amortized")),
+                   m.value("spec.ok") == 1.0 ? "ok" : "VIOLATED"});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nFitted growth classes:\n");
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
+
   std::printf(
       "\nExpected shape (paper): CC rows flat at <= 2 RMRs per process for\n"
       "any N and any delay; DSM rows grow with the waiters' spin time —\n"
       "the flag solution does not transfer (Sections 5-6).\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

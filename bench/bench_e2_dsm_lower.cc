@@ -6,110 +6,54 @@
 // RMR complexity is unbounded — while the CC model solves the same problem
 // with O(1) RMRs per process.
 //
-// Harness: the executable Section 6 adversary (strict construction) against
-// the read/write algorithms; the flag algorithm under the CC model as the
-// control. For each N we report the part-1 outcome (stable waiters or the
-// Lemma 6.11 unstable branch), the signaler's forced RMRs, and the final
-// history's amortized RMRs. The separation is the last column: growing
-// ~linearly with N under DSM, flat under CC.
+// Driven by the e2 entry of the experiment registry: the executable
+// Section 6 adversary (strict construction) against the read/write
+// algorithms, the flag algorithm under the CC model as the control. The
+// separation is the fit: the DSM amortized series must classify
+// super-constant, the CC control O(1). The run is written to BENCH_e2.json.
 #include <cstdio>
-#include <memory>
 
 #include "common/table.h"
-#include "lowerbound/adversary.h"
-#include "memory/cc_model.h"
-#include "signaling/cc_flag.h"
-#include "signaling/dsm_fixed.h"
-#include "signaling/dsm_registration.h"
+#include "harness/experiments.h"
 
 using namespace rmrsim;
-
-namespace {
-
-void report_row(TextTable& table, const char* label,
-                const AdversaryReport& r) {
-  std::string outcome;
-  std::string forced;
-  std::string amortized;
-  if (r.stabilized) {
-    outcome = "stabilized k=" + std::to_string(r.stable_waiters);
-    forced = std::to_string(r.signaler_rmrs);
-    amortized = fixed(r.amortized_final);
-  } else {
-    outcome = "unstable branch";
-    forced = "-";
-    amortized = fixed(r.unstable_amortized_end) + " (growing)";
-  }
-  table.add_row({label, r.model, std::to_string(r.nprocs), outcome, forced,
-                 std::to_string(r.participants_final), amortized,
-                 r.spec_violation ? "VIOLATED" : "ok"});
-}
-
-}  // namespace
 
 int main() {
   std::printf(
       "E2: Theorem 6.2 — forced amortized RMRs in DSM vs the CC control\n\n");
-  TextTable table;
-  table.set_header({"algorithm", "model", "N", "part-1 outcome",
-                    "signaler RMRs (forced)", "|Par(H')|",
-                    "amortized RMRs", "spec"});
 
-  for (const int n : {16, 32, 64, 128, 256}) {
-    {
-      AdversaryConfig c;
-      c.nprocs = n;
-      c.construction = Construction::kStrict;
-      SignalingAdversary adv(
-          [n](SharedMemory& m) {
-            return std::make_unique<DsmRegistrationSignal>(
-                m, static_cast<ProcId>(n - 2));
-          },
-          c);
-      report_row(table, "dsm-registration", adv.run());
-    }
-    {
-      AdversaryConfig c;
-      c.nprocs = n;
-      c.construction = Construction::kStrict;
-      SignalingAdversary adv(
-          [n](SharedMemory& m) {
-            std::vector<ProcId> ws;
-            for (int i = 0; i < n - 1; ++i) ws.push_back(i);
-            return std::make_unique<DsmFixedWaitersSignal>(m, std::move(ws));
-          },
-          c);
-      report_row(table, "dsm-fixed-waiters", adv.run());
-    }
-    {
-      // The flag algorithm *in DSM*: never stabilizes, unbounded directly.
-      AdversaryConfig c;
-      c.nprocs = n;
-      c.construction = Construction::kStrict;
-      c.unstable_extension_rounds = 16;
-      SignalingAdversary adv(
-          [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
-          c);
-      report_row(table, "cc-flag (in DSM)", adv.run());
-    }
-    {
-      // Control: the same flag algorithm under the CC model.
-      AdversaryConfig c;
-      c.nprocs = n;
-      c.construction = Construction::kLenient;
-      c.erase_during_chase = false;
-      c.make_memory = [](int k) { return make_cc(k); };
-      SignalingAdversary adv(
-          [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); },
-          c);
-      report_row(table, "cc-flag (control)", adv.run());
-    }
+  const Experiment* exp = find_experiment("e2");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e2_dsm_lower");
+
+  TextTable table;
+  table.set_header({"algorithm", "N", "part-1 outcome",
+                    "signaler RMRs (forced)", "|Par(H')|", "amortized RMRs",
+                    "spec"});
+  for (const SweepPointResult& pr : artifact.result.points) {
+    const MetricsRegistry& m = pr.metrics;
+    const bool stabilized = m.value("adv.stabilized") == 1.0;
+    table.add_row(
+        {pr.point.algorithm, std::to_string(pr.point.n),
+         stabilized
+             ? "stabilized k=" +
+                   format_metric_number(m.value("adv.stable_waiters"))
+             : "unstable branch",
+         stabilized ? format_metric_number(m.value("adv.signaler_rmrs")) : "-",
+         format_metric_number(m.value("adv.participants")),
+         fixed(m.value("adv.amortized")) + (stabilized ? "" : " (growing)"),
+         m.value("spec.ok") == 1.0 ? "ok" : "VIOLATED"});
   }
   std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nFitted growth classes:\n");
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
+
   std::printf(
       "\nExpected shape (paper): for the DSM read/write algorithms the\n"
       "forced signaler cost and amortized column grow ~linearly with N\n"
       "(or the unstable branch shows amortized growth), while the CC\n"
       "control stays O(1) for every N — the amortized-RMR separation.\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

@@ -10,16 +10,15 @@
 //      the paper's RMR separation must NOT be read as a message-complexity
 //      separation on large-scale CC machines.
 //
-// Workload: flag signaling with a fraction of idle processors (so blind
-// broadcasts are visibly wasteful), N sweep, CC write-through model.
+// Driven by the e4 entry of the experiment registry: the flag workload
+// with half the processors idle, and the producer/consumer ping-pong where
+// the coarse directory's blind broadcasts diverge. The fitter pins bus and
+// ideal-directory msgs/RMR to O(1) and the coarse ping-pong ratio to
+// super-constant. The run is written to BENCH_e4.json.
 #include <cstdio>
-#include <memory>
 
-#include "coherence/protocols.h"
 #include "common/table.h"
-#include "memory/cc_model.h"
-#include "sched/schedulers.h"
-#include "signaling/cc_flag.h"
+#include "harness/experiments.h"
 
 using namespace rmrsim;
 
@@ -27,81 +26,50 @@ int main() {
   std::printf(
       "E4: Section 8 message accounting — flag signaling, CC write-through\n"
       "(half the processors idle; signaler delays 16 polls)\n\n");
+
+  const Experiment* exp = find_experiment("e4");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e4_messages");
+
   TextTable table;
   table.set_header({"N procs", "RMRs", "bus msgs", "ideal-dir msgs",
                     "ideal inval", "coarse msgs", "coarse inval",
                     "superfluous", "coarse msgs/RMR"});
-  for (const int n : {8, 16, 32, 64, 128, 256}) {
-    const int n_waiters = n / 2 - 1;
-    const int n_idle = n - n_waiters - 1;
-    auto mem = make_cc(n);
-    BusBroadcastCounter bus;
-    IdealDirectoryCounter ideal;
-    CoarseDirectoryCounter coarse(n);
-    ListenerFanout fan;
-    fan.add(&bus);
-    fan.add(&ideal);
-    fan.add(&coarse);
-    mem->set_listener(&fan);
-
-    CcFlagSignal alg(*mem);
-    std::vector<Program> programs;
-    for (int i = 0; i < n_waiters; ++i) {
-      programs.emplace_back(
-          [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 1'000'000); });
-    }
-    for (int i = 0; i < n_idle; ++i) programs.emplace_back(Program{});
-    programs.emplace_back(
-        [&alg](ProcCtx& ctx) { return signaler(ctx, &alg, 16); });
-    Simulation sim(*mem, std::move(programs));
-    RoundRobinScheduler rr;
-    const auto result = sim.run(rr, 100'000'000);
-    if (!result.all_terminated) {
-      std::printf("N=%d did not complete!\n", n);
-      return 1;
-    }
-    const double rmrs = static_cast<double>(mem->ledger().total_rmrs());
-    table.add_row({std::to_string(n),
-                   std::to_string(mem->ledger().total_rmrs()),
-                   std::to_string(bus.total_messages()),
-                   std::to_string(ideal.total_messages()),
-                   std::to_string(ideal.invalidation_messages()),
-                   std::to_string(coarse.total_messages()),
-                   std::to_string(coarse.invalidation_messages()),
-                   std::to_string(coarse.superfluous_invalidations()),
-                   fixed(static_cast<double>(coarse.total_messages()) / rmrs)});
+  for (const SweepPointResult& pr : artifact.result.points) {
+    if (pr.point.algorithm != "flag-half-idle") continue;
+    const MetricsRegistry& m = pr.metrics;
+    table.add_row(
+        {std::to_string(pr.point.n),
+         format_metric_number(m.value("ledger.total_rmrs")),
+         format_metric_number(m.value("msgs.bus-broadcast.total")),
+         format_metric_number(m.value("msgs.ideal-directory.total")),
+         format_metric_number(m.value("msgs.ideal-directory.invalidations")),
+         format_metric_number(m.value("msgs.coarse-directory.total")),
+         format_metric_number(m.value("msgs.coarse-directory.invalidations")),
+         format_metric_number(m.value("msgs.coarse-directory.superfluous")),
+         fixed(m.value("msgs.coarse.per_rmr"))});
   }
   std::fputs(table.render().c_str(), stdout);
 
-  // Second workload: a producer repeatedly updates one location while one
-  // consumer re-reads it — the regime where a coarse directory's blind
-  // broadcasts make amortized message complexity exceed amortized RMR
-  // complexity *asymptotically* (the paper's closing caveat in Section 8).
   std::printf(
       "\nProducer/consumer ping-pong (1 writer, 1 reader, N-2 idle, 64 "
       "rounds):\n");
   TextTable t2;
   t2.set_header({"N procs", "RMRs", "ideal-dir msgs/RMR", "coarse msgs/RMR"});
-  for (const int n : {8, 16, 32, 64, 128, 256}) {
-    auto mem = make_cc(n);
-    IdealDirectoryCounter ideal;
-    CoarseDirectoryCounter coarse(n);
-    ListenerFanout fan;
-    fan.add(&ideal);
-    fan.add(&coarse);
-    mem->set_listener(&fan);
-    const VarId v = mem->allocate_global(0);
-    for (int round = 0; round < 64; ++round) {
-      mem->apply(0, MemOp::write(v, round));  // producer
-      mem->apply(1, MemOp::read(v));          // consumer re-caches
-    }
-    const double rmrs = static_cast<double>(mem->ledger().total_rmrs());
-    t2.add_row({std::to_string(n),
-                std::to_string(mem->ledger().total_rmrs()),
-                fixed(static_cast<double>(ideal.total_messages()) / rmrs),
-                fixed(static_cast<double>(coarse.total_messages()) / rmrs)});
+  for (const SweepPointResult& pr : artifact.result.points) {
+    if (pr.point.algorithm != "ping-pong") continue;
+    const MetricsRegistry& m = pr.metrics;
+    t2.add_row({std::to_string(pr.point.n),
+                format_metric_number(m.value("ledger.total_rmrs")),
+                fixed(m.value("msgs.ideal.per_rmr")),
+                fixed(m.value("msgs.coarse.per_rmr"))});
   }
   std::fputs(t2.render().c_str(), stdout);
+
+  std::printf("\nFitted growth classes:\n");
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
+
   std::printf(
       "\nExpected shape (paper): bus msgs == RMRs exactly; ideal-directory\n"
       "msgs/RMR stays a small constant (each cached copy dies at most\n"
@@ -109,5 +77,5 @@ int main() {
       "ping-pong workload via superfluous invalidations — Section 8's\n"
       "caveat: the RMR separation is not a message-complexity separation\n"
       "on large-scale CC machines.\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

@@ -7,43 +7,32 @@
 //  (b) with Fetch-And-Store/CAS (MCS): O(1) per passage in both models;
 //  (c) Anderson's FAI array lock: O(1) in CC but not local-spin in DSM;
 //  (d) the ticket lock: O(contenders) per passage under contention.
+//
+// Driven by the e5 entry of the experiment registry (lock x model x N,
+// full contention, round-robin, 3 passages each); this binary renders the
+// classic pivot table, the fitter pins the literature classes, and the run
+// is written to BENCH_e5.json.
 #include <cstdio>
-#include <functional>
-#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/table.h"
-#include "memory/cc_model.h"
-#include "mutex/bakery_lock.h"
-#include "mutex/clh_lock.h"
-#include "mutex/mcs_lock.h"
-#include "mutex/peterson_lock.h"
-#include "mutex/simple_locks.h"
-#include "mutex/ya_lock.h"
-#include "sched/schedulers.h"
+#include "harness/experiments.h"
 
 using namespace rmrsim;
 
 namespace {
 
-using LockFactory = std::function<std::unique_ptr<MutexAlgorithm>(SharedMemory&)>;
-
-double rmrs_per_passage(bool cc, const LockFactory& make, int n,
-                        int passages) {
-  auto mem = cc ? make_cc(n) : make_dsm(n);
-  auto lock = make(*mem);
-  std::vector<Program> programs;
-  MutexAlgorithm* l = lock.get();
-  for (int i = 0; i < n; ++i) {
-    programs.emplace_back(
-        [l, passages](ProcCtx& ctx) { return mutex_worker(ctx, l, passages); });
-  }
-  Simulation sim(*mem, std::move(programs));
-  RoundRobinScheduler rr;
-  const auto result = sim.run(rr, 200'000'000);
-  if (!result.all_terminated) return -1.0;
-  if (check_mutual_exclusion(sim.history()).has_value()) return -2.0;
-  return static_cast<double>(mem->ledger().total_rmrs()) /
-         static_cast<double>(n * passages);
+// Cell value matching the historical table: RMRs/passage, or the original
+// sentinel codes when a run wedged (-1) or violated mutual exclusion (-2).
+std::string cell(const BenchArtifact& artifact, const std::string& model,
+                 const std::string& lock, int n) {
+  const SweepPointResult* pr = find_point(artifact.result, model, lock, n);
+  if (pr == nullptr) return "?";
+  if (pr->metrics.value("run.completed") != 1.0) return fixed(-1.0);
+  if (pr->metrics.value("spec.ok") != 1.0) return fixed(-2.0);
+  return fixed(pr->metrics.value("rmrs.per_passage"));
 }
 
 }  // namespace
@@ -52,43 +41,44 @@ int main() {
   std::printf(
       "E5: Section 3 mutual exclusion anchors — RMRs per passage,\n"
       "full contention (all N loop acquire/release), round-robin\n\n");
-  const std::vector<std::pair<const char*, LockFactory>> locks = {
-      {"yang-anderson (r/w)",
-       [](SharedMemory& m) { return std::make_unique<YangAndersonLock>(m); }},
-      {"mcs (FAS+CAS)",
-       [](SharedMemory& m) { return std::make_unique<McsLock>(m); }},
-      {"anderson-array (FAI)",
-       [](SharedMemory& m) { return std::make_unique<AndersonArrayLock>(m); }},
-      {"ticket (FAI)",
-       [](SharedMemory& m) { return std::make_unique<TicketLock>(m); }},
-      {"clh (FAS)",
-       [](SharedMemory& m) { return std::make_unique<ClhLock>(m); }},
-      {"bakery (r/w, FCFS)",
-       [](SharedMemory& m) { return std::make_unique<BakeryLock>(m); }},
-      {"peterson-tree (r/w)",
-       [](SharedMemory& m) {
-         return std::make_unique<PetersonTournamentLock>(m);
-       }},
+
+  const Experiment* exp = find_experiment("e5");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e5_mutex_anchor");
+
+  const std::vector<std::pair<const char*, const char*>> locks = {
+      {"yang-anderson (r/w)", "ya"},
+      {"mcs (FAS+CAS)", "mcs"},
+      {"anderson-array (FAI)", "anderson"},
+      {"ticket (FAI)", "ticket"},
+      {"clh (FAS)", "clh"},
+      {"bakery (r/w, FCFS)", "bakery"},
+      {"peterson-tree (r/w)", "peterson"},
   };
 
   TextTable table;
   table.set_header({"lock", "N=4 DSM", "N=4 CC", "N=16 DSM", "N=16 CC",
                     "N=64 DSM", "N=64 CC", "N=256 DSM", "N=256 CC"});
-  for (const auto& [label, make] : locks) {
+  for (const auto& [label, name] : locks) {
     std::vector<std::string> row{label};
     for (const int n : {4, 16, 64, 256}) {
-      for (const bool cc : {false, true}) {
-        row.push_back(fixed(rmrs_per_passage(cc, make, n, 3)));
+      for (const char* model : {"dsm", "cc"}) {
+        row.push_back(cell(artifact, model, name, n));
       }
     }
     table.add_row(std::move(row));
   }
   std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nFitted growth classes:\n");
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
+
   std::printf(
       "\nExpected shape (paper / literature): yang-anderson grows like\n"
       "log2(N) with DSM ~= CC (no separation for ME); mcs stays O(1) in\n"
       "both; anderson-array stays O(1) in CC but grows in DSM; ticket\n"
       "grows with contention in both. (-1 = did not complete, -2 = ME\n"
       "violation; neither should appear.)\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

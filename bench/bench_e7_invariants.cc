@@ -2,63 +2,84 @@
 //
 // The proof's induction maintains, for the constructed history H_i
 // (Definition 6.9): |Fin(H_i)| <= i; |Act(H_i)| >= N^(1/3^i); every active
-// process has at most i RMRs; every finished process at most c*i. This
-// bench runs the strict construction round by round against a read/write
-// algorithm and prints the measured quantities next to the bounds, plus the
-// regularity (Definition 6.6) verdict for each round's history.
+// process has at most i RMRs; every finished process at most c*i. Driven by
+// the e7 entry of the experiment registry, which runs the strict
+// construction round by round against the read/write registration algorithm
+// and publishes the per-round quantities as series (adv.*_by_round); this
+// binary prints them next to the bounds, plus the regularity
+// (Definition 6.6) verdict for each round's history. The fitter pins the
+// all-rounds invariant verdict (adv.invariants_ok) flat at 1; the run is
+// written to BENCH_e7.json.
 #include <cmath>
 #include <cstdio>
-#include <memory>
 
 #include "common/table.h"
-#include "lowerbound/adversary.h"
-#include "signaling/dsm_registration.h"
+#include "harness/experiments.h"
 
 using namespace rmrsim;
 
+namespace {
+
+double series_y(const MetricsRegistry& m, const char* name, std::size_t i) {
+  const MetricsRegistry::Series* s = m.series(name);
+  if (s == nullptr || i >= s->points.size()) return -1.0;
+  return s->points[i].y;
+}
+
+}  // namespace
+
 int main() {
   std::printf("E7: Definition 6.9 invariants along the part-1 construction\n");
-  for (const int n : {81, 243, 729}) {
-    AdversaryConfig c;
-    c.nprocs = n;
-    c.construction = Construction::kStrict;
-    SignalingAdversary adv(
-        [n](SharedMemory& m) {
-          return std::make_unique<DsmRegistrationSignal>(
-              m, static_cast<ProcId>(n - 2));
-        },
-        c);
-    const auto r = adv.run();
-    std::printf("\nN = %d (%s, %d rounds, %s)\n", n, r.algorithm.c_str(),
-                r.rounds, r.stabilized ? "stabilized" : "not stabilized");
+
+  const Experiment* exp = find_experiment("e7");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e7_invariants");
+
+  for (const SweepPointResult& pr : artifact.result.points) {
+    const MetricsRegistry& m = pr.metrics;
+    const int n = pr.point.n;
+    std::printf("\nN = %d (%s, %s rounds, %s)\n", n, pr.point.algorithm.c_str(),
+                format_metric_number(m.value("adv.rounds")).c_str(),
+                m.value("adv.stabilized") == 1.0 ? "stabilized"
+                                                 : "not stabilized");
     TextTable table;
-    table.set_header({"round i", "|Act|", "N^(1/3^i) bound", "|Fin|",
-                      "<= i", "stable", "max act RMRs", "<= i", "regular"});
-    for (const RoundStats& rs : r.round_stats) {
-      const double bound =
-          std::pow(static_cast<double>(n), 1.0 / std::pow(3.0, rs.round));
-      table.add_row({std::to_string(rs.round), std::to_string(rs.active),
-                     fixed(bound, 1),
-                     std::to_string(rs.finished),
-                     rs.finished <= rs.round ? "ok" : "FAIL",
-                     std::to_string(rs.stable),
-                     std::to_string(rs.max_active_rmrs),
-                     rs.max_active_rmrs <= static_cast<std::uint64_t>(rs.round)
-                         ? "ok"
-                         : "FAIL",
-                     rs.regular ? "ok" : "FAIL"});
+    table.set_header({"round i", "|Act|", "N^(1/3^i) bound", "|Fin|", "<= i",
+                      "stable", "max act RMRs", "<= i", "regular"});
+    const MetricsRegistry::Series* active = m.series("adv.active_by_round");
+    const std::size_t rounds = active == nullptr ? 0 : active->points.size();
+    for (std::size_t i = 0; i < rounds; ++i) {
+      const double round = active->points[i].x;
+      const double fin = series_y(m, "adv.finished_by_round", i);
+      const double max_rmrs = series_y(m, "adv.max_active_rmrs_by_round", i);
+      const double bound = std::pow(static_cast<double>(n),
+                                    1.0 / std::pow(3.0, round));
+      table.add_row({format_metric_number(round),
+                     format_metric_number(active->points[i].y),
+                     fixed(bound, 1), format_metric_number(fin),
+                     fin <= round ? "ok" : "FAIL",
+                     format_metric_number(series_y(m, "adv.stable_by_round", i)),
+                     format_metric_number(max_rmrs),
+                     max_rmrs <= round ? "ok" : "FAIL",
+                     series_y(m, "adv.regular_by_round", i) == 1.0 ? "ok"
+                                                                  : "FAIL"});
     }
     std::fputs(table.render().c_str(), stdout);
-    std::printf("part 2: signaler p%d forced %llu RMRs over %d stable waiters"
-                " -> amortized %.2f across %d participants\n",
-                r.signaler,
-                static_cast<unsigned long long>(r.signaler_rmrs),
-                r.stable_waiters, r.amortized_final, r.participants_final);
+    std::printf(
+        "part 2: signaler forced %s RMRs -> amortized %s across %s "
+        "participants\n",
+        format_metric_number(m.value("adv.signaler_rmrs")).c_str(),
+        fixed(m.value("adv.amortized")).c_str(),
+        format_metric_number(m.value("adv.participants")).c_str());
   }
+
+  std::printf("\nFitted growth classes:\n");
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
+
   std::printf(
       "\nExpected shape (paper): |Act| stays far above the N^(1/3^i) bound\n"
       "(the proof's worst case is much more pessimistic than real\n"
       "algorithms), |Fin| <= i, active processes carry <= i RMRs, and every\n"
       "round's history is regular per Definition 6.6.\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

@@ -10,63 +10,27 @@
 //  (a) Crash-in-CS demo: crash the lock holder inside its critical section.
 //      MCS — no recovery section — wedges the whole queue forever, in CC
 //      and DSM alike; the recoverable spin lock's recovery section releases
-//      the orphaned hold and every process completes all passages.
-//  (b) Crash-rate sweep: seeded random crashes at increasing rates against
-//      the recoverable lock. Mutual exclusion holds at every rate (verdict,
-//      checked); FIFO does not (measured, reported); RMRs per passage climb
-//      as recoveries re-execute prologues and (in CC) repopulate caches.
+//      the orphaned hold and every process completes all passages. This
+//      part steers the schedule interactively (crash exactly inside the
+//      first CS), so it stays bespoke on top of harness/drive.h.
+//  (b) Crash-rate sweep: the e9 entry of the experiment registry — seeded
+//      random crashes at increasing rates against the recoverable lock,
+//      rendered from the sweep's metrics and written to BENCH_e9.json.
+//      Mutual exclusion holds at every rate (verdict, checked); FIFO does
+//      not (measured, reported); RMRs per passage climb as recoveries
+//      re-execute prologues and (in CC) repopulate caches.
 #include <cstdio>
-#include <memory>
 #include <string>
-#include <vector>
 
 #include "common/table.h"
+#include "harness/drive.h"
+#include "harness/experiments.h"
 #include "mutex/lock.h"
-#include "mutex/mcs_lock.h"
-#include "mutex/recoverable_lock.h"
-#include "sched/fault.h"
 #include "sched/schedulers.h"
 
 using namespace rmrsim;
 
 namespace {
-
-struct World {
-  std::unique_ptr<SharedMemory> mem;
-  std::shared_ptr<MutexAlgorithm> lock;
-  std::unique_ptr<Simulation> sim;
-};
-
-/// Builds N workers over one lock; recoverable locks get the restartable
-/// worker (shared-memory progress counters), plain locks the classic one.
-World make_world(bool cc, bool recoverable, int nprocs, int passages) {
-  World w;
-  w.mem = cc ? make_cc(nprocs) : make_dsm(nprocs);
-  std::vector<Program> programs;
-  if (recoverable) {
-    auto lock = std::make_shared<RecoverableSpinLock>(*w.mem);
-    std::vector<VarId> done;
-    for (int p = 0; p < nprocs; ++p) {
-      done.push_back(w.mem->allocate_global(0, "done"));
-    }
-    for (int p = 0; p < nprocs; ++p) {
-      programs.emplace_back([lock, dv = done[p], passages](ProcCtx& ctx) {
-        return recoverable_mutex_worker(ctx, lock.get(), dv, passages);
-      });
-    }
-    w.lock = lock;
-  } else {
-    auto lock = std::make_shared<McsLock>(*w.mem);
-    for (int p = 0; p < nprocs; ++p) {
-      programs.emplace_back([lock, passages](ProcCtx& ctx) {
-        return mutex_worker(ctx, lock.get(), passages);
-      });
-    }
-    w.lock = lock;
-  }
-  w.sim = std::make_unique<Simulation>(*w.mem, std::move(programs));
-  return w;
-}
 
 int total_passages(const Simulation& sim) {
   int total = 0;
@@ -78,16 +42,24 @@ int total_passages(const Simulation& sim) {
 
 /// Part (a): crash the holder inside its first critical section, recover it,
 /// run everyone under round-robin.
-void crash_in_cs_row(TextTable* table, bool cc, bool recoverable, int nprocs,
-                     int passages) {
-  World w = make_world(cc, recoverable, nprocs, passages);
+void crash_in_cs_row(TextTable* table, const std::string& model,
+                     bool recoverable, int nprocs, int passages) {
+  MutexRunOptions opt;
+  opt.model = model;
+  opt.nprocs = nprocs;
+  opt.passages = passages;
+  opt.make_lock = [recoverable](SharedMemory& mem) {
+    return make_lock_by_name(recoverable ? "recoverable" : "mcs", mem);
+  };
+  MutexWorld w = build_mutex_world(opt);
+  const char* model_label = model == "cc" ? "CC" : "DSM";
   const bool reached_cs = w.sim->run_proc_until(0, [](const StepRecord& r) {
     return r.kind == StepRecord::Kind::kEvent &&
            r.event == EventKind::kCallBegin && r.code == calls::kCritical;
   });
   if (!reached_cs) {
-    table->add_row({recoverable ? "recoverable-spin" : "mcs",
-                    cc ? "CC" : "DSM", "setup failed", "", "", ""});
+    table->add_row({recoverable ? "recoverable-spin" : "mcs", model_label,
+                    "setup failed", "", "", ""});
     return;
   }
   w.sim->crash(0);
@@ -99,39 +71,22 @@ void crash_in_cs_row(TextTable* table, bool cc, bool recoverable, int nprocs,
     if (passages_completed(w.sim->history(), p) < passages) all_done = false;
   }
   const CrashRunReport rep = analyze_crash_run(w.sim->history());
-  table->add_row({recoverable ? "recoverable-spin" : "mcs",
-                  cc ? "CC" : "DSM", all_done ? "yes" : "NO (wedged)",
+  table->add_row({recoverable ? "recoverable-spin" : "mcs", model_label,
+                  all_done ? "yes" : "NO (wedged)",
                   std::to_string(total_passages(*w.sim)) + "/" +
                       std::to_string(nprocs * passages),
                   rep.mutual_exclusion_ok ? "ok" : "VIOLATED",
                   std::to_string(rep.fifo_inversions)});
 }
 
-/// Part (b): seeded random crashes against the recoverable lock.
-void sweep_row(TextTable* table, bool cc, double rate, int nprocs,
-               int passages) {
-  World w = make_world(cc, /*recoverable=*/true, nprocs, passages);
-  RoundRobinScheduler rr;
-  FaultScheduler faulty(rr, FaultPlan::random(/*seed=*/1234, rate,
-                                              /*recover_after=*/50,
-                                              /*max_crashes=*/64));
-  const auto result = w.sim->run(faulty, 60'000'000);
-  const CrashRunReport rep = analyze_crash_run(w.sim->history());
-  const int done = total_passages(*w.sim);
-  const double rmrs_pp =
-      done > 0 ? static_cast<double>(w.mem->ledger().total_rmrs()) / done
-               : -1.0;
-  char rate_str[16];
-  std::snprintf(rate_str, sizeof rate_str, "%.3f", rate);
-  table->add_row({cc ? "CC" : "DSM", rate_str,
-                  result.all_terminated ? "yes" : "NO",
-                  std::to_string(done) + "/" +
-                      std::to_string(nprocs * passages),
-                  fixed(rmrs_pp), std::to_string(rep.crashes),
-                  std::to_string(rep.recoveries),
-                  std::to_string(rep.failed_recoveries),
-                  std::to_string(rep.fifo_inversions),
-                  rep.mutual_exclusion_ok ? "ok" : "VIOLATED"});
+/// "random:rate=0.01,seed=..." -> "0.010"; the crash-free plan -> "0.000".
+std::string rate_label(const std::string& fault_plan) {
+  double rate = 0.0;
+  const std::size_t at = fault_plan.find("rate=");
+  if (at != std::string::npos) rate = std::stod(fault_plan.substr(at + 5));
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.3f", rate);
+  return buf;
 }
 
 }  // namespace
@@ -146,9 +101,9 @@ int main() {
   TextTable demo;
   demo.set_header({"lock", "model", "all complete", "passages", "mutex",
                    "fifo inv"});
-  for (const bool cc : {false, true}) {
-    crash_in_cs_row(&demo, cc, /*recoverable=*/false, 4, 3);
-    crash_in_cs_row(&demo, cc, /*recoverable=*/true, 4, 3);
+  for (const char* model : {"dsm", "cc"}) {
+    crash_in_cs_row(&demo, model, /*recoverable=*/false, 4, 3);
+    crash_in_cs_row(&demo, model, /*recoverable=*/true, 4, 3);
   }
   std::fputs(demo.render().c_str(), stdout);
   std::printf(
@@ -160,16 +115,30 @@ int main() {
   std::printf("(b) seeded random crashes vs the recoverable lock\n"
               "    (N=6 workers, 4 passages, recover after 50 steps, "
               "crash budget 64)\n\n");
+  const Experiment* exp = find_experiment("e9");
+  const BenchArtifact artifact =
+      run_experiment(*exp, /*workers=*/2, "bench_e9_crash");
+
   TextTable sweep;
   sweep.set_header({"model", "crash rate", "all exit", "cs exits",
                     "rmrs/exit", "crashes", "recov", "failed recov",
                     "fifo inv", "mutex"});
-  for (const double rate : {0.0, 0.002, 0.01, 0.05}) {
-    for (const bool cc : {false, true}) {
-      sweep_row(&sweep, cc, rate, 6, 4);
-    }
+  for (const SweepPointResult& pr : artifact.result.points) {
+    const MetricsRegistry& m = pr.metrics;
+    sweep.add_row(
+        {pr.point.model == "cc" ? "CC" : "DSM", rate_label(pr.point.fault_plan),
+         m.value("run.completed") == 1.0 ? "yes" : "NO",
+         format_metric_number(m.value("run.passages_done")) + "/" +
+             std::to_string(pr.point.n * 4),
+         fixed(m.value("rmrs.per_exit")),
+         format_metric_number(m.value("history.crashes")),
+         format_metric_number(m.value("history.recoveries")),
+         format_metric_number(m.value("crash.failed_recoveries")),
+         format_metric_number(m.value("crash.fifo_inversions")),
+         m.value("spec.ok") == 1.0 ? "ok" : "VIOLATED"});
   }
   std::fputs(sweep.render().c_str(), stdout);
+  std::printf("wrote %s\n", write_artifact(artifact).c_str());
   std::printf(
       "\nExpected shape: mutual exclusion 'ok' and 'all exit' yes at every\n"
       "rate — safety and progress both survive recovery. 'cs exits' counts\n"
@@ -183,5 +152,5 @@ int main() {
       "inversions appear as soon as crashes reorder waiters — fairness is\n"
       "reported, not promised. Failed recoveries (a crash during the\n"
       "recovery section itself) are re-run and must not wedge the run.\n");
-  return 0;
+  return artifact_matches(artifact) ? 0 : 1;
 }

@@ -3,48 +3,33 @@
 // In semi-synchronous systems processes know the step-gap bound Delta and
 // can delay themselves; the cited Kim–Anderson result separates the models
 // in the OPPOSITE direction (DSM O(1), CC Omega(log log N)). This bench
-// characterizes our substrate with Fischer's lock: (a) safety as a function
-// of the lock's delay parameter relative to Delta — timing is load-bearing;
-// (b) RMR cost per passage across N, per model.
+// characterizes our substrate with Fischer's lock via the shared seed-sweep
+// driver (harness/drive.h): (a) safety as a function of the lock's delay
+// parameter relative to Delta — timing is load-bearing; (b) RMR cost per
+// passage across N, per model.
 #include <cstdio>
 #include <memory>
 
 #include "common/table.h"
-#include "memory/cc_model.h"
+#include "harness/drive.h"
 #include "mutex/fischer_lock.h"
-#include "sched/schedulers.h"
 
 using namespace rmrsim;
 
 namespace {
 
-struct Outcome {
-  int violations = 0;
-  int incomplete = 0;
-  double rmrs_per_passage = 0;
-};
-
-Outcome run_many(bool cc, int n, Word lock_delay, std::uint64_t delta,
-                 int seeds) {
-  Outcome out;
-  double total = 0;
-  for (int seed = 1; seed <= seeds; ++seed) {
-    auto mem = cc ? make_cc(n) : make_dsm(n);
-    FischerLock lock(*mem, lock_delay);
-    std::vector<Program> programs;
-    for (int i = 0; i < n; ++i) {
-      programs.emplace_back(
-          [&lock](ProcCtx& ctx) { return mutex_worker(ctx, &lock, 3); });
-    }
-    Simulation sim(*mem, std::move(programs));
-    BoundedGapScheduler sched(static_cast<std::uint64_t>(seed), delta);
-    if (!sim.run(sched, 10'000'000).all_terminated) ++out.incomplete;
-    if (check_mutual_exclusion(sim.history()).has_value()) ++out.violations;
-    total += static_cast<double>(mem->ledger().total_rmrs()) /
-             static_cast<double>(3 * n);
-  }
-  out.rmrs_per_passage = total / seeds;
-  return out;
+MutexSeedStats run_many(const char* model, int n, Word lock_delay,
+                        std::uint64_t delta, int seeds) {
+  MutexRunOptions opt;
+  opt.model = model;
+  opt.nprocs = n;
+  opt.passages = 3;
+  opt.gap_delta = delta;
+  opt.max_steps = 10'000'000;
+  opt.make_lock = [lock_delay](SharedMemory& m) {
+    return std::make_shared<FischerLock>(m, lock_delay);
+  };
+  return run_mutex_seeds(opt, /*first_seed=*/1, seeds);
 }
 
 }  // namespace
@@ -59,13 +44,13 @@ int main() {
   const int n = 6;
   const std::uint64_t delta = 8;
   for (const Word d : {Word{0}, Word{2}, Word{4}, Word{8}, Word{14}, Word{20}}) {
-    const auto o = run_many(false, n, d, delta, 40);
+    const auto o = run_many("dsm", n, d, delta, 40);
     std::string rel = d == 0 ? "none"
                     : d < static_cast<Word>(delta) ? "too small"
                     : d < static_cast<Word>(delta + n) ? "borderline"
                                                        : "adequate";
     t.add_row({std::to_string(d), rel, std::to_string(o.violations),
-               std::to_string(o.incomplete), fixed(o.rmrs_per_passage)});
+               std::to_string(o.incomplete), fixed(o.mean_rmrs_per_passage)});
   }
   std::fputs(t.render().c_str(), stdout);
 
@@ -73,10 +58,10 @@ int main() {
   TextTable t2;
   t2.set_header({"N", "DSM RMRs/passage", "CC RMRs/passage"});
   for (const int k : {2, 4, 8, 16}) {
-    const auto d = run_many(false, k, static_cast<Word>(delta + k), delta, 10);
-    const auto c = run_many(true, k, static_cast<Word>(delta + k), delta, 10);
-    t2.add_row({std::to_string(k), fixed(d.rmrs_per_passage),
-                fixed(c.rmrs_per_passage)});
+    const auto d = run_many("dsm", k, static_cast<Word>(delta + k), delta, 10);
+    const auto c = run_many("cc", k, static_cast<Word>(delta + k), delta, 10);
+    t2.add_row({std::to_string(k), fixed(d.mean_rmrs_per_passage),
+                fixed(c.mean_rmrs_per_passage)});
   }
   std::fputs(t2.render().c_str(), stdout);
   std::printf(

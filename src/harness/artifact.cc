@@ -1,0 +1,140 @@
+#include "harness/artifact.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.h"
+#include "trace/export.h"
+
+namespace rmrsim {
+
+namespace {
+
+std::string quoted(std::string_view s) {
+  std::string out = "\"";
+  out += json_escape(s);
+  out += '"';
+  return out;
+}
+
+std::string string_array(const std::vector<std::string>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += quoted(values[i]);
+  }
+  return out + "]";
+}
+
+template <typename T>
+std::string number_array(const std::vector<T>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out += ',';
+    out += format_metric_number(static_cast<double>(values[i]));
+  }
+  return out + "]";
+}
+
+std::string spec_to_json(const SweepSpec& spec) {
+  return "{\"name\":" + quoted(spec.name) +
+         ",\"models\":" + string_array(spec.models) +
+         ",\"algorithms\":" + string_array(spec.algorithms) +
+         ",\"ns\":" + number_array(spec.ns) +
+         ",\"seeds\":" + number_array(spec.seeds) +
+         ",\"fault_plans\":" + string_array(spec.fault_plans) + "}";
+}
+
+std::string point_to_json(const SweepPointResult& pr) {
+  return "{\"model\":" + quoted(pr.point.model) +
+         ",\"algorithm\":" + quoted(pr.point.algorithm) +
+         ",\"n\":" + std::to_string(pr.point.n) +
+         ",\"seed\":" + std::to_string(pr.point.seed) +
+         ",\"fault_plan\":" + quoted(pr.point.fault_plan) +
+         ",\"measurements\":" + pr.metrics.to_json() + "}";
+}
+
+std::string fit_to_json(const FitReport& fit) {
+  return "{\"class\":" + quoted(to_string(fit.cls)) +
+         ",\"loglog_slope\":" + format_metric_number(fit.loglog_slope) +
+         ",\"growth_ratio\":" + format_metric_number(fit.growth_ratio) +
+         ",\"rms_constant\":" + format_metric_number(fit.rms_constant) +
+         ",\"rms_log\":" + format_metric_number(fit.rms_log) +
+         ",\"rms_linear\":" + format_metric_number(fit.rms_linear) +
+         ",\"points\":" + std::to_string(fit.points) + "}";
+}
+
+std::string series_to_json(const FittedSeries& fs) {
+  std::string out = "{\"metric\":" + quoted(fs.selector.metric) +
+                    ",\"model\":" + quoted(fs.selector.model) +
+                    ",\"algorithm\":" + quoted(fs.selector.algorithm) +
+                    ",\"xs\":" + number_array(fs.series.xs) +
+                    ",\"ys\":" + number_array(fs.series.ys) +
+                    ",\"fit\":" + fit_to_json(fs.fit);
+  if (fs.expected.has_value()) {
+    out += ",\"expected\":" + quoted(to_string(*fs.expected)) +
+           ",\"matches\":" + (fs.matches_expectation ? "true" : "false");
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string artifact_to_json(const BenchArtifact& artifact,
+                             bool include_wall_time) {
+  std::string out = "{\"schema_version\":" +
+                    std::to_string(kArtifactSchemaVersion) +
+                    ",\"name\":" + quoted(artifact.name) +
+                    ",\"title\":" + quoted(artifact.title) +
+                    ",\"generator\":" + quoted(artifact.generator) +
+                    ",\"git\":" + quoted(artifact.git) +
+                    ",\"units\":{\"rmrs\":\"count\",\"wall_time\":\"ms\"}";
+  if (include_wall_time) {
+    out += ",\"workers\":" + std::to_string(artifact.result.workers) +
+           ",\"wall_time_ms\":" +
+           format_metric_number(artifact.result.wall_ms);
+  }
+  out += ",\"spec\":" + spec_to_json(artifact.result.spec);
+  out += ",\"points\":[";
+  for (std::size_t i = 0; i < artifact.result.points.size(); ++i) {
+    if (i) out += ',';
+    out += point_to_json(artifact.result.points[i]);
+  }
+  out += "],\"series\":[";
+  for (std::size_t i = 0; i < artifact.series.size(); ++i) {
+    if (i) out += ',';
+    out += series_to_json(artifact.series[i]);
+  }
+  out += "]}\n";
+  return out;
+}
+
+std::string write_artifact(const BenchArtifact& artifact,
+                           const std::string& dir) {
+  std::string path = dir.empty() ? std::string(".") : dir;
+  if (path.back() != '/') path += '/';
+  path += "BENCH_" + artifact.name + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ensure(out.good(), "cannot open artifact file for writing");
+  out << artifact_to_json(artifact);
+  out.close();
+  ensure(out.good(), "artifact write failed");
+  return path;
+}
+
+std::string git_describe() {
+  if (const char* env = std::getenv("RMRSIM_GIT_DESCRIBE")) return env;
+  FILE* pipe = popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {};
+  std::string out;
+  while (std::fgets(buf, sizeof buf, pipe) != nullptr) out += buf;
+  pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out.empty() ? "unknown" : out;
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,58 @@
+// BENCH_*.json artifact writer.
+//
+// One self-describing JSON document per experiment run: the sweep spec that
+// produced it, the git revision, every grid point's metrics, and the fitted
+// growth class of each declared series next to the paper's expected class.
+// Schema-versioned and dependency-free (the writer is this file plus
+// json_escape from trace/export.h), so CI and offline analysis can regress
+// growth classes without parsing human tables. Field reference lives in
+// EXPERIMENTS.md ("Machine-readable output").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "harness/fitter.h"
+#include "harness/sweep.h"
+
+namespace rmrsim {
+
+/// Bumped whenever a field changes meaning; consumers key on it.
+inline constexpr int kArtifactSchemaVersion = 1;
+
+/// One extracted series with its fit and (optionally) the claim it must
+/// satisfy.
+struct FittedSeries {
+  SeriesSelector selector;
+  ExtractedSeries series;
+  FitReport fit;
+  std::optional<Expectation> expected;
+  bool matches_expectation = true;  ///< true when no expectation is set
+};
+
+struct BenchArtifact {
+  std::string name;         ///< experiment name ("e1", ...)
+  std::string title;        ///< human one-liner
+  std::string generator;    ///< producing binary ("rmrsim_cli sweep", ...)
+  std::string git;          ///< `git describe` (or RMRSIM_GIT_DESCRIBE)
+  SweepResult result;
+  std::vector<FittedSeries> series;
+};
+
+/// Serializes the artifact. `include_wall_time` = false omits the
+/// run-environment fields (wall_time_ms and workers) — the form the
+/// determinism regression test byte-compares across worker counts.
+std::string artifact_to_json(const BenchArtifact& artifact,
+                             bool include_wall_time = true);
+
+/// Writes `BENCH_<name>.json` under `dir` (default: current directory).
+/// Returns the path written. Throws on I/O failure.
+std::string write_artifact(const BenchArtifact& artifact,
+                           const std::string& dir = ".");
+
+/// Current revision: $RMRSIM_GIT_DESCRIBE if set, else `git describe
+/// --always --dirty`, else "unknown".
+std::string git_describe();
+
+}  // namespace rmrsim

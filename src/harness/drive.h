@@ -1,0 +1,112 @@
+// Shared experiment drivers.
+//
+// One copy of the glue every bench and CLI command used to re-implement:
+// name → model/algorithm/lock construction, recoverable-aware mutex
+// program wiring, and the build/run/aggregate loops for mutex workloads.
+// bench_timing, bench_e9_crash, and the CLI's mutex/explore commands all
+// route through here; sweep experiments reuse the same factories so a
+// SweepPoint's model/algorithm strings mean exactly what the CLI flags
+// mean.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "memory/shared_memory.h"
+#include "mutex/lock.h"
+#include "signaling/workload.h"
+
+namespace rmrsim {
+
+/// Memory model by CLI name: dsm | cc | cc-wb | cc-mesi | cc-lfcu.
+/// Throws std::logic_error on an unknown name (callers wanting exit codes
+/// catch it).
+std::unique_ptr<SharedMemory> make_model_by_name(const std::string& name,
+                                                 int nprocs);
+
+/// True iff `name` is a valid model name (cheap pre-validation for
+/// builders that run on worker threads).
+bool is_model_name(const std::string& name);
+
+/// Signaling algorithm factory by CLI name: flag | single-waiter |
+/// registration | queue | cas | llsc | rw-cas | blocking-leader | broken.
+/// `fixed_home` is the process hosting the registration variant's fixed
+/// signaler state. Throws std::logic_error on an unknown name.
+SignalingFactory make_signal_factory_by_name(const std::string& name,
+                                             int fixed_home);
+
+/// Mutex lock by CLI name: mcs | ya | anderson | ticket | tas | clh |
+/// bakery | peterson | recoverable. Throws std::logic_error on an unknown
+/// name.
+std::shared_ptr<MutexAlgorithm> make_lock_by_name(const std::string& name,
+                                                  SharedMemory& mem);
+
+using LockFactory =
+    std::function<std::shared_ptr<MutexAlgorithm>(SharedMemory&)>;
+
+/// Wraps a name into a factory (validated eagerly so errors surface before
+/// worker threads start).
+LockFactory lock_factory_by_name(const std::string& name);
+
+/// N workers over one lock; recoverable locks get the crash-restartable
+/// worker (progress counters live in shared memory so a recovered program
+/// resumes where its done-counter says), plain locks the classic worker —
+/// which may wedge under a fault plan, and that contrast is the point.
+std::vector<Program> make_mutex_programs(
+    SharedMemory& mem, const std::shared_ptr<MutexAlgorithm>& lock,
+    int passages);
+
+struct MutexRunOptions {
+  std::string model = "dsm";
+  int nprocs = 8;
+  int passages = 3;
+  LockFactory make_lock;  ///< required
+  /// seed == 0 and gap_delta == 0: round-robin. seed != 0, gap_delta == 0:
+  /// RandomScheduler(seed). gap_delta > 0: BoundedGapScheduler(seed,
+  /// gap_delta).
+  std::uint64_t seed = 0;
+  std::uint64_t gap_delta = 0;
+  std::string fault_plan;  ///< parse_fault_plan syntax; "" = crash-free
+  std::uint64_t max_steps = 500'000'000;
+};
+
+struct MutexWorld {
+  std::unique_ptr<SharedMemory> mem;
+  std::shared_ptr<MutexAlgorithm> lock;
+  std::unique_ptr<Simulation> sim;
+};
+
+/// Memory + lock + wired simulation, not yet run — for callers that steer
+/// the schedule by hand first (crash-in-CS positioning, targeted traces).
+MutexWorld build_mutex_world(const MutexRunOptions& opt);
+
+struct MutexRunOutcome {
+  MutexWorld world;
+  bool completed = false;
+  std::optional<MutexViolation> violation;
+  int passages_done = 0;        ///< summed over processes
+  double rmrs_per_passage = 0;  ///< total RMRs / (nprocs * passages)
+};
+
+/// Builds a world, runs it under the scheduler/fault plan the options
+/// select, and checks mutual exclusion.
+MutexRunOutcome run_mutex_workload(const MutexRunOptions& opt);
+
+struct MutexSeedStats {
+  int runs = 0;
+  int violations = 0;
+  int incomplete = 0;
+  double mean_rmrs_per_passage = 0;
+};
+
+/// Runs seeds first_seed .. first_seed + n_seeds - 1 (each overriding
+/// opt.seed) and aggregates — the loop bench_timing's tables are built
+/// from.
+MutexSeedStats run_mutex_seeds(const MutexRunOptions& opt,
+                               std::uint64_t first_seed, int n_seeds);
+
+}  // namespace rmrsim

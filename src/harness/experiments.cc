@@ -1,0 +1,609 @@
+#include "harness/experiments.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include <cstdio>
+
+#include "coherence/protocols.h"
+#include "common/check.h"
+#include "common/table.h"
+#include "harness/drive.h"
+#include "lowerbound/adversary.h"
+#include "memory/cc_model.h"
+#include "metrics/publish.h"
+#include "sched/fault.h"
+#include "sched/schedulers.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_fixed.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+#include "trace/call_stats.h"
+
+namespace rmrsim {
+
+namespace {
+
+// ---- shared point runners ---------------------------------------------
+
+/// Standard signaling workload point: run, verify the spec, publish the
+/// simulation plus the three headline gauges every signaling experiment
+/// reads (rmrs.max_waiter / rmrs.signaler / rmrs.amortized).
+MetricsRegistry run_signaling_point(const std::string& model, int n_waiters,
+                                    const SignalingFactory& factory,
+                                    SignalingWorkloadOptions opt) {
+  opt.n_waiters = n_waiters;
+  MetricsRegistry reg;
+  auto run = run_signaling_workload(make_model_by_name(model, n_waiters + 1),
+                                    factory, opt);
+  publish_simulation(reg, *run.sim);
+  publish_call_costs(reg, per_call_costs(run.sim->history()));
+  reg.set("rmrs.max_waiter", static_cast<double>(run.max_waiter_rmrs()));
+  reg.set("rmrs.signaler", static_cast<double>(run.signaler_rmrs()));
+  reg.set("rmrs.amortized", run.amortized_rmrs());
+  const auto violation = opt.blocking
+                             ? check_blocking_spec(run.sim->history())
+                             : check_polling_spec(run.sim->history());
+  reg.set("spec.ok", violation.has_value() ? 0.0 : 1.0);
+  return reg;
+}
+
+/// Section 6 adversary point: adv.amortized is the forced cost (final
+/// amortized when part 1 stabilized, the unstable branch's endpoint
+/// otherwise — the quantity Theorem 6.2 lower-bounds either way).
+MetricsRegistry run_adversary_point(const SignalingFactory& factory,
+                                    const AdversaryConfig& config) {
+  MetricsRegistry reg;
+  SignalingAdversary adv(factory, config);
+  const AdversaryReport r = adv.run();
+  reg.set("adv.amortized",
+          r.stabilized ? r.amortized_final : r.unstable_amortized_end);
+  reg.set("adv.signaler_rmrs", static_cast<double>(r.signaler_rmrs));
+  reg.set("adv.stabilized", r.stabilized ? 1.0 : 0.0);
+  reg.set("adv.stable_waiters", static_cast<double>(r.stable_waiters));
+  reg.set("adv.participants", static_cast<double>(r.participants_final));
+  reg.set("adv.rounds", static_cast<double>(r.rounds));
+  reg.set("adv.in_scope", r.in_scope ? 1.0 : 0.0);
+  reg.set("spec.ok", r.spec_violation ? 0.0 : 1.0);
+  return reg;
+}
+
+/// Full-contention mutex point under round-robin (the E5/E8 shape).
+MetricsRegistry run_mutex_point(const std::string& model,
+                                const std::string& lock_name, int n,
+                                int passages) {
+  MutexRunOptions opt;
+  opt.model = model;
+  opt.nprocs = n;
+  opt.passages = passages;
+  opt.make_lock = [lock_name](SharedMemory& mem) {
+    return make_lock_by_name(lock_name, mem);
+  };
+  const MutexRunOutcome o = run_mutex_workload(opt);
+  MetricsRegistry reg;
+  publish_simulation(reg, *o.world.sim);
+  publish_call_costs(reg, per_call_costs(o.world.sim->history()));
+  reg.set("rmrs.per_passage", o.rmrs_per_passage);
+  reg.set("run.completed", o.completed ? 1.0 : 0.0);
+  reg.set("spec.ok", o.violation.has_value() ? 0.0 : 1.0);
+  return reg;
+}
+
+// ---- E1 ----------------------------------------------------------------
+
+SweepSpec e1_spec() {
+  SweepSpec s;
+  s.name = "e1";
+  s.models = {"cc", "dsm"};
+  // flag-delay64: the signaler idles a fixed 64 polls; flag-spin-n: the
+  // idle time scales with N, so the DSM waiters' spin cost grows along the
+  // x axis while CC must stay flat — the Section 5 claim as a fit.
+  s.algorithms = {"flag-delay64", "flag-spin-n"};
+  s.ns = {2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  return s;
+}
+
+MetricsRegistry e1_runner(const SweepPoint& p) {
+  SignalingWorkloadOptions opt;
+  opt.signaler_idle_polls = p.algorithm == "flag-spin-n" ? p.n : 64;
+  return run_signaling_point(p.model, p.n,
+                             make_signal_factory_by_name("flag", p.n), opt);
+}
+
+// ---- E2 ----------------------------------------------------------------
+
+SweepSpec e2_spec() {
+  SweepSpec s;
+  s.name = "e2";
+  s.models = {"dsm"};  // the control's CC memory is part of its algorithm
+  s.algorithms = {"registration", "fixed-waiters", "flag-dsm",
+                  "flag-cc-control"};
+  s.ns = {16, 32, 64, 128, 256};
+  return s;
+}
+
+MetricsRegistry e2_runner(const SweepPoint& p) {
+  const int n = p.n;
+  AdversaryConfig c;
+  c.nprocs = n;
+  c.construction = Construction::kStrict;
+  if (p.algorithm == "registration") {
+    return run_adversary_point(
+        [n](SharedMemory& m) {
+          return std::make_unique<DsmRegistrationSignal>(
+              m, static_cast<ProcId>(n - 2));
+        },
+        c);
+  }
+  if (p.algorithm == "fixed-waiters") {
+    return run_adversary_point(
+        [n](SharedMemory& m) {
+          std::vector<ProcId> ws;
+          for (int i = 0; i < n - 1; ++i) ws.push_back(i);
+          return std::make_unique<DsmFixedWaitersSignal>(m, std::move(ws));
+        },
+        c);
+  }
+  if (p.algorithm == "flag-dsm") {
+    // The flag algorithm never stabilizes; the Lemma 6.11 branch forces
+    // RMRs per *extension round*, so the rounds scale with N to exhibit
+    // the unbounded growth along the sweep's x axis.
+    c.unstable_extension_rounds = std::max(4, n / 4);
+    return run_adversary_point(
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); }, c);
+  }
+  if (p.algorithm == "flag-cc-control") {
+    c.construction = Construction::kLenient;
+    c.erase_during_chase = false;
+    c.make_memory = [](int k) { return make_cc(k); };
+    return run_adversary_point(
+        [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); }, c);
+  }
+  fail("e2: unknown algorithm '" + p.algorithm + "'");
+}
+
+// ---- E3 ----------------------------------------------------------------
+
+SweepSpec e3_spec() {
+  SweepSpec s;
+  s.name = "e3";
+  s.models = {"dsm", "cc"};
+  s.algorithms = {"flag",  "fixed-wait-free", "fixed-terminating",
+                  "registration", "queue", "cas", "blocking-leader"};
+  s.ns = {16, 32, 64};
+  return s;
+}
+
+MetricsRegistry e3_runner(const SweepPoint& p) {
+  const int n = p.n;
+  SignalingWorkloadOptions opt;
+  opt.signaler_idle_polls = 16;
+  SignalingFactory factory;
+  if (p.algorithm == "fixed-wait-free") {
+    // The fixed-waiter variants restrict Poll() to the fixed set, so the
+    // signaler cannot make idle polls.
+    opt.signaler_idle_polls = 0;
+    factory = [n](SharedMemory& m) {
+      std::vector<ProcId> ws;
+      for (int i = 0; i < n; ++i) ws.push_back(i);
+      return std::make_unique<DsmFixedWaitersSignal>(m, std::move(ws));
+    };
+  } else if (p.algorithm == "fixed-terminating") {
+    opt.signaler_idle_polls = 0;
+    factory = [n](SharedMemory& m) {
+      std::vector<ProcId> ws;
+      for (int i = 0; i < n; ++i) ws.push_back(i);
+      return std::make_unique<DsmFixedWaitersTerminating>(
+          m, std::move(ws), static_cast<ProcId>(n));
+    };
+  } else if (p.algorithm == "blocking-leader") {
+    opt.blocking = true;
+    opt.signaler_idle_polls = 0;
+    factory = make_signal_factory_by_name("blocking-leader", n);
+  } else {
+    factory = make_signal_factory_by_name(p.algorithm, n);
+  }
+  return run_signaling_point(p.model, n, factory, opt);
+}
+
+// ---- E4 ----------------------------------------------------------------
+
+SweepSpec e4_spec() {
+  SweepSpec s;
+  s.name = "e4";
+  s.models = {"cc"};
+  s.algorithms = {"flag-half-idle", "ping-pong"};
+  s.ns = {8, 16, 32, 64, 128, 256};
+  return s;
+}
+
+MetricsRegistry e4_runner(const SweepPoint& p) {
+  MetricsRegistry reg;
+  const int n = p.n;
+  auto mem = make_cc(n);
+  BusBroadcastCounter bus;
+  IdealDirectoryCounter ideal;
+  CoarseDirectoryCounter coarse(n);
+  ListenerFanout fan;
+  fan.add(&bus);
+  fan.add(&ideal);
+  fan.add(&coarse);
+  mem->set_listener(&fan);
+
+  if (p.algorithm == "flag-half-idle") {
+    const int n_waiters = n / 2 - 1;
+    const int n_idle = n - n_waiters - 1;
+    CcFlagSignal alg(*mem);
+    std::vector<Program> programs;
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 1'000'000); });
+    }
+    for (int i = 0; i < n_idle; ++i) programs.emplace_back(Program{});
+    programs.emplace_back(
+        [&alg](ProcCtx& ctx) { return signaler(ctx, &alg, 16); });
+    Simulation sim(*mem, std::move(programs));
+    RoundRobinScheduler rr;
+    const auto result = sim.run(rr, 100'000'000);
+    publish_simulation(reg, sim);
+    reg.set("run.completed", result.all_terminated ? 1.0 : 0.0);
+  } else if (p.algorithm == "ping-pong") {
+    // One producer rewriting a cell, one consumer re-reading it — the
+    // regime where the coarse directory's blind broadcasts diverge.
+    const VarId v = mem->allocate_global(0);
+    for (int round = 0; round < 64; ++round) {
+      mem->apply(0, MemOp::write(v, round));
+      mem->apply(1, MemOp::read(v));
+    }
+    publish_ledger(reg, mem->ledger());
+  } else {
+    fail("e4: unknown algorithm '" + p.algorithm + "'");
+  }
+
+  publish_messages(reg, bus);
+  publish_messages(reg, ideal);
+  publish_messages(reg, coarse);
+  const double rmrs =
+      std::max<double>(1.0, static_cast<double>(mem->ledger().total_rmrs()));
+  reg.set("msgs.bus.per_rmr",
+          static_cast<double>(bus.total_messages()) / rmrs);
+  reg.set("msgs.ideal.per_rmr",
+          static_cast<double>(ideal.total_messages()) / rmrs);
+  reg.set("msgs.coarse.per_rmr",
+          static_cast<double>(coarse.total_messages()) / rmrs);
+  return reg;
+}
+
+// ---- E5 ----------------------------------------------------------------
+
+SweepSpec e5_spec() {
+  SweepSpec s;
+  s.name = "e5";
+  s.models = {"dsm", "cc"};
+  s.algorithms = {"ya", "mcs", "anderson", "ticket", "clh", "bakery",
+                  "peterson"};
+  s.ns = {4, 16, 64, 256};
+  return s;
+}
+
+MetricsRegistry e5_runner(const SweepPoint& p) {
+  return run_mutex_point(p.model, p.algorithm, p.n, /*passages=*/3);
+}
+
+// ---- E6 ----------------------------------------------------------------
+
+SweepSpec e6_spec() {
+  SweepSpec s;
+  s.name = "e6";
+  s.models = {"dsm"};
+  s.algorithms = {"cas-raw", "rw-cas-transformed"};
+  s.ns = {16, 32, 64};
+  return s;
+}
+
+MetricsRegistry e6_runner(const SweepPoint& p) {
+  AdversaryConfig c;
+  c.nprocs = p.n;
+  c.construction = Construction::kStrict;
+  if (p.algorithm == "cas-raw") {
+    return run_adversary_point(make_signal_factory_by_name("cas", p.n - 2), c);
+  }
+  if (p.algorithm == "rw-cas-transformed") {
+    c.max_rounds = 64;  // lock traffic needs more rounds to settle
+    return run_adversary_point(make_signal_factory_by_name("rw-cas", p.n - 2),
+                               c);
+  }
+  fail("e6: unknown algorithm '" + p.algorithm + "'");
+}
+
+// ---- E7 ----------------------------------------------------------------
+
+SweepSpec e7_spec() {
+  SweepSpec s;
+  s.name = "e7";
+  s.models = {"dsm"};
+  s.algorithms = {"registration"};
+  s.ns = {81, 243, 729};
+  return s;
+}
+
+MetricsRegistry e7_runner(const SweepPoint& p) {
+  const int n = p.n;
+  AdversaryConfig c;
+  c.nprocs = n;
+  c.construction = Construction::kStrict;
+  SignalingAdversary adv(
+      [n](SharedMemory& m) {
+        return std::make_unique<DsmRegistrationSignal>(
+            m, static_cast<ProcId>(n - 2));
+      },
+      c);
+  const AdversaryReport r = adv.run();
+  MetricsRegistry reg;
+  bool invariants_ok = true;
+  for (const RoundStats& rs : r.round_stats) {
+    if (rs.finished > rs.round) invariants_ok = false;
+    if (rs.max_active_rmrs > static_cast<std::uint64_t>(rs.round)) {
+      invariants_ok = false;
+    }
+    if (!rs.regular) invariants_ok = false;
+    reg.series_append("adv.active_by_round", rs.round, rs.active);
+    reg.series_append("adv.finished_by_round", rs.round, rs.finished);
+    reg.series_append("adv.stable_by_round", rs.round, rs.stable);
+    reg.series_append("adv.max_active_rmrs_by_round", rs.round,
+                      static_cast<double>(rs.max_active_rmrs));
+    reg.series_append("adv.regular_by_round", rs.round,
+                      rs.regular ? 1.0 : 0.0);
+  }
+  reg.set("adv.invariants_ok", invariants_ok ? 1.0 : 0.0);
+  reg.set("adv.rounds", static_cast<double>(r.rounds));
+  reg.set("adv.amortized", r.amortized_final);
+  reg.set("adv.signaler_rmrs", static_cast<double>(r.signaler_rmrs));
+  reg.set("adv.stabilized", r.stabilized ? 1.0 : 0.0);
+  reg.set("adv.stable_waiters", static_cast<double>(r.stable_waiters));
+  reg.set("adv.participants", static_cast<double>(r.participants_final));
+  reg.set("spec.ok", r.spec_violation ? 0.0 : 1.0);
+  return reg;
+}
+
+// ---- E8 ----------------------------------------------------------------
+
+SweepSpec e8_spec() {
+  SweepSpec s;
+  s.name = "e8";
+  s.models = {"cc", "cc-wb", "cc-mesi", "cc-lfcu"};
+  s.algorithms = {"flag", "tas"};
+  s.ns = {8, 16, 32, 64};
+  return s;
+}
+
+MetricsRegistry e8_runner(const SweepPoint& p) {
+  if (p.algorithm == "flag") {
+    SignalingWorkloadOptions opt;
+    opt.signaler_idle_polls = 64;
+    return run_signaling_point(p.model, p.n,
+                               make_signal_factory_by_name("flag", p.n), opt);
+  }
+  if (p.algorithm == "tas") {
+    return run_mutex_point(p.model, "tas", p.n, /*passages=*/3);
+  }
+  fail("e8: unknown algorithm '" + p.algorithm + "'");
+}
+
+// ---- E9 ----------------------------------------------------------------
+
+SweepSpec e9_spec() {
+  SweepSpec s;
+  s.name = "e9";
+  s.models = {"dsm", "cc"};
+  s.algorithms = {"recoverable"};
+  s.ns = {6};  // the x axis of this experiment is the fault plan, not N
+  s.fault_plans = {"",
+                   "random:rate=0.002,seed=1234,recover=50,max=64",
+                   "random:rate=0.01,seed=1234,recover=50,max=64",
+                   "random:rate=0.05,seed=1234,recover=50,max=64"};
+  return s;
+}
+
+MetricsRegistry e9_runner(const SweepPoint& p) {
+  MutexRunOptions opt;
+  opt.model = p.model;
+  opt.nprocs = p.n;
+  opt.passages = 4;
+  opt.fault_plan = p.fault_plan;
+  opt.max_steps = 60'000'000;
+  opt.make_lock = [](SharedMemory& mem) {
+    return make_lock_by_name("recoverable", mem);
+  };
+  const MutexRunOutcome o = run_mutex_workload(opt);
+  MetricsRegistry reg;
+  publish_simulation(reg, *o.world.sim);
+  const CrashRunReport rep = analyze_crash_run(o.world.sim->history());
+  reg.set("crash.fifo_inversions", static_cast<double>(rep.fifo_inversions));
+  reg.set("crash.failed_recoveries",
+          static_cast<double>(rep.failed_recoveries));
+  reg.set("rmrs.per_exit",
+          o.passages_done > 0
+              ? static_cast<double>(
+                    o.world.mem->ledger().total_rmrs()) /
+                    o.passages_done
+              : -1.0);
+  reg.set("run.completed", o.completed ? 1.0 : 0.0);
+  reg.set("run.passages_done", static_cast<double>(o.passages_done));
+  reg.set("spec.ok", rep.mutual_exclusion_ok ? 1.0 : 0.0);
+  return reg;
+}
+
+// ---- registry ----------------------------------------------------------
+
+SeriesDecl decl(std::string metric, std::string model, std::string algorithm,
+                std::optional<Expectation> expected = std::nullopt) {
+  return SeriesDecl{
+      SeriesSelector{std::move(metric), std::move(model),
+                     std::move(algorithm)},
+      expected};
+}
+
+std::vector<Experiment> build_experiments() {
+  std::vector<Experiment> out;
+
+  out.push_back(Experiment{
+      "e1", "Section 5 CC upper bound: flag signaling, reads/writes",
+      e1_spec(), e1_runner,
+      {decl("rmrs.max_waiter", "cc", "flag-delay64", Expectation::kO1),
+       decl("rmrs.amortized", "cc", "flag-delay64", Expectation::kO1),
+       decl("rmrs.max_waiter", "cc", "flag-spin-n", Expectation::kO1),
+       decl("rmrs.max_waiter", "dsm", "flag-spin-n", Expectation::kOmegaW),
+       decl("rmrs.amortized", "dsm", "flag-spin-n", Expectation::kOmegaW),
+       decl("rmrs.max_waiter", "dsm", "flag-delay64"),
+       decl("rmrs.signaler", "dsm", "flag-delay64")}});
+
+  out.push_back(Experiment{
+      "e2", "Theorem 6.2: forced amortized RMRs in DSM vs the CC control",
+      e2_spec(), e2_runner,
+      {decl("adv.amortized", "dsm", "registration", Expectation::kOmegaW),
+       decl("adv.amortized", "dsm", "fixed-waiters", Expectation::kOmegaW),
+       decl("adv.amortized", "dsm", "flag-dsm", Expectation::kOmegaW),
+       decl("adv.amortized", "dsm", "flag-cc-control", Expectation::kO1),
+       decl("adv.signaler_rmrs", "dsm", "registration")}});
+
+  out.push_back(Experiment{
+      "e3", "Section 7 signaling-variant taxonomy",
+      e3_spec(), e3_runner,
+      {decl("rmrs.max_waiter", "dsm", "registration", Expectation::kO1),
+       decl("rmrs.max_waiter", "dsm", "queue", Expectation::kO1),
+       decl("rmrs.amortized", "dsm", "fixed-terminating", Expectation::kO1),
+       decl("rmrs.signaler", "dsm", "fixed-wait-free", Expectation::kThetaN),
+       decl("rmrs.max_waiter", "cc", "flag", Expectation::kO1),
+       decl("rmrs.signaler", "dsm", "registration")}});
+
+  out.push_back(Experiment{
+      "e4", "Section 8 message accounting under CC coherence protocols",
+      e4_spec(), e4_runner,
+      {decl("msgs.bus.per_rmr", "cc", "flag-half-idle", Expectation::kO1),
+       decl("msgs.ideal.per_rmr", "cc", "flag-half-idle", Expectation::kO1),
+       decl("msgs.ideal.per_rmr", "cc", "ping-pong", Expectation::kO1),
+       decl("msgs.coarse.per_rmr", "cc", "ping-pong", Expectation::kOmegaW)}});
+
+  out.push_back(Experiment{
+      "e5", "Section 3 mutual exclusion anchors: RMRs per passage",
+      e5_spec(), e5_runner,
+      {decl("rmrs.per_passage", "dsm", "ya", Expectation::kThetaLogN),
+       decl("rmrs.per_passage", "cc", "ya", Expectation::kThetaLogN),
+       decl("rmrs.per_passage", "dsm", "mcs", Expectation::kO1),
+       decl("rmrs.per_passage", "cc", "mcs", Expectation::kO1),
+       decl("rmrs.per_passage", "cc", "anderson", Expectation::kO1),
+       decl("rmrs.per_passage", "dsm", "anderson", Expectation::kOmegaW),
+       decl("rmrs.per_passage", "cc", "clh", Expectation::kO1),
+       decl("rmrs.per_passage", "dsm", "ticket", Expectation::kOmegaW),
+       decl("rmrs.per_passage", "cc", "ticket"),
+       decl("rmrs.per_passage", "dsm", "bakery"),
+       decl("rmrs.per_passage", "cc", "bakery"),
+       decl("rmrs.per_passage", "dsm", "peterson"),
+       decl("rmrs.per_passage", "cc", "peterson")}});
+
+  out.push_back(Experiment{
+      "e6", "Corollary 6.14: the CAS transformation gives no escape",
+      e6_spec(), e6_runner,
+      {decl("adv.amortized", "dsm", "rw-cas-transformed",
+            Expectation::kOmegaW),
+       decl("adv.amortized", "dsm", "cas-raw"),
+       decl("adv.in_scope", "dsm", "cas-raw")}});
+
+  out.push_back(Experiment{
+      "e7", "Definition 6.9 invariants along the part-1 construction",
+      e7_spec(), e7_runner,
+      {decl("adv.invariants_ok", "dsm", "registration", Expectation::kO1),
+       decl("adv.amortized", "dsm", "registration")}});
+
+  out.push_back(Experiment{
+      "e8", "CC policy ablation: flag signaling and the TAS lock",
+      e8_spec(), e8_runner,
+      {decl("rmrs.max_waiter", "cc", "flag", Expectation::kO1),
+       decl("rmrs.max_waiter", "cc-wb", "flag", Expectation::kO1),
+       decl("rmrs.max_waiter", "cc-mesi", "flag", Expectation::kO1),
+       decl("rmrs.max_waiter", "cc-lfcu", "flag", Expectation::kO1),
+       decl("rmrs.per_passage", "cc-lfcu", "tas", Expectation::kO1),
+       decl("rmrs.per_passage", "cc", "tas")}});
+
+  out.push_back(Experiment{
+      "e9", "Crash/recovery: RMR cost of the recoverable lock under faults",
+      e9_spec(), e9_runner,
+      // N is fixed (the sweep axis is the fault plan), so there is no
+      // growth series to fit — the artifact carries the raw points.
+      {}});
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<Experiment>& all_experiments() {
+  static const std::vector<Experiment> kExperiments = build_experiments();
+  return kExperiments;
+}
+
+const Experiment* find_experiment(const std::string& name) {
+  for (const Experiment& e : all_experiments()) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+BenchArtifact make_artifact(const Experiment& exp, SweepResult result,
+                            const std::string& generator) {
+  BenchArtifact artifact;
+  artifact.name = exp.name;
+  artifact.title = exp.title;
+  artifact.generator = generator;
+  artifact.git = git_describe();
+  artifact.result = std::move(result);
+  for (const SeriesDecl& d : exp.series) {
+    FittedSeries fs;
+    fs.selector = d.selector;
+    fs.series = extract_series(artifact.result, d.selector);
+    // A capped grid can leave too few points to fit; drop the series
+    // rather than fabricate a class from one point.
+    if (fs.series.xs.size() < 2) continue;
+    fs.fit = fit_growth_class(fs.series.xs, fs.series.ys);
+    fs.expected = d.expected;
+    fs.matches_expectation =
+        !d.expected.has_value() || matches(*d.expected, fs.fit.cls);
+    artifact.series.push_back(std::move(fs));
+  }
+  return artifact;
+}
+
+BenchArtifact run_experiment(const Experiment& exp, int workers,
+                             const std::string& generator, int max_n) {
+  SweepSpec spec = max_n > 0 ? exp.spec.capped_at(max_n) : exp.spec;
+  return make_artifact(exp, run_sweep(spec, exp.runner, workers), generator);
+}
+
+bool artifact_matches(const BenchArtifact& artifact) {
+  for (const FittedSeries& fs : artifact.series) {
+    if (!fs.matches_expectation) return false;
+  }
+  return true;
+}
+
+std::string render_fit_table(const BenchArtifact& artifact) {
+  if (artifact.series.empty()) return {};
+  TextTable t;
+  t.set_header({"metric", "model", "algorithm", "fitted class", "slope",
+                "expected", "match"});
+  for (const FittedSeries& fs : artifact.series) {
+    char slope[32];
+    std::snprintf(slope, sizeof slope, "%.3f", fs.fit.loglog_slope);
+    t.add_row({fs.selector.metric, fs.selector.model, fs.selector.algorithm,
+               to_string(fs.fit.cls), slope,
+               fs.expected ? to_string(*fs.expected) : "-",
+               fs.expected ? (fs.matches_expectation ? "ok" : "MISMATCH")
+                           : "-"});
+  }
+  return t.render();
+}
+
+}  // namespace rmrsim

@@ -1,0 +1,141 @@
+#include "harness/fitter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace rmrsim {
+
+const char* to_string(GrowthClass cls) {
+  switch (cls) {
+    case GrowthClass::kConstant: return "O(1)";
+    case GrowthClass::kLogarithmic: return "Theta(logN)";
+    case GrowthClass::kLinear: return "Theta(N)";
+  }
+  return "?";
+}
+
+bool is_super_constant(GrowthClass cls) {
+  return cls != GrowthClass::kConstant;
+}
+
+const char* to_string(Expectation e) {
+  switch (e) {
+    case Expectation::kO1: return "O(1)";
+    case Expectation::kThetaLogN: return "Theta(logN)";
+    case Expectation::kThetaN: return "Theta(N)";
+    case Expectation::kOmegaW: return "Omega(W)";
+  }
+  return "?";
+}
+
+bool matches(Expectation e, GrowthClass cls) {
+  switch (e) {
+    case Expectation::kO1: return cls == GrowthClass::kConstant;
+    case Expectation::kThetaLogN: return cls == GrowthClass::kLogarithmic;
+    case Expectation::kThetaN: return cls == GrowthClass::kLinear;
+    case Expectation::kOmegaW: return is_super_constant(cls);
+  }
+  return false;
+}
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Least-squares fit of y = a + b * f(x); returns the RMS residual
+/// normalized by the mean |y| (so series of different magnitudes compare).
+double normalized_rms(std::span<const double> fx, std::span<const double> ys,
+                      bool fit_slope) {
+  const auto n = static_cast<double>(ys.size());
+  double a = 0;
+  double b = 0;
+  if (fit_slope) {
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    for (std::size_t i = 0; i < ys.size(); ++i) {
+      sx += fx[i];
+      sy += ys[i];
+      sxx += fx[i] * fx[i];
+      sxy += fx[i] * ys[i];
+    }
+    const double denom = n * sxx - sx * sx;
+    b = std::abs(denom) < kEps ? 0.0 : (n * sxy - sx * sy) / denom;
+    a = (sy - b * sx) / n;
+  } else {
+    for (const double y : ys) a += y;
+    a /= n;
+  }
+  double ss = 0;
+  double mean_mag = 0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    const double r = ys[i] - (a + b * fx[i]);
+    ss += r * r;
+    mean_mag += std::abs(ys[i]);
+  }
+  mean_mag = std::max(mean_mag / n, kEps);
+  return std::sqrt(ss / n) / mean_mag;
+}
+
+}  // namespace
+
+std::string FitReport::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "%s (loglog slope %.3f, ratio %.2f, rms const/log/lin "
+                "%.3f/%.3f/%.3f over %d points)",
+                rmrsim::to_string(cls), loglog_slope, growth_ratio,
+                rms_constant, rms_log, rms_linear, points);
+  return buf;
+}
+
+FitReport fit_growth_class(std::span<const double> xs,
+                           std::span<const double> ys) {
+  ensure(xs.size() == ys.size(), "fit: xs and ys must have equal size");
+  ensure(xs.size() >= 2, "fit: need at least 2 points");
+  ensure(std::is_sorted(xs.begin(), xs.end()), "fit: xs must be ascending");
+
+  std::vector<double> y(ys.begin(), ys.end());
+  for (double& v : y) v = std::max(v, kEps);
+
+  FitReport r;
+  r.points = static_cast<int>(xs.size());
+  double ymin = y[0], ymax = y[0];
+  for (const double v : y) {
+    ymin = std::min(ymin, v);
+    ymax = std::max(ymax, v);
+  }
+  r.growth_ratio = ymax / std::max(ymin, kEps);
+  r.loglog_slope = loglog_slope(xs, y);
+
+  std::vector<double> logx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    logx[i] = std::log2(std::max(xs[i], kEps));
+  }
+  r.rms_constant = normalized_rms(logx, y, /*fit_slope=*/false);
+  r.rms_log = normalized_rms(logx, y, /*fit_slope=*/true);
+  r.rms_linear = normalized_rms(xs, y, /*fit_slope=*/true);
+
+  // Flat within noise: near-zero log-log slope and a small spread. The
+  // slope gate alone misfires when a series is tiny-but-jittery (ratio
+  // between integer RMR counts), and the ratio gate alone misfires on
+  // short slow-growing series — require both to call O(1).
+  if (std::abs(r.loglog_slope) < 0.10 && r.growth_ratio < 2.0) {
+    r.cls = GrowthClass::kConstant;
+    return r;
+  }
+  // A log-log slope near (or above) 1 is linear regardless of which shape
+  // model happens to fit the finite prefix marginally better.
+  if (r.loglog_slope > 0.80) {
+    r.cls = GrowthClass::kLinear;
+    return r;
+  }
+  r.cls = r.rms_log <= r.rms_linear ? GrowthClass::kLogarithmic
+                                    : GrowthClass::kLinear;
+  return r;
+}
+
+}  // namespace rmrsim

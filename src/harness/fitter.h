@@ -1,0 +1,63 @@
+// Asymptotic-class fitter: turns a measured (N, cost) series into a growth
+// class, so the paper's separation can be asserted by code instead of by
+// eyeball.
+//
+// The paper's claims are all growth classes — the CC upper bound is O(1)
+// RMRs per process (Section 5), the DSM lower bound forces super-constant
+// amortized cost (Theorem 6.2, written Ω(W) here: the forced cost grows
+// with the number of waiters), and the mutual-exclusion anchor is
+// Θ(log N) (Yang–Anderson). With "N large enough" replaced by finite
+// sweeps (DESIGN.md substitution 6), classification works off two signals:
+// the log-log slope of the series (a ~ 0 for O(1), ~1 for Θ(N), decaying
+// in between for Θ(log N)) and which of three least-squares shape models
+// (y = a, y = a + b·log2 x, y = a + b·x) minimizes the normalized residual.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace rmrsim {
+
+enum class GrowthClass {
+  kConstant,     ///< O(1): flat within noise
+  kLogarithmic,  ///< Θ(log N)
+  kLinear,       ///< Θ(N)
+};
+
+/// Short machine-readable slug: "O(1)", "Theta(logN)", "Theta(N)".
+const char* to_string(GrowthClass cls);
+
+/// True for every class that grows without bound — the Ω(W) verdict of
+/// Theorem 6.2 (any super-constant growth witnesses the separation).
+bool is_super_constant(GrowthClass cls);
+
+/// What an experiment claims about a series. kOmegaW accepts any
+/// super-constant class: the lower bound promises growth, not its exact
+/// shape (E6's CAS transformation, for instance, grows log-flavored).
+enum class Expectation { kO1, kThetaLogN, kThetaN, kOmegaW };
+
+const char* to_string(Expectation e);
+bool matches(Expectation e, GrowthClass cls);
+
+struct FitReport {
+  GrowthClass cls = GrowthClass::kConstant;
+  double loglog_slope = 0.0;  ///< slope of log y vs log x
+  double growth_ratio = 1.0;  ///< y_max / max(y_min, eps)
+  /// Normalized RMS residuals of the three shape fits (fraction of the
+  /// series' mean magnitude; lower = better).
+  double rms_constant = 0.0;
+  double rms_log = 0.0;
+  double rms_linear = 0.0;
+  int points = 0;
+
+  std::string to_string() const;  ///< one diagnostic line
+};
+
+/// Fits and classifies. Requires xs ascending and xs.size() == ys.size();
+/// at least 3 points for a meaningful verdict (with fewer, classification
+/// falls back to the growth ratio alone). Non-positive ys are clamped to a
+/// small epsilon for the log fits.
+FitReport fit_growth_class(std::span<const double> xs,
+                           std::span<const double> ys);
+
+}  // namespace rmrsim

@@ -7,7 +7,9 @@ namespace rmrsim {
 
 std::vector<CallCost> per_call_costs(const History& h) {
   std::vector<CallCost> out;
-  std::map<ProcId, std::size_t> open;        // proc -> index into out
+  // Per-process stack of open calls (indices into `out`), so nested spans
+  // keep the outer call alive instead of overwriting it.
+  std::map<ProcId, std::vector<std::size_t>> open;
   std::map<std::pair<ProcId, Word>, int> counters;  // per-code call index
   for (const StepRecord& r : h.records()) {
     if (r.kind == StepRecord::Kind::kEvent) {
@@ -16,22 +18,35 @@ std::vector<CallCost> per_call_costs(const History& h) {
         c.proc = r.proc;
         c.call_code = r.code;
         c.call_index = counters[{r.proc, r.code}]++;
-        open[r.proc] = out.size();
+        open[r.proc].push_back(out.size());
         out.push_back(c);
       } else if (r.event == EventKind::kCallEnd) {
+        // Pop the innermost open call of this code; an end with no
+        // matching begin (possible after a crash truncates spans) is
+        // ignored. Mismatched codes above the match are closed too — a
+        // call cannot outlive its end record's position.
         auto it = open.find(r.proc);
-        if (it != open.end() && out[it->second].call_code == r.code) {
-          out[it->second].completed = true;
-          out[it->second].returned = r.value;
-          open.erase(it);
+        if (it != open.end()) {
+          std::vector<std::size_t>& stack = it->second;
+          for (std::size_t i = stack.size(); i-- > 0;) {
+            if (out[stack[i]].call_code == r.code) {
+              out[stack[i]].completed = true;
+              out[stack[i]].returned = r.value;
+              stack.resize(i);
+              break;
+            }
+          }
+          if (stack.empty()) open.erase(it);
         }
       }
       continue;
     }
-    // Memory step: attribute to the proc's open call, if any.
+    // Memory step: attribute to the proc's innermost open call, if any —
+    // exclusive attribution, so a nested call's steps never double-count
+    // into its parent.
     auto it = open.find(r.proc);
-    if (it == open.end()) continue;
-    CallCost& c = out[it->second];
+    if (it == open.end() || it->second.empty()) continue;
+    CallCost& c = out[it->second.back()];
     ++c.mem_steps;
     if (r.outcome.rmr) ++c.rmrs;
   }

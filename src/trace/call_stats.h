@@ -25,7 +25,14 @@ struct CallCost {
 };
 
 /// Slices the history into call spans and attributes each memory step to
-/// the call it occurred in (steps outside any call are ignored).
+/// the call it occurred in. Attribution rules:
+///   * steps outside any call span are ignored;
+///   * nested calls attribute exclusively to the innermost open span (a
+///     nested call's steps never double-count into its parent);
+///   * a kCallEnd closes the innermost open call with a matching code
+///     (anything nested above it is closed unfinished);
+///   * a call with no end in the history stays completed == false and
+///     keeps the costs accrued so far.
 std::vector<CallCost> per_call_costs(const History& h);
 
 /// Convenience filters over per_call_costs.

@@ -1,8 +1,35 @@
 #include "trace/export.h"
 
+#include <cstdio>
 #include <map>
 
 namespace rmrsim {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 namespace {
 
@@ -55,9 +82,9 @@ std::string history_to_json_lines(const History& h) {
   for (const StepRecord& r : h.records()) {
     out += "{\"index\":" + std::to_string(r.index) +
            ",\"proc\":" + std::to_string(r.proc) + ",\"kind\":\"" +
-           kind_name(r) + "\"";
+           json_escape(kind_name(r)) + "\"";
     if (r.kind == StepRecord::Kind::kMemOp) {
-      out += ",\"op\":\"" + to_string(r.op.type) + "\",\"var\":" +
+      out += ",\"op\":\"" + json_escape(to_string(r.op.type)) + "\",\"var\":" +
              std::to_string(r.op.var) + ",\"home\":" +
              std::to_string(r.var_home) + ",\"arg0\":" +
              std::to_string(r.op.arg0) + ",\"arg1\":" +
@@ -67,7 +94,7 @@ std::string history_to_json_lines(const History& h) {
              (r.outcome.nontrivial ? "true" : "false");
     } else {
       out += ",\"event\":\"";
-      out += event_name(r.event);
+      out += json_escape(event_name(r.event));
       out += "\",\"code\":" + std::to_string(r.code) +
              ",\"value\":" + std::to_string(r.value);
     }

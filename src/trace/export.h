@@ -9,17 +9,26 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "history/history.h"
 
 namespace rmrsim {
+
+/// Escapes `s` for embedding inside a JSON string literal: quote, backslash,
+/// and every control character below 0x20 (the common ones as \" \\ \n \r
+/// \t \b \f, the rest as \u00XX). Shared by every JSON emitter in the repo
+/// (history JSON lines, the metrics registry, BENCH_*.json artifacts) so
+/// string safety is a property of the writer, not an accident of field
+/// contents.
+std::string json_escape(std::string_view s);
 
 /// CSV with header: index,proc,kind,op,var,home,arg0,arg1,result,rmr,
 /// nontrivial,event,code,value,terminated.
 std::string history_to_csv(const History& h);
 
 /// JSON lines, one object per record (no external dependencies; fields
-/// mirror the CSV).
+/// mirror the CSV). All string fields pass through json_escape.
 std::string history_to_json_lines(const History& h);
 
 /// ASCII timeline: one lane per process, one column per step.

@@ -1,0 +1,315 @@
+// Tests for the harness subsystem: the asymptotic fitter, the canonical
+// sweep grid, parallel-sweep determinism, the artifact writer, the drive.h
+// factories, and reduced-size runs of the registered experiments (the same
+// expectation gate CI enforces).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "harness/artifact.h"
+#include "harness/drive.h"
+#include "harness/experiments.h"
+#include "harness/fitter.h"
+#include "harness/sweep.h"
+#include "memory/shared_memory.h"
+
+namespace rmrsim {
+namespace {
+
+std::vector<double> xs_pow2(int count) {
+  std::vector<double> xs;
+  for (int i = 0; i < count; ++i) xs.push_back(std::pow(2.0, 3 + i));
+  return xs;
+}
+
+TEST(Fitter, ClassifiesFlatSeriesConstant) {
+  const auto xs = xs_pow2(6);
+  const std::vector<double> ys(6, 2.0);
+  const FitReport fit = fit_growth_class(xs, ys);
+  EXPECT_EQ(fit.cls, GrowthClass::kConstant);
+  EXPECT_NEAR(fit.loglog_slope, 0.0, 0.05);
+  EXPECT_FALSE(is_super_constant(fit.cls));
+}
+
+TEST(Fitter, ClassifiesNoisyFlatSeriesConstant) {
+  const auto xs = xs_pow2(6);
+  const std::vector<double> ys = {2.0, 2.1, 1.9, 2.05, 1.95, 2.0};
+  EXPECT_EQ(fit_growth_class(xs, ys).cls, GrowthClass::kConstant);
+}
+
+TEST(Fitter, ClassifiesLogSeriesLogarithmic) {
+  const auto xs = xs_pow2(6);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(9.0 * std::log2(x));
+  const FitReport fit = fit_growth_class(xs, ys);
+  EXPECT_EQ(fit.cls, GrowthClass::kLogarithmic);
+  EXPECT_TRUE(is_super_constant(fit.cls));
+}
+
+TEST(Fitter, ClassifiesLinearSeriesLinear) {
+  const auto xs = xs_pow2(6);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(3.0 * x + 5.0);
+  const FitReport fit = fit_growth_class(xs, ys);
+  EXPECT_EQ(fit.cls, GrowthClass::kLinear);
+  EXPECT_NEAR(fit.loglog_slope, 1.0, 0.15);
+}
+
+TEST(Fitter, SqrtSeriesIsSuperConstant) {
+  // The fitter only has three shapes; sqrt must at least land in a
+  // super-constant one (the Omega(W) reading).
+  const auto xs = xs_pow2(6);
+  std::vector<double> ys;
+  for (const double x : xs) ys.push_back(std::sqrt(x));
+  EXPECT_TRUE(is_super_constant(fit_growth_class(xs, ys).cls));
+}
+
+TEST(Fitter, ExpectationMatching) {
+  EXPECT_TRUE(matches(Expectation::kO1, GrowthClass::kConstant));
+  EXPECT_FALSE(matches(Expectation::kO1, GrowthClass::kLogarithmic));
+  EXPECT_TRUE(matches(Expectation::kThetaLogN, GrowthClass::kLogarithmic));
+  EXPECT_FALSE(matches(Expectation::kThetaLogN, GrowthClass::kLinear));
+  EXPECT_TRUE(matches(Expectation::kThetaN, GrowthClass::kLinear));
+  EXPECT_TRUE(matches(Expectation::kOmegaW, GrowthClass::kLogarithmic));
+  EXPECT_TRUE(matches(Expectation::kOmegaW, GrowthClass::kLinear));
+  EXPECT_FALSE(matches(Expectation::kOmegaW, GrowthClass::kConstant));
+}
+
+// ---- sweep grid ---------------------------------------------------------
+
+SweepSpec two_by_everything_spec() {
+  SweepSpec s;
+  s.name = "t";
+  s.models = {"dsm", "cc"};
+  s.algorithms = {"a", "b"};
+  s.ns = {8, 16};
+  s.seeds = {0, 1};
+  s.fault_plans = {"", "random:rate=0.01"};
+  return s;
+}
+
+TEST(Sweep, CanonicalOrderIsAlgorithmMajorFaultPlanMinor) {
+  const SweepSpec s = two_by_everything_spec();
+  ASSERT_EQ(s.grid_size(), 32u);
+  // First point: first value on every axis.
+  const SweepPoint p0 = s.point_at(0);
+  EXPECT_EQ(p0.algorithm, "a");
+  EXPECT_EQ(p0.model, "dsm");
+  EXPECT_EQ(p0.n, 8);
+  EXPECT_EQ(p0.seed, 0u);
+  EXPECT_EQ(p0.fault_plan, "");
+  EXPECT_EQ(p0.index, 0u);
+  // Fault plan is the minor axis.
+  EXPECT_EQ(s.point_at(1).fault_plan, "random:rate=0.01");
+  EXPECT_EQ(s.point_at(1).seed, 0u);
+  // Then seeds.
+  EXPECT_EQ(s.point_at(2).seed, 1u);
+  // Then N.
+  EXPECT_EQ(s.point_at(4).n, 16);
+  // Then model.
+  EXPECT_EQ(s.point_at(8).model, "cc");
+  // Algorithm is the major axis: the second half of the grid is all "b".
+  EXPECT_EQ(s.point_at(16).algorithm, "b");
+  EXPECT_EQ(s.point_at(31).algorithm, "b");
+  EXPECT_EQ(s.point_at(31).model, "cc");
+  EXPECT_EQ(s.point_at(31).n, 16);
+  EXPECT_EQ(s.point_at(31).seed, 1u);
+  EXPECT_EQ(s.point_at(31).fault_plan, "random:rate=0.01");
+}
+
+TEST(Sweep, CappedAtDropsLargeNsButKeepsMinPoints) {
+  SweepSpec s;
+  s.ns = {2, 8, 32, 128, 512};
+  const SweepSpec capped = s.capped_at(32);
+  EXPECT_EQ(capped.ns, (std::vector<int>{2, 8, 32}));
+  // Capping below the third-smallest still keeps three points for the
+  // fitter.
+  const SweepSpec tiny = s.capped_at(4);
+  EXPECT_EQ(tiny.ns, (std::vector<int>{2, 8, 32}));
+}
+
+MetricsRegistry synthetic_runner(const SweepPoint& p) {
+  MetricsRegistry reg;
+  // Deterministic values derived from the point's coordinates.
+  reg.set("cost", static_cast<double>(p.n) * (p.model == "cc" ? 1 : 2) +
+                      static_cast<double>(p.seed));
+  reg.add("points_run");
+  reg.series_append("trace", p.index, static_cast<double>(p.n));
+  return reg;
+}
+
+TEST(Sweep, ParallelMergeIsByteIdenticalAcrossWorkerCounts) {
+  const SweepSpec s = two_by_everything_spec();
+  BenchArtifact base;
+  std::string serial_json;
+  for (const int workers : {1, 2, 8}) {
+    const SweepResult r = run_sweep(s, synthetic_runner, workers);
+    ASSERT_EQ(r.points.size(), s.grid_size());
+    BenchArtifact a;
+    a.name = "t";
+    a.git = "pinned";  // exclude environment from the comparison
+    a.result = r;
+    const std::string json = artifact_to_json(a, /*include_wall_time=*/false);
+    if (workers == 1) {
+      serial_json = json;
+    } else {
+      EXPECT_EQ(json, serial_json) << "workers=" << workers;
+    }
+  }
+}
+
+TEST(Sweep, ExtractSeriesAveragesSeedsAndSkipsMissingMetric) {
+  SweepSpec s;
+  s.models = {"dsm"};
+  s.algorithms = {"a"};
+  s.ns = {8, 16};
+  s.seeds = {0, 2};
+  const SweepResult r = run_sweep(s, synthetic_runner, 1);
+  const ExtractedSeries es =
+      extract_series(r, SeriesSelector{"cost", "dsm", "a"});
+  ASSERT_EQ(es.xs, (std::vector<double>{8, 16}));
+  // Mean over seeds {0, 2}: 2n + 1.
+  EXPECT_DOUBLE_EQ(es.ys[0], 17.0);
+  EXPECT_DOUBLE_EQ(es.ys[1], 33.0);
+  const ExtractedSeries none =
+      extract_series(r, SeriesSelector{"absent", "dsm", "a"});
+  EXPECT_TRUE(none.xs.empty());
+}
+
+TEST(Sweep, FindPointMatchesAllAxes) {
+  const SweepSpec s = two_by_everything_spec();
+  const SweepResult r = run_sweep(s, synthetic_runner, 1);
+  const SweepPointResult* pr = find_point(r, "cc", "b", 16);
+  ASSERT_NE(pr, nullptr);
+  EXPECT_EQ(pr->point.model, "cc");
+  EXPECT_EQ(pr->point.algorithm, "b");
+  EXPECT_EQ(pr->point.n, 16);
+  EXPECT_EQ(pr->point.fault_plan, "");
+  EXPECT_EQ(find_point(r, "cc", "nope", 16), nullptr);
+  EXPECT_EQ(find_point(r, "cc", "b", 999), nullptr);
+  const SweepPointResult* faulty =
+      find_point(r, "dsm", "a", 8, "random:rate=0.01");
+  ASSERT_NE(faulty, nullptr);
+  EXPECT_EQ(faulty->point.fault_plan, "random:rate=0.01");
+}
+
+// ---- artifact writer ----------------------------------------------------
+
+TEST(Artifact, JsonIsSchemaVersionedAndOmitsWallTimeOnRequest) {
+  SweepSpec s;
+  s.name = "unit";
+  s.ns = {4};
+  BenchArtifact a;
+  a.name = "unit";
+  a.title = "quote\" in title";
+  a.generator = "harness_test";
+  a.git = "pinned";
+  a.result = run_sweep(s, synthetic_runner, 1);
+  const std::string with_time = artifact_to_json(a, true);
+  EXPECT_NE(with_time.find("\"schema_version\":1"), std::string::npos);
+  EXPECT_NE(with_time.find("\"wall_time_ms\":"), std::string::npos);
+  EXPECT_NE(with_time.find("\"workers\":"), std::string::npos);
+  EXPECT_NE(with_time.find("quote\\\" in title"), std::string::npos);
+  const std::string no_time = artifact_to_json(a, false);
+  EXPECT_EQ(no_time.find("wall_time_ms"), std::string::npos);
+  EXPECT_EQ(no_time.find("\"workers\""), std::string::npos);
+}
+
+TEST(Artifact, GitDescribeHonorsEnvOverride) {
+  ::setenv("RMRSIM_GIT_DESCRIBE", "v-test-override", 1);
+  EXPECT_EQ(git_describe(), "v-test-override");
+  ::unsetenv("RMRSIM_GIT_DESCRIBE");
+}
+
+// ---- drive.h factories --------------------------------------------------
+
+TEST(Drive, ModelFactoryKnowsEveryCliName) {
+  for (const char* name : {"dsm", "cc", "cc-wb", "cc-mesi", "cc-lfcu"}) {
+    EXPECT_TRUE(is_model_name(name)) << name;
+    EXPECT_NE(make_model_by_name(name, 4), nullptr) << name;
+  }
+  EXPECT_FALSE(is_model_name("numa"));
+  EXPECT_THROW(make_model_by_name("numa", 4), std::logic_error);
+}
+
+TEST(Drive, LockFactoryValidatesEagerly) {
+  for (const char* name : {"mcs", "ya", "anderson", "ticket", "tas", "clh",
+                           "bakery", "peterson", "recoverable"}) {
+    const LockFactory f = lock_factory_by_name(name);
+    auto mem = make_dsm(2);
+    EXPECT_NE(f(*mem), nullptr) << name;
+  }
+  EXPECT_THROW(lock_factory_by_name("spinlock-9000"), std::logic_error);
+  EXPECT_THROW(make_signal_factory_by_name("nope", 1), std::logic_error);
+}
+
+TEST(Drive, MutexWorkloadRunsCleanUnderEachScheduler) {
+  MutexRunOptions opt;
+  opt.model = "dsm";
+  opt.nprocs = 4;
+  opt.passages = 2;
+  opt.make_lock = lock_factory_by_name("mcs");
+  // Round-robin (seed 0).
+  MutexRunOutcome rr = run_mutex_workload(opt);
+  EXPECT_TRUE(rr.completed);
+  EXPECT_FALSE(rr.violation.has_value());
+  EXPECT_EQ(rr.passages_done, 8);
+  EXPECT_GT(rr.rmrs_per_passage, 0.0);
+  // Random scheduler.
+  opt.seed = 7;
+  EXPECT_TRUE(run_mutex_workload(opt).completed);
+  // Bounded-gap scheduler.
+  opt.gap_delta = 8;
+  EXPECT_TRUE(run_mutex_workload(opt).completed);
+}
+
+TEST(Drive, SeedSweepAggregates) {
+  MutexRunOptions opt;
+  opt.model = "cc";
+  opt.nprocs = 3;
+  opt.passages = 2;
+  opt.gap_delta = 8;
+  opt.max_steps = 10'000'000;
+  opt.make_lock = lock_factory_by_name("ticket");
+  const MutexSeedStats stats = run_mutex_seeds(opt, 1, 5);
+  EXPECT_EQ(stats.runs, 5);
+  EXPECT_EQ(stats.violations, 0);
+  EXPECT_EQ(stats.incomplete, 0);
+  EXPECT_GT(stats.mean_rmrs_per_passage, 0.0);
+}
+
+// ---- reduced experiment runs (the CI gate, in-process) ------------------
+
+TEST(Experiments, RegistryHasAllNineAndLookupWorks) {
+  EXPECT_EQ(all_experiments().size(), 9u);
+  ASSERT_NE(find_experiment("e5"), nullptr);
+  EXPECT_EQ(find_experiment("e5")->name, "e5");
+  EXPECT_EQ(find_experiment("e99"), nullptr);
+}
+
+TEST(Experiments, ReducedE1MatchesPaperClasses) {
+  ::setenv("RMRSIM_GIT_DESCRIBE", "test", 1);
+  const BenchArtifact a =
+      run_experiment(*find_experiment("e1"), 2, "harness_test", /*max_n=*/64);
+  ::unsetenv("RMRSIM_GIT_DESCRIBE");
+  EXPECT_TRUE(artifact_matches(a)) << render_fit_table(a);
+  EXPECT_FALSE(render_fit_table(a).empty());
+}
+
+TEST(Experiments, ReducedE2ForcesTheSeparation) {
+  const BenchArtifact a =
+      run_experiment(*find_experiment("e2"), 2, "harness_test", /*max_n=*/64);
+  EXPECT_TRUE(artifact_matches(a)) << render_fit_table(a);
+}
+
+TEST(Experiments, ReducedE5RecoversTheAnchors) {
+  const BenchArtifact a =
+      run_experiment(*find_experiment("e5"), 2, "harness_test", /*max_n=*/64);
+  EXPECT_TRUE(artifact_matches(a)) << render_fit_table(a);
+}
+
+}  // namespace
+}  // namespace rmrsim

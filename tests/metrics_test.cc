@@ -1,0 +1,181 @@
+// Tests for the metrics registry (counters, gauges, summaries, histograms,
+// series, merge, JSON shape) and the simulation publishers.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "memory/shared_memory.h"
+#include "metrics/publish.h"
+#include "metrics/registry.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+#include "trace/call_stats.h"
+
+namespace rmrsim {
+namespace {
+
+TEST(Registry, CountersAccumulateAndGaugesOverwrite) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  reg.add("a.count");
+  reg.add("a.count", 4);
+  EXPECT_EQ(reg.counter("a.count"), 5u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  reg.set("a.gauge", 1.5);
+  reg.set("a.gauge", 2.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("a.gauge"), 2.5);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(Registry, ValueViewMergesCountersAndGauges) {
+  MetricsRegistry reg;
+  reg.add("n", 7);
+  reg.set("g", 0.25);
+  EXPECT_TRUE(reg.has_value("n"));
+  EXPECT_TRUE(reg.has_value("g"));
+  EXPECT_FALSE(reg.has_value("absent"));
+  EXPECT_DOUBLE_EQ(reg.value("n"), 7.0);
+  EXPECT_DOUBLE_EQ(reg.value("g"), 0.25);
+  EXPECT_DOUBLE_EQ(reg.value("absent"), 0.0);
+  // Counters win a name clash.
+  reg.set("n", 99.0);
+  EXPECT_DOUBLE_EQ(reg.value("n"), 7.0);
+  const auto names = reg.value_names();
+  ASSERT_EQ(names.size(), 2u);  // clash reported once
+  EXPECT_EQ(names[0], "g");
+  EXPECT_EQ(names[1], "n");
+}
+
+TEST(Registry, SummariesTrackCountSumMinMax) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.summary("s"), nullptr);
+  reg.observe("s", 3.0);
+  reg.observe("s", -1.0);
+  reg.observe("s", 10.0);
+  const auto* s = reg.summary("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 3u);
+  EXPECT_DOUBLE_EQ(s->sum, 12.0);
+  EXPECT_DOUBLE_EQ(s->min, -1.0);
+  EXPECT_DOUBLE_EQ(s->max, 10.0);
+  EXPECT_DOUBLE_EQ(s->mean(), 4.0);
+}
+
+TEST(Registry, HistogramBucketsAreUpperBoundsPlusOverflow) {
+  MetricsRegistry reg;
+  const std::array<double, 3> bounds{1, 4, 16};
+  for (const double v : {0.0, 1.0, 2.0, 4.0, 5.0, 100.0}) {
+    reg.histogram_observe("h", bounds, v);
+  }
+  const auto* h = reg.histogram("h");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->counts.size(), 4u);
+  EXPECT_EQ(h->counts[0], 2u);  // <= 1: {0, 1}
+  EXPECT_EQ(h->counts[1], 2u);  // <= 4: {2, 4}
+  EXPECT_EQ(h->counts[2], 1u);  // <= 16: {5}
+  EXPECT_EQ(h->counts[3], 1u);  // +inf: {100}
+  EXPECT_EQ(h->total, 6u);
+}
+
+TEST(Registry, SeriesKeepAppendOrderAndLabels) {
+  MetricsRegistry reg;
+  reg.series_append("xy", 1, 10, "first");
+  reg.series_append("xy", 2, 20);
+  const auto* s = reg.series("xy");
+  ASSERT_NE(s, nullptr);
+  ASSERT_EQ(s->points.size(), 2u);
+  EXPECT_DOUBLE_EQ(s->points[0].x, 1);
+  EXPECT_DOUBLE_EQ(s->points[0].y, 10);
+  EXPECT_EQ(s->points[0].label, "first");
+  EXPECT_EQ(s->points[1].label, "");
+}
+
+TEST(Registry, MergeFromCombinesEverySection) {
+  MetricsRegistry a;
+  a.add("c", 1);
+  a.set("g", 1.0);
+  a.observe("s", 1.0);
+  a.series_append("xy", 1, 1);
+  MetricsRegistry b;
+  b.add("c", 2);
+  b.set("g", 2.0);
+  b.observe("s", 3.0);
+  b.series_append("xy", 2, 2);
+  a.merge_from(b);
+  EXPECT_EQ(a.counter("c"), 3u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 2.0);  // gauges: other wins
+  EXPECT_EQ(a.summary("s")->count, 2u);
+  EXPECT_EQ(a.series("xy")->points.size(), 2u);
+}
+
+TEST(Registry, ToJsonIsSortedAndOmitsEmptySections) {
+  MetricsRegistry reg;
+  reg.add("b", 2);
+  reg.add("a", 1);
+  reg.set("z", 0.5);
+  const std::string json = reg.to_json();
+  EXPECT_EQ(json,
+            "{\"metrics\":{\"a\":1,\"b\":2,\"z\":0.5}}");
+  reg.series_append("s", 1, 2, "L");
+  const std::string with_series = reg.to_json();
+  EXPECT_NE(with_series.find("\"series\":{\"s\":"), std::string::npos);
+  EXPECT_EQ(with_series.find("histograms"), std::string::npos);
+}
+
+TEST(Registry, FormatMetricNumberIsIntegerExactAndDeterministic) {
+  EXPECT_EQ(format_metric_number(0), "0");
+  EXPECT_EQ(format_metric_number(42), "42");
+  EXPECT_EQ(format_metric_number(-7), "-7");
+  EXPECT_EQ(format_metric_number(1e15), "1000000000000000");
+  EXPECT_EQ(format_metric_number(2.5), "2.5");
+  EXPECT_EQ(format_metric_number(1.0 / 3.0), format_metric_number(1.0 / 3.0));
+}
+
+TEST(Publish, SimulationPublishesLedgerAndHistory) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = 4;
+  opt.signaler_idle_polls = 16;
+  auto run = run_signaling_workload(
+      make_dsm(5),
+      [](SharedMemory& m) {
+        return std::make_unique<DsmRegistrationSignal>(m, 4);
+      },
+      opt);
+  MetricsRegistry reg;
+  publish_simulation(reg, *run.sim);
+  EXPECT_EQ(reg.counter("ledger.total_rmrs"),
+            run.sim->memory().ledger().total_rmrs());
+  EXPECT_EQ(reg.counter("history.steps"), run.sim->history().size());
+  EXPECT_EQ(reg.counter("history.participants"), 5u);
+  EXPECT_EQ(reg.counter("history.crashes"), 0u);
+  EXPECT_GT(reg.counter("sim.clock"), 0u);
+  // ledger.local_ops + ledger.total_rmrs == ledger.total_ops.
+  EXPECT_EQ(reg.counter("ledger.local_ops") + reg.counter("ledger.total_rmrs"),
+            reg.counter("ledger.total_ops"));
+}
+
+TEST(Publish, CallCostsAggregatePerCode) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = 3;
+  opt.signaler_idle_polls = 8;
+  auto run = run_signaling_workload(
+      make_dsm(4),
+      [](SharedMemory& m) {
+        return std::make_unique<DsmRegistrationSignal>(m, 3);
+      },
+      opt);
+  const auto costs = per_call_costs(run.sim->history());
+  MetricsRegistry reg;
+  publish_call_costs(reg, costs);
+  EXPECT_GT(reg.counter("calls.poll.count"), 0u);
+  EXPECT_EQ(reg.counter("calls.signal.count"), 1u);
+  EXPECT_EQ(reg.counter("calls.poll.count"),
+            reg.counter("calls.poll.completed"));
+  const auto* h = reg.histogram("calls.poll.rmrs_per_call");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->total, reg.counter("calls.poll.count"));
+}
+
+}  // namespace
+}  // namespace rmrsim

@@ -124,6 +124,172 @@ TEST(Export, JsonLinesParseableShape) {
   EXPECT_NE(json.find("\"event\":\"call_end\""), std::string::npos);
 }
 
+// ---- pathological call shapes (synthetic histories) --------------------
+
+StepRecord event_rec(ProcId p, EventKind e, Word code, Word value = 0) {
+  StepRecord r;
+  r.proc = p;
+  r.kind = StepRecord::Kind::kEvent;
+  r.event = e;
+  r.code = code;
+  r.value = value;
+  return r;
+}
+
+StepRecord mem_rec(ProcId p, bool rmr) {
+  StepRecord r;
+  r.proc = p;
+  r.kind = StepRecord::Kind::kMemOp;
+  r.op = MemOp::read(0);
+  r.outcome.rmr = rmr;
+  return r;
+}
+
+TEST(CallStats, NestedCallsAttributeToInnermostExclusively) {
+  History h;
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kAcquire));
+  h.append(mem_rec(0, true));  // outer, before the nested call
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kRecover));
+  h.append(mem_rec(0, true));   // inner
+  h.append(mem_rec(0, false));  // inner
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kRecover, 7));
+  h.append(mem_rec(0, true));  // outer again, after the nested call
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kAcquire, 1));
+  const auto costs = per_call_costs(h);
+  ASSERT_EQ(costs.size(), 2u);
+  const CallCost& outer = costs[0];
+  const CallCost& inner = costs[1];
+  ASSERT_EQ(outer.call_code, calls::kAcquire);
+  ASSERT_EQ(inner.call_code, calls::kRecover);
+  // Exclusive attribution: the inner call's steps never double-count
+  // into its parent.
+  EXPECT_EQ(outer.mem_steps, 2u);
+  EXPECT_EQ(outer.rmrs, 2u);
+  EXPECT_TRUE(outer.completed);
+  EXPECT_EQ(outer.returned, 1);
+  EXPECT_EQ(inner.mem_steps, 2u);
+  EXPECT_EQ(inner.rmrs, 1u);
+  EXPECT_TRUE(inner.completed);
+  EXPECT_EQ(inner.returned, 7);
+}
+
+TEST(CallStats, NeverEndingCallKeepsAccruedCosts) {
+  History h;
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(mem_rec(0, true));
+  h.append(mem_rec(0, true));
+  // History ends mid-call (e.g. the run hit its step budget).
+  const auto costs = per_call_costs(h);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_FALSE(costs[0].completed);
+  EXPECT_EQ(costs[0].mem_steps, 2u);
+  EXPECT_EQ(costs[0].rmrs, 2u);
+}
+
+TEST(CallStats, StepsOutsideAnyCallSpanAreIgnored) {
+  History h;
+  h.append(mem_rec(0, true));  // before any call
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(mem_rec(0, true));
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kPoll, 0));
+  h.append(mem_rec(0, true));  // between calls
+  // Another process's uncontained step must not leak into p0's call.
+  h.append(mem_rec(1, true));
+  const auto costs = per_call_costs(h);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_EQ(costs[0].proc, 0);
+  EXPECT_EQ(costs[0].mem_steps, 1u);
+  EXPECT_EQ(costs[0].rmrs, 1u);
+}
+
+TEST(CallStats, EndClosesInnermostMatchingCodeAndAbandonsNestedAbove) {
+  History h;
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kAcquire));
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(mem_rec(0, true));  // inside the nested poll
+  // The acquire ends while the nested poll is still open (a crash
+  // truncated the poll's end): the poll is closed unfinished.
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kAcquire, 1));
+  h.append(mem_rec(0, true));  // after both spans — unattributed
+  const auto costs = per_call_costs(h);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_TRUE(costs[0].completed);   // acquire
+  EXPECT_FALSE(costs[1].completed);  // poll, closed by the outer end
+  EXPECT_EQ(costs[1].rmrs, 1u);
+  EXPECT_EQ(costs[0].rmrs, 0u);
+  // An end with no matching begin is ignored outright.
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kRelease, 0));
+  EXPECT_EQ(per_call_costs(h).size(), 2u);
+}
+
+// ---- JSON escaping ------------------------------------------------------
+
+/// Minimal JSON string unescaper for round-trip checks (handles exactly the
+/// forms json_escape emits: \" \\ \b \f \n \r \t and \u00XX).
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\') {
+      out += s[i];
+      continue;
+    }
+    ++i;
+    switch (s[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        const int hi = std::stoi(s.substr(i + 1, 4), nullptr, 16);
+        out += static_cast<char>(hi);
+        i += 4;
+        break;
+      }
+      default: ADD_FAILURE() << "unknown escape \\" << s[i];
+    }
+  }
+  return out;
+}
+
+TEST(Export, JsonEscapeRoundTripsControlCharacters) {
+  const std::string nasty =
+      "quote\" backslash\\ newline\n tab\t cr\r bell\x07 nul-adjacent\x1f ok";
+  const std::string escaped = json_escape(nasty);
+  // The escaped form must contain no raw control characters and no
+  // unescaped quotes (a backslash-prefixed quote is fine).
+  char prev = '\0';
+  for (const char c : escaped) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+    if (c == '"') {
+      EXPECT_EQ(prev, '\\');
+    }
+    prev = c;
+  }
+  EXPECT_EQ(json_unescape(escaped), nasty);
+}
+
+TEST(Export, JsonLinesEscapeMarkPayloads) {
+  // A mark whose rendered text would break naive JSON output.
+  History h;
+  StepRecord r = event_rec(0, EventKind::kMark, 0);
+  h.append(r);
+  const std::string json = history_to_json_lines(h);
+  // Every line must stay one well-formed object: balanced quotes, no raw
+  // control characters.
+  for (const char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  std::size_t quotes = 0;
+  for (const char c : json) {
+    if (c == '"') ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
 TEST(Export, TimelineHasOneLanePerParticipant) {
   auto run = reg_run(3);
   const std::string lanes = history_timeline(run.sim->history(), 40);

@@ -19,26 +19,12 @@
 
 #include "common/table.h"
 #include "gme/session_gme.h"
+#include "harness/drive.h"
+#include "harness/experiments.h"
 #include "lowerbound/adversary.h"
-#include "memory/cc_model.h"
-#include "mutex/bakery_lock.h"
-#include "mutex/clh_lock.h"
 #include "mutex/mcs_lock.h"
-#include "mutex/recoverable_lock.h"
-#include "mutex/simple_locks.h"
-#include "mutex/ya_lock.h"
-#include "primitives/blocking_leader.h"
-#include "primitives/rw_cas_registration.h"
-#include "sched/fault.h"
 #include "sched/schedulers.h"
-#include "signaling/broken.h"
-#include "signaling/cas_registration.h"
-#include "signaling/cc_flag.h"
 #include "signaling/checker.h"
-#include "signaling/dsm_queue.h"
-#include "signaling/dsm_registration.h"
-#include "signaling/dsm_single_waiter.h"
-#include "signaling/llsc_registration.h"
 #include "signaling/workload.h"
 #include "trace/call_stats.h"
 #include "trace/export.h"
@@ -80,15 +66,11 @@ Args parse(int argc, char** argv, int first) {
   return a;
 }
 
+// Name → model/algorithm/lock construction lives in harness/drive.h,
+// shared with the sweep experiments and benches; unknown names throw and
+// are reported by main().
 std::unique_ptr<SharedMemory> make_model(const std::string& name, int nprocs) {
-  if (name == "dsm") return make_dsm(nprocs);
-  if (name == "cc") return make_cc(nprocs, CcPolicy::kWriteThrough);
-  if (name == "cc-wb") return make_cc(nprocs, CcPolicy::kWriteBack);
-  if (name == "cc-mesi") return make_cc(nprocs, CcPolicy::kMesi);
-  if (name == "cc-lfcu") return make_cc(nprocs, CcPolicy::kLfcu);
-  std::fprintf(stderr, "unknown model '%s' (dsm|cc|cc-wb|cc-mesi|cc-lfcu)\n",
-               name.c_str());
-  std::exit(2);
+  return make_model_by_name(name, nprocs);
 }
 
 // `fixed_home`: which process hosts the fixed-signaler state of the
@@ -96,68 +78,7 @@ std::unique_ptr<SharedMemory> make_model(const std::string& name, int nprocs) {
 // (nprocs-1); the adversary command uses a waiter (n-2) because the
 // Lemma 6.13 signaler must have an unwritten module.
 SignalingFactory make_signal_alg(const std::string& name, int fixed_home) {
-  if (name == "flag") {
-    return [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); };
-  }
-  if (name == "single-waiter") {
-    return [](SharedMemory& m) {
-      return std::make_unique<DsmSingleWaiterSignal>(m);
-    };
-  }
-  if (name == "registration") {
-    return [fixed_home](SharedMemory& m) {
-      return std::make_unique<DsmRegistrationSignal>(
-          m, static_cast<ProcId>(fixed_home));
-    };
-  }
-  if (name == "queue") {
-    return [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); };
-  }
-  if (name == "cas") {
-    return [](SharedMemory& m) {
-      return std::make_unique<CasRegistrationSignal>(m);
-    };
-  }
-  if (name == "llsc") {
-    return [](SharedMemory& m) {
-      return std::make_unique<LlscRegistrationSignal>(m);
-    };
-  }
-  if (name == "rw-cas") {
-    return [](SharedMemory& m) {
-      return std::make_unique<RwCasRegistrationSignal>(m);
-    };
-  }
-  if (name == "blocking-leader") {
-    return [](SharedMemory& m) {
-      return std::make_unique<DsmBlockingLeaderSignal>(m);
-    };
-  }
-  if (name == "broken") {
-    return [](SharedMemory& m) { return std::make_unique<BrokenLocalSignal>(m); };
-  }
-  std::fprintf(stderr,
-               "unknown algorithm '%s' (flag|single-waiter|registration|"
-               "queue|cas|llsc|rw-cas|blocking-leader|broken)\n",
-               name.c_str());
-  std::exit(2);
-}
-
-std::unique_ptr<MutexAlgorithm> make_lock(const std::string& name,
-                                          SharedMemory& mem) {
-  if (name == "mcs") return std::make_unique<McsLock>(mem);
-  if (name == "ya") return std::make_unique<YangAndersonLock>(mem);
-  if (name == "anderson") return std::make_unique<AndersonArrayLock>(mem);
-  if (name == "ticket") return std::make_unique<TicketLock>(mem);
-  if (name == "tas") return std::make_unique<TasLock>(mem);
-  if (name == "clh") return std::make_unique<ClhLock>(mem);
-  if (name == "bakery") return std::make_unique<BakeryLock>(mem);
-  if (name == "recoverable") return std::make_unique<RecoverableSpinLock>(mem);
-  std::fprintf(stderr,
-               "unknown lock '%s' "
-               "(mcs|ya|anderson|ticket|tas|clh|bakery|recoverable)\n",
-               name.c_str());
-  std::exit(2);
+  return make_signal_factory_by_name(name, fixed_home);
 }
 
 int cmd_signal(const Args& a) {
@@ -209,69 +130,31 @@ int cmd_signal(const Args& a) {
 }
 
 int cmd_mutex(const Args& a) {
-  const int nprocs = static_cast<int>(a.get_int("procs", 8));
-  const int passages = static_cast<int>(a.get_int("passages", 3));
-  const std::string lock_name = a.get("lock", "mcs");
-  auto mem = make_model(a.get("model", "dsm"), nprocs);
-  std::unique_ptr<MutexAlgorithm> lock = make_lock(lock_name, *mem);
-  std::vector<Program> programs;
-  // Recoverable locks get the crash-restartable worker (progress lives in
-  // shared memory, so a recovered program resumes where its done-counter
-  // says); plain locks keep the classic worker — under a fault plan they
-  // may wedge, which is the point of the comparison.
-  if (auto* rec = dynamic_cast<RecoverableMutexAlgorithm*>(lock.get())) {
-    std::vector<VarId> done;
-    for (int p = 0; p < nprocs; ++p) {
-      done.push_back(mem->allocate_global(0, "done"));
-    }
-    for (int p = 0; p < nprocs; ++p) {
-      programs.emplace_back([rec, dv = done[p], passages](ProcCtx& ctx) {
-        return recoverable_mutex_worker(ctx, rec, dv, passages);
-      });
-    }
-  } else {
-    MutexAlgorithm* l = lock.get();
-    for (int i = 0; i < nprocs; ++i) {
-      programs.emplace_back([l, passages](ProcCtx& ctx) {
-        return mutex_worker(ctx, l, passages);
-      });
-    }
-  }
-  Simulation sim(*mem, std::move(programs));
-  const std::uint64_t seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
-  std::unique_ptr<Scheduler> inner;
-  if (seed == 0) {
-    inner = std::make_unique<RoundRobinScheduler>();
-  } else {
-    inner = std::make_unique<RandomScheduler>(seed);
-  }
-  const std::string plan_spec = a.get("fault-plan", "");
+  MutexRunOptions opt;
+  opt.nprocs = static_cast<int>(a.get_int("procs", 8));
+  opt.passages = static_cast<int>(a.get_int("passages", 3));
+  opt.model = a.get("model", "dsm");
+  opt.make_lock = lock_factory_by_name(a.get("lock", "mcs"));
+  opt.seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
+  opt.fault_plan = a.get("fault-plan", "");
   // A crashed non-recoverable lock wedges forever; --max-steps bounds how
   // long we spin before reporting "completed NO".
-  const auto max_steps =
-      static_cast<std::uint64_t>(a.get_int("max-steps", 500'000'000));
-  Simulation::RunResult result{};
-  if (plan_spec.empty()) {
-    result = sim.run(*inner, max_steps);
-  } else {
-    FaultScheduler faulty(*inner, parse_fault_plan(plan_spec));
-    result = sim.run(faulty, max_steps);
-  }
-  const auto violation = check_mutual_exclusion(sim.history());
+  opt.max_steps = static_cast<std::uint64_t>(
+      a.get_int("max-steps", 500'000'000));
+  const MutexRunOutcome o = run_mutex_workload(opt);
   std::printf("lock %s, model %s, %d procs x %d passages\n",
-              lock->name().data(), mem->model().name().data(), nprocs,
-              passages);
+              o.world.lock->name().data(), o.world.mem->model().name().data(),
+              opt.nprocs, opt.passages);
   TextTable t;
   t.set_header({"metric", "value"});
-  t.add_row({"completed", result.all_terminated ? "yes" : "NO"});
-  t.add_row({"total RMRs", std::to_string(mem->ledger().total_rmrs())});
-  t.add_row({"RMRs/passage",
-             fixed(static_cast<double>(mem->ledger().total_rmrs()) /
-                   static_cast<double>(nprocs * passages))});
+  t.add_row({"completed", o.completed ? "yes" : "NO"});
+  t.add_row(
+      {"total RMRs", std::to_string(o.world.mem->ledger().total_rmrs())});
+  t.add_row({"RMRs/passage", fixed(o.rmrs_per_passage)});
   t.add_row({"mutual exclusion",
-             violation ? "VIOLATED: " + violation->what : "ok"});
-  if (!plan_spec.empty()) {
-    const CrashRunReport rep = analyze_crash_run(sim.history());
+             o.violation ? "VIOLATED: " + o.violation->what : "ok"});
+  if (!opt.fault_plan.empty()) {
+    const CrashRunReport rep = analyze_crash_run(o.world.sim->history());
     t.add_row({"crashes", std::to_string(rep.crashes)});
     t.add_row({"recoveries", std::to_string(rep.recoveries)});
     t.add_row({"failed recoveries", std::to_string(rep.failed_recoveries)});
@@ -279,7 +162,46 @@ int cmd_mutex(const Args& a) {
                std::to_string(rep.fifo_inversions)});
   }
   std::fputs(t.render().c_str(), stdout);
-  return violation || !result.all_terminated ? 1 : 0;
+  return o.violation || !o.completed ? 1 : 0;
+}
+
+int cmd_sweep(const Args& a) {
+  if (a.has("list")) {
+    TextTable t;
+    t.set_header({"name", "grid", "title"});
+    for (const Experiment& e : all_experiments()) {
+      t.add_row({e.name, std::to_string(e.spec.grid_size()) + " points",
+                 e.title});
+    }
+    std::fputs(t.render().c_str(), stdout);
+    return 0;
+  }
+  const std::string name = a.get("exp", "");
+  const Experiment* exp = find_experiment(name);
+  if (exp == nullptr) {
+    std::fprintf(stderr,
+                 "sweep needs --exp <e1..e9> (or --list); got '%s'\n",
+                 name.c_str());
+    return 2;
+  }
+  const int workers = static_cast<int>(a.get_int("workers", 1));
+  const int max_n = static_cast<int>(a.get_int("max-n", 0));
+  const BenchArtifact artifact =
+      run_experiment(*exp, workers, "rmrsim_cli sweep", max_n);
+  std::printf("experiment %s: %zu points, %d workers, %.1f ms\n%s\n",
+              exp->name.c_str(), artifact.result.points.size(),
+              artifact.result.workers, artifact.result.wall_ms,
+              exp->title.c_str());
+  std::fputs(render_fit_table(artifact).c_str(), stdout);
+  const std::string path = write_artifact(artifact, a.get("out", "."));
+  std::printf("wrote %s\n", path.c_str());
+  if (a.has("check") && !artifact_matches(artifact)) {
+    std::fprintf(stderr,
+                 "sweep --check: fitted class disagrees with the paper's "
+                 "claim (see MISMATCH rows)\n");
+    return 1;
+  }
+  return 0;
 }
 
 int cmd_adversary(const Args& a) {
@@ -387,30 +309,15 @@ int cmd_explore(const Args& a) {
     const int nprocs = static_cast<int>(a.get_int("procs", 2));
     const int passages = static_cast<int>(a.get_int("passages", 1));
     const std::string lock_name = a.get("lock", "tas");
-    make_lock(lock_name, *make_model(model, nprocs));  // validate names
+    // Validates the names before workers spawn.
+    const LockFactory factory = lock_factory_by_name(lock_name);
+    make_model(model, nprocs);
     build = [=]() {
       ExploreInstance inst;
       inst.mem = make_model(model, nprocs);
-      std::shared_ptr<MutexAlgorithm> lock{make_lock(lock_name, *inst.mem)};
-      std::vector<Program> programs;
-      if (auto* rec = dynamic_cast<RecoverableMutexAlgorithm*>(lock.get())) {
-        std::vector<VarId> done;
-        for (int p = 0; p < nprocs; ++p) {
-          done.push_back(inst.mem->allocate_global(0, "done"));
-        }
-        for (int p = 0; p < nprocs; ++p) {
-          programs.emplace_back([rec, dv = done[p], passages](ProcCtx& ctx) {
-            return recoverable_mutex_worker(ctx, rec, dv, passages);
-          });
-        }
-      } else {
-        for (int p = 0; p < nprocs; ++p) {
-          programs.emplace_back([l = lock.get(), passages](ProcCtx& ctx) {
-            return mutex_worker(ctx, l, passages);
-          });
-        }
-      }
-      inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+      std::shared_ptr<MutexAlgorithm> lock = factory(*inst.mem);
+      inst.sim = std::make_unique<Simulation>(
+          *inst.mem, make_mutex_programs(*inst.mem, lock, passages));
       inst.keepalive = lock;
       return inst;
     };
@@ -491,12 +398,13 @@ int cmd_explore(const Args& a) {
 
 void usage() {
   std::fputs(
-      "usage: rmrsim_cli <signal|mutex|adversary|gme|explore> "
+      "usage: rmrsim_cli <signal|mutex|adversary|gme|explore|sweep> "
       "[--key value ...]\n"
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
       "  mutex     --lock L --model M --procs N --passages K --seed S\n"
-      "            L: mcs|ya|anderson|ticket|tas|clh|bakery|recoverable\n"
+      "            L: mcs|ya|anderson|ticket|tas|clh|bakery|peterson|\n"
+      "               recoverable\n"
       "            [--fault-plan step:proc=P,n=N[,recover=R]\n"
       "                        | rmr:proc=P,n=N[,recover=R]\n"
       "                        | random:rate=F[,seed=S][,recover=R][,max=M]]\n"
@@ -510,7 +418,14 @@ void usage() {
       "            signal: --alg A --waiters N --polls P\n"
       "            mutex:  --lock L --procs N --passages K\n"
       "            model-checks every schedule class up to D macro steps;\n"
-      "            exits 1 iff a violation is found\n",
+      "            exits 1 iff a violation is found\n"
+      "  sweep     --exp e1..e9 [--workers W] [--out DIR] [--max-n N]\n"
+      "            [--check] [--list]\n"
+      "            runs the experiment's declarative grid on W threads\n"
+      "            (output is bit-identical for any W), writes\n"
+      "            BENCH_<exp>.json, and fits each series' growth class;\n"
+      "            --check exits 1 if a fit misses the paper's claim;\n"
+      "            --max-n caps the grid for quick CI runs\n",
       stderr);
 }
 
@@ -529,6 +444,7 @@ int main(int argc, char** argv) {
     if (cmd == "adversary") return cmd_adversary(args);
     if (cmd == "gme") return cmd_gme(args);
     if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "sweep") return cmd_sweep(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
