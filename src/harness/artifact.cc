@@ -111,13 +111,13 @@ std::string artifact_to_json(const BenchArtifact& artifact,
 }
 
 std::string write_artifact(const BenchArtifact& artifact,
-                           const std::string& dir) {
+                           const std::string& dir, bool include_wall_time) {
   std::string path = dir.empty() ? std::string(".") : dir;
   if (path.back() != '/') path += '/';
   path += "BENCH_" + artifact.name + ".json";
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   ensure(out.good(), "cannot open artifact file for writing");
-  out << artifact_to_json(artifact);
+  out << artifact_to_json(artifact, include_wall_time);
   out.close();
   ensure(out.good(), "artifact write failed");
   return path;

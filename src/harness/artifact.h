@@ -47,9 +47,12 @@ std::string artifact_to_json(const BenchArtifact& artifact,
                              bool include_wall_time = true);
 
 /// Writes `BENCH_<name>.json` under `dir` (default: current directory).
-/// Returns the path written. Throws on I/O failure.
+/// Returns the path written. Throws on I/O failure. `include_wall_time` =
+/// false writes the deterministic form (see artifact_to_json) that golden
+/// files are byte-compared against.
 std::string write_artifact(const BenchArtifact& artifact,
-                           const std::string& dir = ".");
+                           const std::string& dir = ".",
+                           bool include_wall_time = true);
 
 /// Current revision: $RMRSIM_GIT_DESCRIBE if set, else `git describe
 /// --always --dirty`, else "unknown".

@@ -96,7 +96,14 @@ FitReport fit_growth_class(std::span<const double> xs,
                            std::span<const double> ys) {
   ensure(xs.size() == ys.size(), "fit: xs and ys must have equal size");
   ensure(xs.size() >= 2, "fit: need at least 2 points");
-  ensure(std::is_sorted(xs.begin(), xs.end()), "fit: xs must be ascending");
+  // Strictly ascending: duplicate xs make the least-squares denominator
+  // (n*sxx - sx*sx) collapse toward zero, so the slope silently fits 0 and a
+  // jittery series misclassifies as O(1). Callers dedupe (extract_series
+  // already merges repeated Ns) before fitting.
+  ensure(std::adjacent_find(xs.begin(), xs.end(),
+                            [](double a, double b) { return a >= b; }) ==
+             xs.end(),
+         "fit: xs must be strictly ascending (no duplicate x values)");
 
   std::vector<double> y(ys.begin(), ys.end());
   for (double& v : y) v = std::max(v, kEps);

@@ -88,6 +88,10 @@ ExtractedSeries extract_series(const SweepResult& result,
   ExtractedSeries out;
   std::vector<int> ns = result.spec.ns;
   std::sort(ns.begin(), ns.end());
+  // A grid that repeats an N (easy to do by hand-editing a spec) must not
+  // produce duplicate x values: the fitter rejects them, and pre-dedupe each
+  // repeat double-counted the same grid points into the mean anyway.
+  ns.erase(std::unique(ns.begin(), ns.end()), ns.end());
   for (const int n : ns) {
     double sum = 0;
     int count = 0;

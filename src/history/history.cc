@@ -44,31 +44,86 @@ std::string StepRecord::to_string() const {
   return out;
 }
 
-void History::append(StepRecord record) {
-  record.index = static_cast<std::int64_t>(records_.size());
-  records_.push_back(std::move(record));
+void History::require_full(const char* what) const {
+  ensure(mode_ == HistoryMode::kFull,
+         std::string(what) + " requires a full history (HistoryMode::kFull); "
+                             "this history records counters only");
+}
+
+void History::set_mode(HistoryMode mode) {
+  ensure(size_ == 0, "history mode can only change while the history is "
+                     "empty (counters cannot be rehydrated into records)");
+  mode_ = mode;
+}
+
+const std::vector<StepRecord>& History::records() const {
+  require_full("records()");
+  return records_;
+}
+
+History::ProcCounters& History::counters_for(ProcId p) {
+  const auto idx = static_cast<std::size_t>(p);
+  if (idx >= per_proc_.size()) per_proc_.resize(idx + 1);
+  return per_proc_[idx];
+}
+
+void History::fold_into_counters(const StepRecord& r) {
+  ProcCounters& c = counters_for(r.proc);
+  ++c.steps;
+  ++size_;
+  if (r.terminated_after) c.finished = true;
+  if (r.kind == StepRecord::Kind::kMemOp) {
+    ++c.mem_steps;
+    if (r.outcome.rmr) {
+      ++c.rmrs;
+      ++total_rmrs_;
+    }
+    if (r.op.type == OpType::kLl || r.op.type == OpType::kSc) {
+      saw_ll_sc_ = true;
+    }
+  } else {
+    if (r.event == EventKind::kCrash) ++crash_events_;
+    if (r.event == EventKind::kRecover) ++recovery_events_;
+  }
+}
+
+const StepRecord& History::append(StepRecord record) {
+  record.index = static_cast<std::int64_t>(size_);
+  fold_into_counters(record);
+  if (mode_ == HistoryMode::kFull) {
+    records_.push_back(std::move(record));
+    return records_.back();
+  }
+  scratch_ = std::move(record);
+  return scratch_;
+}
+
+void History::rebuild_counters() {
+  per_proc_.clear();
+  size_ = 0;
+  total_rmrs_ = 0;
+  crash_events_ = 0;
+  recovery_events_ = 0;
+  saw_ll_sc_ = false;
+  for (const StepRecord& r : records_) fold_into_counters(r);
 }
 
 std::vector<ProcId> History::participants() const {
   std::vector<ProcId> out;
-  for (const StepRecord& r : records_) {
-    if (std::find(out.begin(), out.end(), r.proc) == out.end()) {
-      out.push_back(r.proc);
-    }
+  for (std::size_t p = 0; p < per_proc_.size(); ++p) {
+    if (per_proc_[p].steps > 0) out.push_back(static_cast<ProcId>(p));
   }
-  std::sort(out.begin(), out.end());
   return out;
 }
 
 bool History::participated(ProcId p) const {
-  return std::any_of(records_.begin(), records_.end(),
-                     [p](const StepRecord& r) { return r.proc == p; });
+  const auto idx = static_cast<std::size_t>(p);
+  return idx < per_proc_.size() && per_proc_[idx].steps > 0;
 }
 
 bool History::is_finished(ProcId p) const {
-  return std::any_of(records_.begin(), records_.end(), [p](const StepRecord& r) {
-    return r.proc == p && r.terminated_after;
-  });
+  const auto idx = static_cast<std::size_t>(p);
+  return idx < per_proc_.size() && per_proc_[idx].finished;
 }
 
 std::vector<ProcId> History::finished() const {
@@ -88,6 +143,7 @@ std::vector<ProcId> History::active() const {
 }
 
 bool History::sees(ProcId p, ProcId q) const {
+  require_full("sees()");
   return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
     return r.proc == p && r.kind == StepRecord::Kind::kMemOp &&
            reads_value(r.op.type) && r.outcome.prev_writer == q;
@@ -95,6 +151,7 @@ bool History::sees(ProcId p, ProcId q) const {
 }
 
 bool History::seen_by_other(ProcId q) const {
+  require_full("seen_by_other()");
   return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
     return r.proc != q && r.kind == StepRecord::Kind::kMemOp &&
            reads_value(r.op.type) && r.outcome.prev_writer == q;
@@ -102,18 +159,21 @@ bool History::seen_by_other(ProcId q) const {
 }
 
 bool History::touches(ProcId p, ProcId q) const {
+  require_full("touches()");
   return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
     return r.proc == p && r.kind == StepRecord::Kind::kMemOp && r.var_home == q;
   });
 }
 
 bool History::touched_by_other(ProcId q) const {
+  require_full("touched_by_other()");
   return std::any_of(records_.begin(), records_.end(), [&](const StepRecord& r) {
     return r.proc != q && r.kind == StepRecord::Kind::kMemOp && r.var_home == q;
   });
 }
 
 bool History::is_regular() const {
+  require_full("is_regular()");
   // Conditions 1 and 2 of Definition 6.6, quantified over *participants*
   // (a non-participant owning a touched module is outside the definition).
   for (const StepRecord& r : records_) {
@@ -145,37 +205,28 @@ bool History::is_regular() const {
 }
 
 std::uint64_t History::rmrs(ProcId p) const {
-  std::uint64_t n = 0;
-  for (const StepRecord& r : records_) {
-    if (r.proc == p && r.kind == StepRecord::Kind::kMemOp && r.outcome.rmr) ++n;
-  }
-  return n;
+  const auto idx = static_cast<std::size_t>(p);
+  return idx < per_proc_.size() ? per_proc_[idx].rmrs : 0;
 }
 
-std::uint64_t History::total_rmrs() const {
-  std::uint64_t n = 0;
-  for (const StepRecord& r : records_) {
-    if (r.kind == StepRecord::Kind::kMemOp && r.outcome.rmr) ++n;
-  }
-  return n;
-}
+std::uint64_t History::total_rmrs() const { return total_rmrs_; }
 
 std::uint64_t History::mem_steps(ProcId p) const {
-  std::uint64_t n = 0;
-  for (const StepRecord& r : records_) {
-    if (r.proc == p && r.kind == StepRecord::Kind::kMemOp) ++n;
-  }
-  return n;
+  const auto idx = static_cast<std::size_t>(p);
+  return idx < per_proc_.size() ? per_proc_[idx].mem_steps : 0;
 }
 
 void History::remove_proc(ProcId p) {
+  require_full("remove_proc()");
   std::erase_if(records_, [p](const StepRecord& r) { return r.proc == p; });
   for (std::size_t i = 0; i < records_.size(); ++i) {
     records_[i].index = static_cast<std::int64_t>(i);
   }
+  rebuild_counters();
 }
 
 std::vector<VarId> History::vars_written_by(ProcId p) const {
+  require_full("vars_written_by()");
   std::vector<VarId> out;
   for (const StepRecord& r : records_) {
     if (r.proc == p && r.kind == StepRecord::Kind::kMemOp &&
@@ -188,6 +239,7 @@ std::vector<VarId> History::vars_written_by(ProcId p) const {
 }
 
 ProcId History::last_writer(VarId v) const {
+  require_full("last_writer()");
   ProcId w = kNoProc;
   for (const StepRecord& r : records_) {
     if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
@@ -199,6 +251,7 @@ ProcId History::last_writer(VarId v) const {
 }
 
 std::vector<ProcId> History::writers_of(VarId v) const {
+  require_full("writers_of()");
   std::vector<ProcId> out;
   for (const StepRecord& r : records_) {
     if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
@@ -212,6 +265,7 @@ std::vector<ProcId> History::writers_of(VarId v) const {
 
 std::optional<std::pair<Word, ProcId>> History::last_write_excluding(
     VarId v, ProcId exclude) const {
+  require_full("last_write_excluding()");
   std::optional<std::pair<Word, ProcId>> out;
   for (const StepRecord& r : records_) {
     if (r.kind == StepRecord::Kind::kMemOp && r.op.var == v &&
@@ -222,14 +276,10 @@ std::optional<std::pair<Word, ProcId>> History::last_write_excluding(
   return out;
 }
 
-bool History::uses_ll_sc() const {
-  return std::any_of(records_.begin(), records_.end(), [](const StepRecord& r) {
-    return r.kind == StepRecord::Kind::kMemOp &&
-           (r.op.type == OpType::kLl || r.op.type == OpType::kSc);
-  });
-}
+bool History::uses_ll_sc() const { return saw_ll_sc_; }
 
 bool History::module_written(ProcId p) const {
+  require_full("module_written()");
   return std::any_of(records_.begin(), records_.end(), [p](const StepRecord& r) {
     return r.kind == StepRecord::Kind::kMemOp && r.outcome.nontrivial &&
            r.var_home == p;
@@ -256,6 +306,7 @@ Word written_value(const StepRecord& r) {
 }
 
 std::string History::to_string() const {
+  require_full("to_string()");
   std::string out;
   for (const StepRecord& r : records_) {
     out += r.to_string();

@@ -6,6 +6,17 @@
 // processes are invisible (erasable under Lemma 6.7) and to certify that each
 // constructed history is regular. Tests use them to validate the proof's
 // invariants (Definition 6.9) on real executions.
+//
+// Two recording modes (DESIGN.md, "Step-loop performance model"):
+//  - kFull (default): every step is stored; all queries are available.
+//  - kCountersOnly: per-step records are dropped and only aggregate counters
+//    are kept (steps, per-proc mem-steps/RMRs/finished flags, crash and
+//    recovery event counts, LL/SC usage). Opt-in for benches and exhaustive
+//    exploration where only ledger-grade aggregates are consumed; the
+//    record-backed relations (sees/touches/regularity/erasure support) throw.
+// The counters are maintained in *both* modes and produce values identical to
+// the record scans they replace, so switching the counter-backed queries over
+// is invisible to results.
 #pragma once
 
 #include <cstdint>
@@ -17,13 +28,29 @@
 
 namespace rmrsim {
 
+enum class HistoryMode {
+  kFull,          ///< record every step (default)
+  kCountersOnly,  ///< aggregates only; per-step records are dropped
+};
+
 class History {
  public:
-  void append(StepRecord record);
+  /// Records one step and returns a reference to the recorded form (stable
+  /// until the next append). In counters-only mode the record is folded into
+  /// the counters and the returned reference points at an internal scratch
+  /// slot instead of a stored record.
+  const StepRecord& append(StepRecord record);
 
-  const std::vector<StepRecord>& records() const { return records_; }
-  std::size_t size() const { return records_.size(); }
-  bool empty() const { return records_.empty(); }
+  /// Recording mode control. Switching modes is only allowed while empty —
+  /// counters cannot be rehydrated into records.
+  HistoryMode mode() const { return mode_; }
+  void set_mode(HistoryMode mode);
+
+  /// Stored records; requires kFull mode.
+  const std::vector<StepRecord>& records() const;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// Par(H): processes that take at least one step.
   std::vector<ProcId> participants() const;
@@ -61,13 +88,18 @@ class History {
   /// Memory-op steps taken by p.
   std::uint64_t mem_steps(ProcId p) const;
 
+  /// Crash / recovery events recorded so far (EventKind::kCrash / kRecover).
+  std::uint64_t crash_events() const { return crash_events_; }
+  std::uint64_t recovery_events() const { return recovery_events_; }
+
   /// Renders the history one step per line (diagnostics).
   std::string to_string() const;
 
   // ---- erasure support (Lemma 6.7) ----------------------------------
 
-  /// Drops every record of `p` and renumbers the remaining records. Sound
-  /// exactly when p was invisible (!seen_by_other(p)); callers check.
+  /// Drops every record of `p`, renumbers the remaining records, and
+  /// rebuilds the aggregate counters from what is left. Sound exactly when
+  /// p was invisible (!seen_by_other(p)); callers check. Requires kFull.
   void remove_proc(ProcId p);
 
   /// Variables `p` overwrote at least once.
@@ -96,7 +128,29 @@ class History {
   bool module_written(ProcId p) const;
 
  private:
-  std::vector<StepRecord> records_;
+  struct ProcCounters {
+    std::uint64_t steps = 0;
+    std::uint64_t mem_steps = 0;
+    std::uint64_t rmrs = 0;
+    bool finished = false;
+  };
+
+  void require_full(const char* what) const;
+  ProcCounters& counters_for(ProcId p);
+  void fold_into_counters(const StepRecord& r);
+  void rebuild_counters();
+
+  HistoryMode mode_ = HistoryMode::kFull;
+  std::vector<StepRecord> records_;  // empty in counters-only mode
+  StepRecord scratch_;               // append()'s return slot when not storing
+
+  // Aggregates, maintained in both modes (indexed by ProcId, grown lazily).
+  std::vector<ProcCounters> per_proc_;
+  std::size_t size_ = 0;
+  std::uint64_t total_rmrs_ = 0;
+  std::uint64_t crash_events_ = 0;
+  std::uint64_t recovery_events_ = 0;
+  bool saw_ll_sc_ = false;
 };
 
 /// The value a nontrivial memory-op record stored into its variable.

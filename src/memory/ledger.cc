@@ -41,6 +41,13 @@ std::uint64_t RmrLedger::max_rmrs() const {
 void RmrLedger::forget(ProcId p) {
   ensure(p >= 0 && p < nprocs(), "process id out of range");
   Counters& c = per_proc_[static_cast<std::size_t>(p)];
+  // The per-proc counters are only ever grown by record() and zeroed here or
+  // in reset(), so the totals must still cover them; if they don't, a caller
+  // has corrupted the ledger and subtracting would underflow the unsigned
+  // totals into garbage RMR counts. Zeroed counters make a second forget()
+  // (or one after reset()) a no-op rather than an underflow.
+  ensure(total_ops_ >= c.ops && total_rmrs_ >= c.rmrs,
+         "ledger totals out of sync with per-proc counters in forget()");
   total_ops_ -= c.ops;
   total_rmrs_ -= c.rmrs;
   c = Counters{};

@@ -1,12 +1,14 @@
 #include "memory/store.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/check.h"
 
 namespace rmrsim {
 
-MemoryStore::MemoryStore(int nprocs) : nprocs_(nprocs) {
+MemoryStore::MemoryStore(int nprocs)
+    : nprocs_(nprocs), mask_words_((nprocs + 63) / 64) {
   ensure(nprocs > 0, "store needs at least one processor");
 }
 
@@ -19,6 +21,10 @@ VarId MemoryStore::allocate(Word initial, ProcId home, std::string name) {
   s.home = home;
   s.name = std::move(name);
   slots_.push_back(std::move(s));
+  writers_bits_.resize(slots_.size() * static_cast<std::size_t>(mask_words_),
+                       0);
+  reservation_bits_.resize(
+      slots_.size() * static_cast<std::size_t>(mask_words_), 0);
   return static_cast<VarId>(slots_.size() - 1);
 }
 
@@ -32,13 +38,61 @@ const MemoryStore::Slot& MemoryStore::slot(VarId v) const {
   return slots_[static_cast<std::size_t>(v)];
 }
 
+std::uint64_t* MemoryStore::writer_mask(VarId v) {
+  return writers_bits_.data() +
+         static_cast<std::size_t>(v) * static_cast<std::size_t>(mask_words_);
+}
+
+const std::uint64_t* MemoryStore::writer_mask(VarId v) const {
+  return writers_bits_.data() +
+         static_cast<std::size_t>(v) * static_cast<std::size_t>(mask_words_);
+}
+
+std::uint64_t* MemoryStore::reservation_mask(VarId v) {
+  return reservation_bits_.data() +
+         static_cast<std::size_t>(v) * static_cast<std::size_t>(mask_words_);
+}
+
+const std::uint64_t* MemoryStore::reservation_mask(VarId v) const {
+  return reservation_bits_.data() +
+         static_cast<std::size_t>(v) * static_cast<std::size_t>(mask_words_);
+}
+
+bool MemoryStore::mask_test(const std::uint64_t* m, ProcId p) {
+  return (m[p >> 6] >> (p & 63)) & 1u;
+}
+
+void MemoryStore::mask_set(std::uint64_t* m, ProcId p) {
+  m[p >> 6] |= std::uint64_t{1} << (p & 63);
+}
+
+void MemoryStore::mask_clear(std::uint64_t* m, ProcId p) {
+  m[p >> 6] &= ~(std::uint64_t{1} << (p & 63));
+}
+
+bool MemoryStore::any_reservation(VarId v) const {
+  const std::uint64_t* m = reservation_mask(v);
+  for (int w = 0; w < mask_words_; ++w) {
+    if (m[w] != 0) return true;
+  }
+  return false;
+}
+
+void MemoryStore::clear_slot_reservations(VarId v) {
+  std::uint64_t* m = reservation_mask(v);
+  for (int w = 0; w < mask_words_; ++w) m[w] = 0;
+}
+
 ProcId MemoryStore::home(VarId v) const { return slot(v).home; }
 Word MemoryStore::value(VarId v) const { return slot(v).value; }
 Word MemoryStore::initial(VarId v) const { return slot(v).initial; }
 ProcId MemoryStore::last_writer(VarId v) const { return slot(v).last_writer; }
 
 int MemoryStore::distinct_writers(VarId v) const {
-  return static_cast<int>(slot(v).writers.size());
+  const std::uint64_t* m = writer_mask(v);
+  int count = 0;
+  for (int w = 0; w < mask_words_; ++w) count += std::popcount(m[w]);
+  return count;
 }
 
 const std::string& MemoryStore::name(VarId v) const { return slot(v).name; }
@@ -62,22 +116,19 @@ bool MemoryStore::would_write(ProcId p, const MemOp& op) const {
     case OpType::kCas:
       return s.value == op.arg0;
     case OpType::kSc:
-      return std::find(s.reservations.begin(), s.reservations.end(), p) !=
-             s.reservations.end();
+      return mask_test(reservation_mask(op.var), p);
   }
   fail("unknown op type");
 }
 
-void MemoryStore::note_write(Slot& s, ProcId p) {
+void MemoryStore::note_write(VarId v, Slot& s, ProcId p) {
   s.last_writer = p;
-  if (std::find(s.writers.begin(), s.writers.end(), p) == s.writers.end()) {
-    s.writers.push_back(p);
-  }
+  mask_set(writer_mask(v), p);
   // An overwrite invalidates every other process's LL reservation on this
   // variable; the writer's own reservation also dies (standard LL/SC: SC
   // succeeds at most once per LL, and an intervening write by anyone clears
   // reservations).
-  s.reservations.clear();
+  clear_slot_reservations(v);
 }
 
 MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
@@ -91,31 +142,25 @@ MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
       break;
     case OpType::kWrite:
       r.result = op.arg0;
-      note_write(s, p);
+      note_write(op.var, s, p);
       s.value = op.arg0;
       r.wrote = true;
       break;
     case OpType::kCas:
       r.result = s.value;
       if (s.value == op.arg0) {
-        note_write(s, p);
+        note_write(op.var, s, p);
         s.value = op.arg1;
         r.wrote = true;
       }
       break;
     case OpType::kLl:
       r.result = s.value;
-      if (std::find(s.reservations.begin(), s.reservations.end(), p) ==
-          s.reservations.end()) {
-        s.reservations.push_back(p);
-      }
+      mask_set(reservation_mask(op.var), p);
       break;
     case OpType::kSc: {
-      const bool reserved =
-          std::find(s.reservations.begin(), s.reservations.end(), p) !=
-          s.reservations.end();
-      if (reserved) {
-        note_write(s, p);
+      if (mask_test(reservation_mask(op.var), p)) {
+        note_write(op.var, s, p);
         s.value = op.arg0;
         r.wrote = true;
         r.result = 1;
@@ -126,20 +171,20 @@ MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
     }
     case OpType::kFaa:
       r.result = s.value;
-      note_write(s, p);
+      note_write(op.var, s, p);
       s.value += op.arg0;
       r.wrote = true;
       break;
     case OpType::kFas:
       r.result = s.value;
-      note_write(s, p);
+      note_write(op.var, s, p);
       s.value = op.arg0;
       r.wrote = true;
       break;
     case OpType::kTas:
       r.result = s.value;
       if (s.value == 0) {
-        note_write(s, p);
+        note_write(op.var, s, p);
         s.value = 1;
         r.wrote = true;
       }
@@ -155,18 +200,33 @@ void MemoryStore::poke(VarId v, Word value, ProcId last_writer) {
 }
 
 void MemoryStore::forget_writer(VarId v, ProcId p) {
-  Slot& s = slot(v);
-  s.writers.erase(std::remove(s.writers.begin(), s.writers.end(), p),
-                  s.writers.end());
+  ensure(v >= 0 && v < num_vars(), "variable id out of range");
+  mask_clear(writer_mask(v), p);
+}
+
+void MemoryStore::clear_reservations(ProcId p) {
+  ensure(p >= 0 && p < nprocs_, "process id out of range");
+  const int word = p >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (p & 63);
+  for (std::size_t base = static_cast<std::size_t>(word);
+       base < reservation_bits_.size();
+       base += static_cast<std::size_t>(mask_words_)) {
+    reservation_bits_[base] &= ~bit;
+  }
+}
+
+bool MemoryStore::has_reservation(ProcId p, VarId v) const {
+  ensure(v >= 0 && v < num_vars(), "variable id out of range");
+  return mask_test(reservation_mask(v), p);
 }
 
 void MemoryStore::reset() {
   for (Slot& s : slots_) {
     s.value = s.initial;
     s.last_writer = kNoProc;
-    s.writers.clear();
-    s.reservations.clear();
   }
+  std::fill(writers_bits_.begin(), writers_bits_.end(), 0);
+  std::fill(reservation_bits_.begin(), reservation_bits_.end(), 0);
 }
 
 }  // namespace rmrsim

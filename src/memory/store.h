@@ -6,11 +6,20 @@
 // applies primitive semantics but knows nothing about pricing; the CostModel
 // (DSM or CC) classifies each access as local or RMR.
 //
+// Per-variable process sets (distinct writers, LL reservations) are stored as
+// process bitmasks — `mask_words()` 64-bit words per variable in two flat
+// arrays — so membership tests are O(1) and distinct_writers is a popcount,
+// replacing the std::find scans the step loop used to pay per memory op
+// (DESIGN.md, "Step-loop performance model"). Grids drive the simulator well
+// past 64 processes (E1 sweeps to N=1024), hence multi-word masks rather than
+// a single uint64_t.
+//
 // The store is fully resettable: reset() restores every variable to its
 // initial value and clears reservations, which is what makes the lower-bound
 // adversary's erasure-by-replay exact (DESIGN.md Section 4, item 5).
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -82,23 +91,48 @@ class MemoryStore {
   /// Removes `p` from `v`'s distinct-writer set (erasure bookkeeping).
   void forget_writer(VarId v, ProcId p);
 
+  /// Drops every LL reservation held by `p`, on every variable. A crash
+  /// destroys the processor's reservation state (the link register does not
+  /// survive a failure), and an erased process never existed — both paths
+  /// must call this or a recovered process's SC could succeed without a
+  /// fresh LL.
+  void clear_reservations(ProcId p);
+
+  /// Does `p` currently hold a valid LL reservation on `v`? Checker and
+  /// test access; not a process step.
+  bool has_reservation(ProcId p, VarId v) const;
+
  private:
   struct Slot {
     Word value = 0;
     Word initial = 0;
     ProcId home = kNoProc;
     ProcId last_writer = kNoProc;
-    std::vector<ProcId> writers;       // distinct writers, small in practice
-    std::vector<ProcId> reservations;  // procs holding a valid LL reservation
     std::string name;
   };
 
   Slot& slot(VarId v);
   const Slot& slot(VarId v) const;
-  void note_write(Slot& s, ProcId p);
+
+  // Bitmask plumbing: variable v's process set occupies words
+  // [v * mask_words_, (v + 1) * mask_words_) of the flat array.
+  std::uint64_t* writer_mask(VarId v);
+  const std::uint64_t* writer_mask(VarId v) const;
+  std::uint64_t* reservation_mask(VarId v);
+  const std::uint64_t* reservation_mask(VarId v) const;
+  static bool mask_test(const std::uint64_t* m, ProcId p);
+  static void mask_set(std::uint64_t* m, ProcId p);
+  static void mask_clear(std::uint64_t* m, ProcId p);
+  bool any_reservation(VarId v) const;
+  void clear_slot_reservations(VarId v);
+
+  void note_write(VarId v, Slot& s, ProcId p);
 
   int nprocs_;
+  int mask_words_;
   std::vector<Slot> slots_;
+  std::vector<std::uint64_t> writers_bits_;      // mask_words_ words per var
+  std::vector<std::uint64_t> reservation_bits_;  // mask_words_ words per var
 };
 
 }  // namespace rmrsim

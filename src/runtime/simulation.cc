@@ -11,12 +11,14 @@ Simulation::Simulation(SharedMemory& memory, std::vector<Program> programs,
   ensure(static_cast<int>(programs_.size()) <= memory.nprocs(),
          "more programs than processors");
   procs_.reserve(programs_.size());
+  schedule_.reserve(1024);
   for (std::size_t i = 0; i < programs_.size(); ++i) {
     Proc p;
     p.ctx = std::make_unique<ProcCtx>(static_cast<ProcId>(i), memory.nprocs());
     if (programs_[i]) {
       p.task = programs_[i](*p.ctx);
       p.started = true;
+      ++unfinished_;
     } else {
       p.finished = true;
     }
@@ -31,6 +33,7 @@ Simulation::Simulation(SharedMemory& memory, std::vector<Program> programs,
     if (p.task.done()) {
       p.task.rethrow_if_error();
       p.finished = true;
+      --unfinished_;
       p.ctx->mark_finished();
     } else {
       arm_delay(p);
@@ -70,12 +73,7 @@ bool Simulation::runnable(ProcId p) const {
 }
 bool Simulation::terminated(ProcId p) const { return proc(p).finished; }
 
-bool Simulation::all_terminated() const {
-  for (const Proc& p : procs_) {
-    if (!p.finished) return false;
-  }
-  return true;
-}
+bool Simulation::all_terminated() const { return unfinished_ == 0; }
 
 const PendingAction& Simulation::pending(ProcId p) const {
   return proc(p).ctx->pending();
@@ -95,7 +93,9 @@ const StepRecord& Simulation::step(ProcId p) {
   Proc& pr = proc(p);
   ensure(!pr.finished, "stepping a terminated process");
   ensure(!pr.crashed, "stepping a crashed process (recover it first)");
-  const PendingAction a = pr.ctx->pending();
+  // Safe by reference: every field is read before the resume_* call that
+  // overwrites the pending slot.
+  const PendingAction& a = pr.ctx->pending();
 
   StepRecord rec;
   rec.proc = p;
@@ -145,6 +145,7 @@ const StepRecord& Simulation::step(ProcId p) {
   if (pr.task.done()) {
     pr.task.rethrow_if_error();
     pr.finished = true;
+    --unfinished_;
     pr.ctx->mark_finished();
     rec.terminated_after = true;
   } else {
@@ -152,8 +153,7 @@ const StepRecord& Simulation::step(ProcId p) {
   }
   ++pr.steps;
   schedule_.push_back(p);
-  history_.append(std::move(rec));
-  return history_.records().back();
+  return history_.append(std::move(rec));
 }
 
 Simulation::MacroFootprint Simulation::macro_step(ProcId p) {
@@ -232,6 +232,9 @@ void Simulation::crash(ProcId p) {
   ++pr.crashes;
   pr.ctx->mark_crashed();
   memory_->model().on_crash(p);
+  // The link register does not survive a failure: any LL reservation p held
+  // dies with the crash, so a post-recovery SC must fail until a fresh LL.
+  memory_->store().clear_reservations(p);
   fault_trace_.push_back(
       {FaultRecord::Kind::kCrash, p, schedule_.size()});
   StepRecord rec;
@@ -263,6 +266,7 @@ void Simulation::recover(ProcId p) {
   if (pr.task.done()) {
     pr.task.rethrow_if_error();
     pr.finished = true;
+    --unfinished_;
     pr.ctx->mark_finished();
   } else {
     arm_delay(pr);
@@ -303,9 +307,11 @@ void Simulation::erase_process(ProcId p) {
 
   history_.remove_proc(p);
   memory_->ledger().forget(p);
+  memory_->store().clear_reservations(p);
   std::erase(schedule_, p);
   pr.finished = true;
   pr.erased = true;
+  --unfinished_;
   pr.ctx->mark_finished();
 }
 

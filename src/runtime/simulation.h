@@ -145,6 +145,12 @@ class Simulation {
   RunResult run(Scheduler& sched, std::uint64_t max_steps);
 
   const History& history() const { return history_; }
+
+  /// Switches history recording mode (see history/history.h). Counters-only
+  /// drops per-step records — benches and exhaustive exploration keep the
+  /// ledger/footprint queries without paying per-step record growth. Must be
+  /// called before any step is recorded.
+  void set_history_mode(HistoryMode mode) { history_.set_mode(mode); }
   SharedMemory& memory() { return *memory_; }
   const SharedMemory& memory() const { return *memory_; }
 
@@ -252,6 +258,7 @@ class Simulation {
   // frames are created in the constructor.
   std::vector<Program> programs_;
   std::vector<Proc> procs_;
+  int unfinished_ = 0;  // procs not yet finished: all_terminated() in O(1)
   DirectivePolicy policy_;
   History history_;
   std::vector<ProcId> schedule_;

@@ -54,6 +54,7 @@ SignalingRun run_signaling_workload(std::unique_ptr<SharedMemory> mem,
       [alg, idle](ProcCtx& ctx) { return signaler(ctx, alg, idle); });
 
   r.sim = std::make_unique<Simulation>(*r.mem, std::move(programs));
+  r.sim->set_history_mode(options.history_mode);
   Simulation::RunResult result{};
   if (options.scheduler_seed == 0) {
     RoundRobinScheduler sched;

@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 
+#include "history/history.h"
 #include "memory/shared_memory.h"
 #include "signaling/algorithm.h"
 
@@ -41,6 +42,10 @@ struct SignalingWorkloadOptions {
   bool blocking = false;  ///< waiters call Wait() instead of polling
   std::uint64_t scheduler_seed = 0;  ///< 0 = round-robin, else seeded random
   std::uint64_t step_budget = 100'000'000;
+  /// kCountersOnly drops per-step records (see history/history.h): the RMR
+  /// ledger and aggregate counters survive, record-backed relations do not.
+  /// Benches opt in; measurement paths that read records keep the default.
+  HistoryMode history_mode = HistoryMode::kFull;
 };
 
 /// Runs waiters (procs 0..n-1) plus one signaler (proc n) to completion

@@ -323,10 +323,20 @@ ExploreInstance replay_macro_schedule(const ExploreBuilder& build,
   return inst;
 }
 
-ExploreResult explore_dpor(const ExploreBuilder& build,
+ExploreResult explore_dpor(const ExploreBuilder& builder,
                            const ExploreChecker& check,
                            const DporOptions& options) {
   ExploreResult result;
+  // The counters-only opt-in is applied here so every rebuilt instance gets
+  // it — replays, the root, and the nprocs probe alike.
+  const ExploreBuilder build =
+      options.counters_only_history
+          ? ExploreBuilder([&builder]() {
+              ExploreInstance i = builder();
+              if (i.sim) i.sim->set_history_mode(HistoryMode::kCountersOnly);
+              return i;
+            })
+          : builder;
   Shared sh;
   sh.build = &build;
   sh.check = &check;

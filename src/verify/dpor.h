@@ -71,6 +71,9 @@ struct DporOptions {
   /// canonical deterministic order, with the macro schedule that reaches
   /// it. Used by sweep_crash_product to enumerate crash-injection bases.
   std::function<void(const std::vector<ProcId>&)> on_complete_schedule = {};
+  /// Same meaning as ExploreOptions::counters_only_history: built instances
+  /// skip per-step records. Only sound with counter-backed checkers.
+  bool counters_only_history = false;
 };
 
 /// Explores a persistent-set-reduced schedule tree of the instance.

@@ -5,10 +5,20 @@
 
 namespace rmrsim {
 
-ExploreResult explore_all_schedules(const ExploreBuilder& build,
+ExploreResult explore_all_schedules(const ExploreBuilder& builder,
                                     const ExploreChecker& check,
                                     const ExploreOptions& options) {
   ExploreResult result;
+  // The counters-only opt-in is applied here so every rebuilt instance gets
+  // it, not just the first.
+  const ExploreBuilder build =
+      options.counters_only_history
+          ? ExploreBuilder([&builder]() {
+              ExploreInstance i = builder();
+              if (i.sim) i.sim->set_history_mode(HistoryMode::kCountersOnly);
+              return i;
+            })
+          : builder;
 
   // Iterative DFS over schedule prefixes. Each visit rebuilds the world and
   // replays the prefix — determinism makes this exact.

@@ -49,6 +49,11 @@ struct ExploreOptions {
   /// should be phrased over memory-op records (values), not event
   /// positions, for completeness. Cuts tree depth ~2-3x.
   bool macro_steps = true;
+  /// Run every built instance with HistoryMode::kCountersOnly: per-step
+  /// records are dropped, so replays stop paying record growth. Opt-in —
+  /// only sound when the checker reads aggregate counters (size, rmrs,
+  /// participants, ...), not records; record-backed queries throw.
+  bool counters_only_history = false;
 };
 
 /// Reduction statistics. The naive explorer leaves everything but

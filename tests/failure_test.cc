@@ -534,5 +534,46 @@ TEST(FaultPlanDeterminism, ParseFaultPlanGrammar) {
   EXPECT_THROW(parse_fault_plan("random:seed=4"), std::logic_error);
 }
 
+// Two-phase LL/SC program for the reservation-across-crash regression: the
+// first incarnation takes an LL and crashes inside the window where the
+// reservation is live; the recovered incarnation sees phase != 0 and goes
+// straight to SC without a fresh LL — which the RME model requires to fail
+// (the crash powered the processor down; no local state, including the
+// LL reservation, survives).
+ProcTask ll_then_crash_then_sc(ProcCtx& ctx, VarId v, VarId phase,
+                               VarId out) {
+  const Word ph = co_await ctx.read(phase);
+  if (ph == 0) {
+    co_await ctx.ll(v);
+    co_await ctx.write(phase, 1);
+    co_await ctx.mark(/*code=*/7);  // crash here: reservation held
+    co_await ctx.sc(v, 41);
+  } else {
+    const Word ok = co_await ctx.sc(v, 42);  // no fresh LL this incarnation
+    co_await ctx.write(out, ok);
+  }
+}
+
+TEST(CrashRecovery, CrashInvalidatesLlReservation) {
+  auto mem = make_dsm(1);
+  const VarId v = mem->allocate_global(0, "v");
+  const VarId phase = mem->allocate_global(0, "phase");
+  const VarId out = mem->allocate_global(99, "out");
+  Simulation sim(*mem, {[v, phase, out](ProcCtx& ctx) {
+    return ll_then_crash_then_sc(ctx, v, phase, out);
+  }});
+  ASSERT_TRUE(sim.run_proc_until(0, [](const StepRecord& r) {
+    return r.kind == StepRecord::Kind::kEvent &&
+           r.event == EventKind::kMark && r.code == 7;
+  }));
+  sim.crash(0);
+  sim.recover(0);
+  sim.run_to_termination(0, 1'000);
+  // The recovered process issued SC with no LL in its post-recovery
+  // history: the SC must fail and the variable must keep its value.
+  EXPECT_EQ(mem->store().value(out), 0) << "SC succeeded without a fresh LL";
+  EXPECT_EQ(mem->store().value(v), 0);
+}
+
 }  // namespace
 }  // namespace rmrsim

@@ -67,6 +67,19 @@ TEST(Fitter, SqrtSeriesIsSuperConstant) {
   EXPECT_TRUE(is_super_constant(fit_growth_class(xs, ys).cls));
 }
 
+TEST(Fitter, RejectsDuplicateXs) {
+  // A repeated-N grid passes std::is_sorted but double-weights the repeated
+  // point and, when every x is equal, zeroes the least-squares denominator
+  // deep inside the slope fit. The fitter's contract is strictly ascending
+  // xs; duplicates must be rejected up front with its own message.
+  const std::vector<double> dup_xs = {8, 8, 16};
+  const std::vector<double> dup_ys = {8, 8, 16};
+  EXPECT_THROW(fit_growth_class(dup_xs, dup_ys), std::logic_error);
+  const std::vector<double> flat_xs = {16, 16};
+  const std::vector<double> flat_ys = {1, 2};
+  EXPECT_THROW(fit_growth_class(flat_xs, flat_ys), std::logic_error);
+}
+
 TEST(Fitter, ExpectationMatching) {
   EXPECT_TRUE(matches(Expectation::kO1, GrowthClass::kConstant));
   EXPECT_FALSE(matches(Expectation::kO1, GrowthClass::kLogarithmic));
@@ -177,6 +190,24 @@ TEST(Sweep, ExtractSeriesAveragesSeedsAndSkipsMissingMetric) {
   const ExtractedSeries none =
       extract_series(r, SeriesSelector{"absent", "dsm", "a"});
   EXPECT_TRUE(none.xs.empty());
+}
+
+TEST(Sweep, ExtractSeriesDedupesRepeatedNs) {
+  // A grid that lists the same N twice (doubling a point for extra samples)
+  // must still extract one x per N — duplicate xs would flow into the
+  // fitter, which rejects them.
+  SweepSpec s;
+  s.models = {"dsm"};
+  s.algorithms = {"a"};
+  s.ns = {8, 8, 16};
+  const SweepResult r = run_sweep(s, synthetic_runner, 1);
+  const ExtractedSeries es =
+      extract_series(r, SeriesSelector{"cost", "dsm", "a"});
+  ASSERT_EQ(es.xs, (std::vector<double>{8, 16}));
+  // Both n=8 grid points carry the same measurement; the mean is unchanged.
+  EXPECT_DOUBLE_EQ(es.ys[0], 16.0);
+  EXPECT_DOUBLE_EQ(es.ys[1], 32.0);
+  EXPECT_NO_THROW(fit_growth_class(es.xs, es.ys));
 }
 
 TEST(Sweep, FindPointMatchesAllAxes) {

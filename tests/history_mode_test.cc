@@ -1,0 +1,128 @@
+// HistoryMode::kCountersOnly: the aggregate counters must agree exactly
+// with a full-history run of the same deterministic schedule, the
+// record-backed relations must refuse rather than lie, and the DPOR
+// explorer must produce identical verdicts with the opt-in enabled.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "memory/shared_memory.h"
+#include "metrics/publish.h"
+#include "signaling/cc_flag.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/workload.h"
+#include "verify/dpor.h"
+
+namespace rmrsim {
+namespace {
+
+SignalingRun run_workload(HistoryMode mode, std::uint64_t seed = 0) {
+  SignalingWorkloadOptions opt;
+  opt.n_waiters = 6;
+  opt.signaler_idle_polls = 4;
+  opt.scheduler_seed = seed;
+  opt.history_mode = mode;
+  return run_signaling_workload(
+      make_dsm(opt.n_waiters + 1),
+      [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); }, opt);
+}
+
+TEST(HistoryMode, CountersMatchFullHistoryExactly) {
+  // Same deterministic schedule twice; every counter-backed query and the
+  // ledger must be identical — the guarantee that lets publishers switch to
+  // counters without perturbing artifacts.
+  const SignalingRun full = run_workload(HistoryMode::kFull, 7);
+  const SignalingRun counters = run_workload(HistoryMode::kCountersOnly, 7);
+  const History& hf = full.sim->history();
+  const History& hc = counters.sim->history();
+
+  EXPECT_EQ(hf.size(), hc.size());
+  EXPECT_EQ(hf.participants(), hc.participants());
+  EXPECT_EQ(hf.finished(), hc.finished());
+  EXPECT_EQ(hf.active(), hc.active());
+  EXPECT_EQ(hf.total_rmrs(), hc.total_rmrs());
+  EXPECT_EQ(hf.uses_ll_sc(), hc.uses_ll_sc());
+  EXPECT_EQ(hf.crash_events(), hc.crash_events());
+  EXPECT_EQ(hf.recovery_events(), hc.recovery_events());
+  for (ProcId p = 0; p < full.sim->nprocs(); ++p) {
+    EXPECT_EQ(hf.rmrs(p), hc.rmrs(p)) << "proc " << p;
+    EXPECT_EQ(hf.mem_steps(p), hc.mem_steps(p)) << "proc " << p;
+    EXPECT_EQ(hf.is_finished(p), hc.is_finished(p)) << "proc " << p;
+  }
+  EXPECT_EQ(full.mem->ledger().total_ops(), counters.mem->ledger().total_ops());
+  EXPECT_EQ(full.mem->ledger().total_rmrs(),
+            counters.mem->ledger().total_rmrs());
+
+  // publish_history is counter-backed: both modes publish the same values.
+  MetricsRegistry rf, rc;
+  publish_history(rf, hf);
+  publish_history(rc, hc);
+  for (const char* m : {"history.steps", "history.participants",
+                        "history.finished", "history.crashes",
+                        "history.recoveries"}) {
+    EXPECT_DOUBLE_EQ(rf.value(m), rc.value(m)) << m;
+  }
+}
+
+TEST(HistoryMode, RecordBackedQueriesRefuseInCountersOnly) {
+  const SignalingRun r = run_workload(HistoryMode::kCountersOnly);
+  const History& h = r.sim->history();
+  EXPECT_GT(h.size(), 0u);
+  EXPECT_THROW(h.records(), std::logic_error);
+  EXPECT_THROW(h.sees(0, 1), std::logic_error);
+  EXPECT_THROW(h.is_regular(), std::logic_error);
+  EXPECT_THROW(h.to_string(), std::logic_error);
+}
+
+TEST(HistoryMode, SetModeRequiresEmptyHistory) {
+  History h;
+  h.set_mode(HistoryMode::kCountersOnly);
+  h.set_mode(HistoryMode::kFull);  // still empty: fine
+  StepRecord rec;
+  rec.proc = 0;
+  h.append(std::move(rec));
+  EXPECT_THROW(h.set_mode(HistoryMode::kCountersOnly), std::logic_error);
+}
+
+TEST(HistoryMode, DporVerdictIdenticalWithCountersOnly) {
+  // The reduction's node accounting cannot depend on the recording mode
+  // when the checker is counter-backed.
+  const int waiters = 2;
+  const ExploreBuilder build = [waiters]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(waiters + 1);
+    std::shared_ptr<SignalingAlgorithm> alg =
+        std::make_shared<DsmRegistrationSignal>(
+            *inst.mem, static_cast<ProcId>(waiters));
+    std::vector<Program> programs;
+    for (int i = 0; i < waiters; ++i) {
+      programs.emplace_back([a = alg.get()](ProcCtx& ctx) {
+        return polling_waiter(ctx, a, /*max_polls=*/1);
+      });
+    }
+    programs.emplace_back(
+        [a = alg.get()](ProcCtx& ctx) { return signaler(ctx, a); });
+    inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+    inst.keepalive = alg;
+    return inst;
+  };
+  const ExploreChecker check =
+      [](const History& h) -> std::optional<std::string> {
+    if (h.total_rmrs() > 1'000'000) return "absurd RMR count";
+    return std::nullopt;
+  };
+  DporOptions opt;
+  opt.max_depth = 20;
+  const ExploreResult with_records = explore_dpor(build, check, opt);
+  opt.counters_only_history = true;
+  const ExploreResult counters = explore_dpor(build, check, opt);
+  EXPECT_EQ(with_records.nodes_visited, counters.nodes_visited);
+  EXPECT_EQ(with_records.complete_schedules, counters.complete_schedules);
+  EXPECT_EQ(with_records.truncated_schedules, counters.truncated_schedules);
+  EXPECT_EQ(with_records.exhausted, counters.exhausted);
+  EXPECT_EQ(with_records.violation.has_value(), counters.violation.has_value());
+}
+
+}  // namespace
+}  // namespace rmrsim

@@ -271,5 +271,141 @@ TEST(SharedMemoryReset, CachesAreCleared) {
   EXPECT_TRUE(mem->classify_rmr(0, MemOp::read(v)));   // cold again
 }
 
+
+// ---- pinned per-op pricing for failed TAS / failed CAS -------------------
+//
+// These lock the MemoryStore::would_write contract and each cost model's
+// treatment of comparison ops that fail, so the bitmask slot representation
+// (or any future store rewrite) cannot silently change pricing.
+
+TEST(WouldWrite, ComparisonOpsPinned) {
+  MemoryStore store(2);
+  const VarId flag = store.allocate(0, kNoProc);
+  // TAS on a clear flag overwrites; on a set flag it fails the comparison.
+  EXPECT_TRUE(store.would_write(0, MemOp::tas(flag)));
+  store.apply(0, MemOp::tas(flag));
+  EXPECT_FALSE(store.would_write(1, MemOp::tas(flag)));
+  // CAS overwrites iff the expected value matches.
+  EXPECT_FALSE(store.would_write(1, MemOp::cas(flag, 0, 7)));
+  EXPECT_TRUE(store.would_write(1, MemOp::cas(flag, 1, 7)));
+  // SC overwrites iff the caller holds a reservation.
+  EXPECT_FALSE(store.would_write(1, MemOp::sc(flag, 7)));
+  store.apply(1, MemOp::ll(flag));
+  EXPECT_TRUE(store.would_write(1, MemOp::sc(flag, 7)));
+}
+
+TEST(DsmPricing, FailedComparisonsPricedByHomeOnly) {
+  // DSM is stateless: success or failure never matters, only the home.
+  auto mem = make_dsm(2);
+  const VarId local = mem->allocate_local(0, 1);
+  const VarId remote = mem->allocate_local(1, 1);
+  // Failed CAS (expected 0, value is 1) and failed TAS (flag already set).
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::cas(local, 0, 7)));
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::tas(local)));
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::cas(remote, 0, 7)));
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::tas(remote)));
+  mem->apply(0, MemOp::cas(remote, 0, 7));
+  mem->apply(0, MemOp::tas(local));
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);
+}
+
+TEST(CcWriteThrough, FailedTasStillRmrWhenCached) {
+  // Outside LFCU a failed comparison is not read-like: standard caches
+  // arbitrate the line for the atomic op, so caching does not help.
+  auto mem = make_cc(2, CcPolicy::kWriteThrough);
+  const VarId lock = mem->allocate_global(0);
+  mem->apply(0, MemOp::tas(lock));   // p0 takes the lock
+  mem->apply(1, MemOp::read(lock));  // p1 caches a copy
+  EXPECT_EQ(mem->ledger().rmrs(1), 1u);
+  EXPECT_FALSE(mem->classify_rmr(1, MemOp::read(lock)));  // read hits...
+  EXPECT_TRUE(mem->classify_rmr(1, MemOp::tas(lock)));    // ...failed TAS not
+  mem->apply(1, MemOp::tas(lock));
+  EXPECT_EQ(mem->ledger().rmrs(1), 2u);
+}
+
+TEST(CcWriteBack, FailedCasHitsOnlyInOwnModifiedLine) {
+  auto mem = make_cc(2, CcPolicy::kWriteBack);
+  const VarId v = mem->allocate_global(1);
+  mem->apply(0, MemOp::write(v, 1));  // p0 holds the line in M
+  // Failed CAS by the M owner is a cache hit; by anyone else it is an RMR.
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::cas(v, 0, 7)));
+  EXPECT_TRUE(mem->classify_rmr(1, MemOp::cas(v, 0, 7)));
+  mem->apply(0, MemOp::cas(v, 0, 7));
+  EXPECT_EQ(mem->ledger().rmrs(0), 1u);  // only the initial write
+}
+
+TEST(CcMesi, FailedCasHitsInExclusiveCleanLine) {
+  auto mem = make_cc(3, CcPolicy::kMesi);
+  const VarId v = mem->allocate_global(1);
+  mem->apply(0, MemOp::read(v));  // read miss, no other copies: E state
+  // The silent E->M upgrade prices a failed (or successful) CAS as local.
+  EXPECT_FALSE(mem->classify_rmr(0, MemOp::cas(v, 0, 7)));
+  // A second reader demotes E; now p0's failed CAS arbitrates remotely.
+  mem->apply(1, MemOp::read(v));
+  EXPECT_TRUE(mem->classify_rmr(0, MemOp::cas(v, 0, 7)));
+}
+
+TEST(CcLfcu, FailedCasLocalOnceCachedButSuccessfulCasRmr) {
+  auto mem = make_cc(2, CcPolicy::kLfcu);
+  const VarId v = mem->allocate_global(1);
+  mem->apply(1, MemOp::read(v));  // p1 caches a copy
+  // Failed comparison serviced locally (the LFCU property)...
+  EXPECT_FALSE(mem->classify_rmr(1, MemOp::cas(v, 0, 7)));
+  // ...but one that would overwrite engages the interconnect regardless.
+  EXPECT_TRUE(mem->classify_rmr(1, MemOp::cas(v, 1, 7)));
+}
+
+// ---- bitmask slots across the 64-process word boundary -------------------
+
+TEST(MemoryStore, WriterAndReservationMasksCrossWordBoundaries) {
+  // Sweeps drive N past 64 (E1 reaches 1024), so the process sets span
+  // multiple mask words; pin the boundary procs explicitly.
+  MemoryStore store(130);
+  const VarId v = store.allocate(0, kNoProc);
+  for (const ProcId p : {0, 63, 64, 65, 129}) {
+    store.apply(p, MemOp::write(v, 10 + p));
+  }
+  EXPECT_EQ(store.distinct_writers(v), 5);
+  store.forget_writer(v, 64);
+  EXPECT_EQ(store.distinct_writers(v), 4);
+
+  for (const ProcId p : {63, 64, 129}) store.apply(p, MemOp::ll(v));
+  EXPECT_TRUE(store.has_reservation(63, v));
+  EXPECT_TRUE(store.has_reservation(64, v));
+  EXPECT_TRUE(store.has_reservation(129, v));
+  EXPECT_FALSE(store.has_reservation(65, v));
+
+  store.clear_reservations(129);
+  EXPECT_TRUE(store.has_reservation(63, v));
+  EXPECT_FALSE(store.has_reservation(129, v));
+  EXPECT_FALSE(store.apply(129, MemOp::sc(v, 1)).wrote);
+  EXPECT_TRUE(store.apply(64, MemOp::sc(v, 1)).wrote);
+  // The successful SC consumed every remaining reservation.
+  EXPECT_FALSE(store.has_reservation(63, v));
+  EXPECT_EQ(store.distinct_writers(v), 5);  // 64 re-entered the writer set
+}
+
+TEST(Ledger, ForgetIsIdempotentAndSafeAfterReset) {
+  auto mem = make_dsm(2);
+  const VarId v = mem->allocate_local(1, 0);
+  mem->apply(0, MemOp::write(v, 1));
+  mem->apply(1, MemOp::write(v, 2));
+  RmrLedger& led = mem->ledger();
+  EXPECT_EQ(led.total_ops(), 2u);
+  EXPECT_EQ(led.total_rmrs(), 1u);
+  led.forget(0);
+  EXPECT_EQ(led.total_ops(), 1u);
+  EXPECT_EQ(led.total_rmrs(), 0u);
+  // Second forget of the same process is a no-op, not an underflow.
+  led.forget(0);
+  EXPECT_EQ(led.total_ops(), 1u);
+  EXPECT_EQ(led.total_rmrs(), 0u);
+  // forget after reset: per-proc counters are zero, totals stay zero.
+  led.reset();
+  led.forget(1);
+  EXPECT_EQ(led.total_ops(), 0u);
+  EXPECT_EQ(led.total_rmrs(), 0u);
+}
+
 }  // namespace
 }  // namespace rmrsim

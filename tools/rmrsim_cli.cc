@@ -13,7 +13,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <memory>
 #include <string>
 
@@ -193,8 +195,33 @@ int cmd_sweep(const Args& a) {
               artifact.result.workers, artifact.result.wall_ms,
               exp->title.c_str());
   std::fputs(render_fit_table(artifact).c_str(), stdout);
-  const std::string path = write_artifact(artifact, a.get("out", "."));
+  // --deterministic omits the run-environment fields (wall time, workers),
+  // so the written artifact is byte-stable for a given grid + git field —
+  // the form the committed golden files are compared against.
+  const bool deterministic = a.has("deterministic");
+  const std::string path =
+      write_artifact(artifact, a.get("out", "."), !deterministic);
   std::printf("wrote %s\n", path.c_str());
+  const std::string golden_path = a.get("golden", "");
+  if (!golden_path.empty()) {
+    std::ifstream golden(golden_path, std::ios::binary);
+    if (!golden.good()) {
+      std::fprintf(stderr, "sweep --golden: cannot read '%s'\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::stringstream buf;
+    buf << golden.rdbuf();
+    if (buf.str() != artifact_to_json(artifact, !deterministic)) {
+      std::fprintf(stderr,
+                   "sweep --golden: artifact differs from %s — the sweep's "
+                   "measured results changed (run with RMRSIM_GIT_DESCRIBE "
+                   "pinned and --deterministic to reproduce byte-exactly)\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::printf("golden match: %s\n", golden_path.c_str());
+  }
   if (a.has("check") && !artifact_matches(artifact)) {
     std::fprintf(stderr,
                  "sweep --check: fitted class disagrees with the paper's "
@@ -420,6 +447,7 @@ void usage() {
       "            model-checks every schedule class up to D macro steps;\n"
       "            exits 1 iff a violation is found\n"
       "  sweep     --exp e1..e9 [--workers W] [--out DIR] [--max-n N]\n"
+      "            [--deterministic] [--golden FILE]\n"
       "            [--check] [--list]\n"
       "            runs the experiment's declarative grid on W threads\n"
       "            (output is bit-identical for any W), writes\n"
