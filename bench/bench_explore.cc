@@ -9,13 +9,25 @@
 // the whole space while the unreduced one could not finish a fraction of
 // it. Parallel scaling is reported separately on the largest config
 // (workers 1/2/4, identical verdicts by construction).
+//
+// `--perf-suite` instead measures snapshot-based state reconstruction
+// against from-scratch replay on a pinned reference exploration (the CI
+// perf-smoke gate): the same tree is explored in SnapshotMode::kReplay and
+// SnapshotMode::kSnapshot, results are checked identical, and a schema-v1
+// BENCH_PERF_EXPLORE.json records both rows. `--gate-steps X` fails the run
+// unless replayed_steps shrink by at least X (deterministic);
+// `--gate-speedup Y` unless wall clock improves by at least Y.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/table.h"
+#include "harness/artifact.h"
+#include "harness/sweep.h"
 #include "memory/shared_memory.h"
 #include "mutex/lock.h"
 #include "mutex/simple_locks.h"
@@ -125,9 +137,168 @@ std::string reduction_cell(const Row& r) {
   return buf;
 }
 
+// ---- perf suite (--perf-suite) --------------------------------------
+
+/// The pinned reference exploration for the snapshot-vs-replay CI gate:
+/// deep enough that from-scratch replay pays the full O(depth) tax per
+/// node, capped so both modes visit exactly the same 500k-node tree.
+constexpr int kRefWaiters = 3;
+constexpr int kRefPolls = 2;
+constexpr int kRefDepth = 32;
+constexpr std::uint64_t kRefMaxNodes = 500'000;
+
+struct PerfRun {
+  ExploreResult result;
+  double ms_per_run = 0;
+  std::uint64_t runs = 0;
+};
+
+PerfRun time_explore(SnapshotMode mode, double min_seconds) {
+  ExploreOptions opt;
+  opt.max_depth = kRefDepth;
+  opt.max_nodes = kRefMaxNodes;
+  opt.snapshot_mode = mode;
+  const ExploreBuilder build = signal_builder(kRefWaiters, kRefPolls);
+  const ExploreChecker check = signal_checker();
+  PerfRun out;
+  out.result = explore_all_schedules(build, check, opt);  // warmup + verdict
+  double seconds = 0;
+  while (seconds < min_seconds) {
+    const auto t0 = std::chrono::steady_clock::now();
+    explore_all_schedules(build, check, opt);
+    seconds += ms_since(t0) / 1e3;
+    ++out.runs;
+  }
+  out.ms_per_run = seconds * 1e3 / static_cast<double>(out.runs);
+  return out;
+}
+
+MetricsRegistry perf_metrics(const PerfRun& r) {
+  MetricsRegistry reg;
+  reg.set("ms_per_run", r.ms_per_run);
+  reg.set("nodes_per_sec",
+          static_cast<double>(r.result.nodes_visited) / (r.ms_per_run / 1e3));
+  reg.set("replayed_steps", static_cast<double>(r.result.stats.replayed_steps));
+  reg.set("snapshot_hits", static_cast<double>(r.result.stats.snapshot_hits));
+  reg.set("snapshot_misses",
+          static_cast<double>(r.result.stats.snapshot_misses));
+  reg.set("snapshots_taken",
+          static_cast<double>(r.result.stats.snapshots_taken));
+  reg.set("snapshot_evictions",
+          static_cast<double>(r.result.stats.snapshot_evictions));
+  reg.set("snapshot_delta_steps",
+          static_cast<double>(r.result.stats.snapshot_delta_steps));
+  reg.set("snapshot_peak_bytes",
+          static_cast<double>(r.result.stats.snapshot_peak_bytes));
+  return reg;
+}
+
+int run_perf_suite(const std::string& out_dir, double min_seconds,
+                   double gate_steps, double gate_speedup) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  const PerfRun replay = time_explore(SnapshotMode::kReplay, min_seconds);
+  const PerfRun snap = time_explore(SnapshotMode::kSnapshot, min_seconds);
+
+  // Identical-results check: snapshot mode must change nothing observable.
+  const bool same =
+      replay.result.nodes_visited == snap.result.nodes_visited &&
+      replay.result.complete_schedules == snap.result.complete_schedules &&
+      replay.result.exhausted == snap.result.exhausted &&
+      replay.result.violation == snap.result.violation &&
+      replay.result.violating_schedule == snap.result.violating_schedule;
+  if (!same) {
+    std::fprintf(stderr,
+                 "PERF PARITY FAILED: snapshot mode diverged from replay "
+                 "(nodes %llu vs %llu)\n",
+                 static_cast<unsigned long long>(replay.result.nodes_visited),
+                 static_cast<unsigned long long>(snap.result.nodes_visited));
+    return 1;
+  }
+
+  SweepSpec spec;
+  spec.name = "PERF_EXPLORE";
+  spec.models = {"dsm"};
+  spec.algorithms = {"explore_replay", "explore_snapshot"};
+  spec.ns = {kRefWaiters};
+  SweepResult result;
+  result.spec = spec;
+  result.workers = 1;
+  for (std::size_t i = 0; i < spec.grid_size(); ++i) {
+    SweepPointResult pr;
+    pr.point = spec.point_at(i);
+    pr.metrics =
+        perf_metrics(pr.point.algorithm == "explore_replay" ? replay : snap);
+    result.points.push_back(std::move(pr));
+  }
+  result.wall_ms = ms_since(wall0);
+
+  BenchArtifact artifact;
+  artifact.name = spec.name;
+  artifact.title = "explorer snapshot-vs-replay reference config";
+  artifact.generator = "bench_explore --perf-suite";
+  artifact.git = git_describe();
+  artifact.result = result;
+  const std::string path = write_artifact(artifact, out_dir);
+
+  const double steps_reduction =
+      static_cast<double>(replay.result.stats.replayed_steps) /
+      static_cast<double>(
+          std::max<std::uint64_t>(1, snap.result.stats.replayed_steps));
+  const double speedup = replay.ms_per_run / snap.ms_per_run;
+  std::printf("perf explore reference: signal %dw x %dp depth %d, %llu nodes\n",
+              kRefWaiters, kRefPolls, kRefDepth,
+              static_cast<unsigned long long>(snap.result.nodes_visited));
+  std::printf("perf explore replay:   %10.1f ms/run  %12llu replayed steps\n",
+              replay.ms_per_run,
+              static_cast<unsigned long long>(replay.result.stats.replayed_steps));
+  std::printf("perf explore snapshot: %10.1f ms/run  %12llu replayed steps\n",
+              snap.ms_per_run,
+              static_cast<unsigned long long>(snap.result.stats.replayed_steps));
+  std::printf("perf explore steps reduction %.2fx, wall-clock speedup %.2fx\n",
+              steps_reduction, speedup);
+  std::printf("perf suite written: %s\n", path.c_str());
+  if (gate_steps > 0 && steps_reduction < gate_steps) {
+    std::fprintf(stderr,
+                 "PERF GATE FAILED: replayed-steps reduction %.2fx < required "
+                 "%.2fx\n",
+                 steps_reduction, gate_steps);
+    return 1;
+  }
+  if (gate_speedup > 0 && speedup < gate_speedup) {
+    std::fprintf(stderr,
+                 "PERF GATE FAILED: wall-clock speedup %.2fx < required "
+                 "%.2fx\n",
+                 speedup, gate_speedup);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool perf_suite = false;
+  std::string out_dir = ".";
+  double min_seconds = 0.5;
+  double gate_steps = 0;
+  double gate_speedup = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--perf-suite") == 0) {
+      perf_suite = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
+      min_seconds = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--gate-steps") == 0 && i + 1 < argc) {
+      gate_steps = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--gate-speedup") == 0 && i + 1 < argc) {
+      gate_speedup = std::atof(argv[++i]);
+    }
+  }
+  if (perf_suite) {
+    return run_perf_suite(out_dir, min_seconds, gate_steps, gate_speedup);
+  }
+
   const std::uint64_t cap = 2'000'000;
   std::vector<Row> rows;
   rows.push_back(run_pair("signal 1w x 1p d16", signal_builder(1, 1),

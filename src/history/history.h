@@ -52,6 +52,11 @@ class History {
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
 
+  /// Pre-grows the record storage (no-op in counters-only mode). A restored
+  /// world's history copy arrives with capacity == size, so without this its
+  /// very first append pays a reallocation.
+  void reserve(std::size_t n) { records_.reserve(n); }
+
   /// Par(H): processes that take at least one step.
   std::vector<ProcId> participants() const;
   bool participated(ProcId p) const;

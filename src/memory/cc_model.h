@@ -53,6 +53,10 @@ class CcModel final : public CostModel {
 
   void reset() override { lines_.clear(); }
 
+  std::unique_ptr<CostModel> clone() const override {
+    return std::make_unique<CcModel>(*this);  // lines_ copies wholesale
+  }
+
   /// Drops every copy the crashed process held (sharer, Modified owner, or
   /// Exclusive-clean holder) — its cache does not survive the crash.
   void on_crash(ProcId p) override;

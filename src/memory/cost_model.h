@@ -8,6 +8,7 @@
 // RMR?") and updates its architectural state after application.
 #pragma once
 
+#include <memory>
 #include <string_view>
 
 #include "common/types.h"
@@ -41,6 +42,12 @@ class CoherenceListener {
 class CostModel {
  public:
   virtual ~CostModel() = default;
+
+  /// Deep copy of the model including all architectural state (cache lines,
+  /// ownership). World forking (Simulation::fork / WorldSnapshot) relies on
+  /// this to give the forked world an independent pricing state that evolves
+  /// exactly like the original's.
+  virtual std::unique_ptr<CostModel> clone() const = 0;
 
   /// Would `op`, applied next by `p`, be a remote memory reference? Pure with
   /// respect to the model's state; may consult the store (e.g. a CAS that

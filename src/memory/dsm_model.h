@@ -25,6 +25,10 @@ class DsmModel final : public CostModel {
 
   void reset() override {}
 
+  std::unique_ptr<CostModel> clone() const override {
+    return std::make_unique<DsmModel>();  // stateless: nothing to copy
+  }
+
   std::string_view name() const override { return "DSM"; }
 
   bool pricing_is_stateless() const override { return true; }

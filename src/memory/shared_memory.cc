@@ -11,6 +11,13 @@ SharedMemory::SharedMemory(int nprocs, std::unique_ptr<CostModel> model)
   ensure(model_ != nullptr, "SharedMemory requires a cost model");
 }
 
+SharedMemory::SharedMemory(MemoryStore store, std::unique_ptr<CostModel> model,
+                           RmrLedger ledger)
+    : store_(std::move(store)), model_(std::move(model)),
+      ledger_(std::move(ledger)) {
+  ensure(model_ != nullptr, "SharedMemory requires a cost model");
+}
+
 VarId SharedMemory::allocate(Word initial, ProcId home, std::string name) {
   return store_.allocate(initial, home, std::move(name));
 }

@@ -22,6 +22,22 @@ class SharedMemory {
  public:
   SharedMemory(int nprocs, std::unique_ptr<CostModel> model);
 
+  /// Rehydrates a memory system from captured parts (world forking): the
+  /// store and ledger are copied in, the cost model is adopted as-is. Used
+  /// by Simulation::restore; the coherence listener is NOT part of a
+  /// snapshot (it aggregates across runs and callers own its lifecycle), so
+  /// a restored memory starts with no listener.
+  SharedMemory(MemoryStore store, std::unique_ptr<CostModel> model,
+               RmrLedger ledger);
+
+  /// Deep copy: values, writer/reservation masks, cache state, and ledger
+  /// all duplicated; the clone's future pricing is independent of (and
+  /// initially identical to) the original's. The listener is not carried
+  /// over (see the parts constructor).
+  std::unique_ptr<SharedMemory> clone() const {
+    return std::make_unique<SharedMemory>(store_, model_->clone(), ledger_);
+  }
+
   /// Allocates a variable homed at `home` (kNoProc = detached module).
   VarId allocate(Word initial, ProcId home, std::string name = {});
 

@@ -6,17 +6,26 @@ namespace rmrsim {
 
 Simulation::Simulation(SharedMemory& memory, std::vector<Program> programs,
                        DirectivePolicy policy)
+    : Simulation(memory,
+                 std::make_shared<const std::vector<Program>>(
+                     std::move(programs)),
+                 std::move(policy)) {}
+
+Simulation::Simulation(SharedMemory& memory,
+                       std::shared_ptr<const std::vector<Program>> programs,
+                       DirectivePolicy policy)
     : memory_(&memory), programs_(std::move(programs)),
       policy_(std::move(policy)) {
-  ensure(static_cast<int>(programs_.size()) <= memory.nprocs(),
+  const std::vector<Program>& progs = *programs_;
+  ensure(static_cast<int>(progs.size()) <= memory.nprocs(),
          "more programs than processors");
-  procs_.reserve(programs_.size());
+  procs_.reserve(progs.size());
   schedule_.reserve(1024);
-  for (std::size_t i = 0; i < programs_.size(); ++i) {
+  for (std::size_t i = 0; i < progs.size(); ++i) {
     Proc p;
     p.ctx = std::make_unique<ProcCtx>(static_cast<ProcId>(i), memory.nprocs());
-    if (programs_[i]) {
-      p.task = programs_[i](*p.ctx);
+    if (progs[i]) {
+      p.task = progs[i](*p.ctx);
       p.started = true;
       ++unfinished_;
     } else {
@@ -99,6 +108,8 @@ const StepRecord& Simulation::step(ProcId p) {
 
   StepRecord rec;
   rec.proc = p;
+  ResumeRecord resume;
+  resume.kind = a.kind;
   switch (a.kind) {
     case ActionKind::kMemOp: {
       const OpOutcome outcome = memory_->apply(p, a.op);
@@ -106,6 +117,7 @@ const StepRecord& Simulation::step(ProcId p) {
       rec.op = a.op;
       rec.outcome = outcome;
       rec.var_home = memory_->store().home(a.op.var);
+      resume.outcome = outcome;
       pr.ctx->resume_with_outcome(outcome);
       break;
     }
@@ -125,6 +137,7 @@ const StepRecord& Simulation::step(ProcId p) {
       rec.event = EventKind::kDirective;
       rec.code = d.action;
       rec.value = d.arg;
+      resume.directive = d;
       pr.ctx->resume_with_directive(d);
       break;
     }
@@ -140,6 +153,7 @@ const StepRecord& Simulation::step(ProcId p) {
     case ActionKind::kFinished:
       fail("stepping a process with no pending action");
   }
+  if (fork_log_) pr.log.push_back(resume);
   ++now_;
 
   if (pr.task.done()) {
@@ -228,6 +242,7 @@ void Simulation::crash(ProcId p) {
   // pending action is dropped unapplied; shared memory keeps every write p
   // already performed.
   pr.task = ProcTask{};
+  pr.log.clear();  // the logged incarnation's frame no longer exists
   pr.crashed = true;
   ++pr.crashes;
   pr.ctx->mark_crashed();
@@ -250,7 +265,8 @@ void Simulation::recover(ProcId p) {
   // Fresh control block + fresh coroutine frame: all local state is lost,
   // exactly the RME failure model. Shared memory is untouched.
   pr.ctx = std::make_unique<ProcCtx>(p, memory_->nprocs());
-  pr.task = programs_[static_cast<std::size_t>(p)](*pr.ctx);
+  pr.task = (*programs_)[static_cast<std::size_t>(p)](*pr.ctx);
+  pr.log.clear();  // fresh incarnation: its frame replays from the prologue
   pr.crashed = false;
   ++pr.recoveries;
   fault_trace_.push_back(
@@ -309,10 +325,165 @@ void Simulation::erase_process(ProcId p) {
   memory_->ledger().forget(p);
   memory_->store().clear_reservations(p);
   std::erase(schedule_, p);
+  pr.task = ProcTask{};
+  pr.log.clear();  // erased: no frame to rebuild on restore
   pr.finished = true;
   pr.erased = true;
   --unfinished_;
   pr.ctx->mark_finished();
+}
+
+void Simulation::enable_fork_log() {
+  ensure(schedule_.empty() && history_.empty() && fault_trace_.empty(),
+         "enable_fork_log() must be called before the first step");
+  fork_log_ = true;
+}
+
+WorldSnapshot Simulation::snapshot() const {
+  ensure(fork_log_,
+         "snapshot() requires resume logging: call enable_fork_log() before "
+         "the first step");
+  WorldSnapshot s;
+  s.store = memory_->store();
+  s.model = memory_->model().clone();
+  s.ledger = memory_->ledger();
+  s.now = now_;
+  s.history = history_;
+  s.schedule = schedule_;
+  s.fault_trace = fault_trace_;
+  s.procs.reserve(procs_.size());
+  for (const Proc& pr : procs_) {
+    WorldSnapshot::ProcState ps;
+    ps.started = pr.started;
+    ps.finished = pr.finished;
+    ps.erased = pr.erased;
+    ps.crashed = pr.crashed;
+    ps.directives = pr.directives;
+    ps.crashes = pr.crashes;
+    ps.recoveries = pr.recoveries;
+    ps.steps = pr.steps;
+    ps.wake_time = pr.wake_time;
+    ps.log = pr.log;
+    s.procs.push_back(std::move(ps));
+  }
+  s.programs = programs_;
+  s.policy = policy_;
+  return s;
+}
+
+Simulation::Simulation(SharedMemory& memory, const WorldSnapshot& snap)
+    : memory_(&memory), programs_(snap.programs), policy_(snap.policy) {
+  const std::vector<Program>& progs = *programs_;
+  ensure(static_cast<int>(progs.size()) <= memory.nprocs(),
+         "more programs than processors");
+  ensure(progs.size() == snap.procs.size(),
+         "fork restore: process count diverged");
+  fork_log_ = true;  // snapshots compose: the clone is itself forkable
+  procs_.reserve(progs.size());
+  schedule_.reserve(snap.schedule.size() + 64);
+  for (std::size_t i = 0; i < progs.size(); ++i) {
+    const WorldSnapshot::ProcState& ps = snap.procs[i];
+    ensure(ps.started == static_cast<bool>(progs[i]),
+           "fork restore: start state diverged");
+    Proc p;
+    p.ctx = std::make_unique<ProcCtx>(static_cast<ProcId>(i), memory.nprocs());
+    p.started = ps.started;
+    p.finished = ps.finished;
+    p.erased = ps.erased;
+    p.crashed = ps.crashed;
+    p.directives = ps.directives;
+    p.crashes = ps.crashes;
+    p.recoveries = ps.recoveries;
+    p.steps = ps.steps;
+    // Copied, not re-armed: an arm_delay here would recompute the wake from
+    // the clone's clock.
+    p.wake_time = ps.wake_time;
+    p.log = ps.log;
+    if (!ps.started) {
+      // Empty program slot: mirrors the public constructor (no frame, no
+      // context marking).
+    } else if (ps.finished) {
+      // Finished (or erased): no frame survives; flags and counters do. The
+      // frame allocation and prologue run are skipped entirely.
+      p.ctx->mark_finished();
+    } else if (ps.crashed) {
+      // Crashed but recoverable: counts as unfinished, has no frame.
+      p.ctx->mark_crashed();
+      ++unfinished_;
+    } else {
+      // Live: run the prologue, then fast-forward the fresh frame by
+      // replaying the incarnation's resume log. No memory op is applied,
+      // nothing is priced or recorded — the payloads were captured when the
+      // original world stepped. If the incarnation follows a recovery, the
+      // constructor-run prologue coincides with the recovery prologue (same
+      // program, fresh context), so the log picks up exactly where the
+      // original frame is suspended.
+      ++unfinished_;
+      p.task = progs[i](*p.ctx);
+      p.task.handle().resume();
+      if (p.task.done()) p.task.rethrow_if_error();
+      ensure(!p.task.done(), "fork restore: prologue terminated a live process");
+      for (const ResumeRecord& r : ps.log) {
+        ensure(!p.task.done(),
+               "fork restore: replay diverged (early termination)");
+        ensure(p.ctx->pending().kind == r.kind,
+               "fork restore: replay diverged (pending action kind)");
+        switch (r.kind) {
+          case ActionKind::kMemOp:
+            p.ctx->resume_with_outcome(r.outcome);
+            break;
+          case ActionKind::kEvent:
+            p.ctx->resume_plain();
+            break;
+          case ActionKind::kDirective:
+            p.ctx->resume_with_directive(r.directive);
+            break;
+          case ActionKind::kDelay:
+            p.ctx->resume_from_delay();
+            break;
+          case ActionKind::kFinished:
+            fail("fork restore: kFinished in a resume log");
+        }
+      }
+      ensure(!p.task.done(),
+             "fork restore: replay diverged (unexpected termination)");
+    }
+    procs_.push_back(std::move(p));
+  }
+  now_ = snap.now;
+  history_ = snap.history;
+  history_.reserve(history_.size() + 64);
+  schedule_ = snap.schedule;  // reuses the constructor-reserved capacity
+  fault_trace_ = snap.fault_trace;
+}
+
+Simulation::ForkedWorld Simulation::restore(const WorldSnapshot& snap) {
+  ensure(snap.model != nullptr, "restore() on a moved-from snapshot");
+  ForkedWorld world;
+  world.mem = std::make_unique<SharedMemory>(snap.store, snap.model->clone(),
+                                             snap.ledger);
+  world.sim.reset(new Simulation(*world.mem, snap));
+  return world;
+}
+
+Simulation::ForkedWorld Simulation::fork() const { return restore(snapshot()); }
+
+std::size_t WorldSnapshot::approx_bytes() const {
+  const std::size_t nvars = static_cast<std::size_t>(store.num_vars());
+  const std::size_t mask_words =
+      (static_cast<std::size_t>(store.nprocs()) + 63) / 64;
+  std::size_t bytes = sizeof(WorldSnapshot);
+  bytes += nvars * (64 /*slot incl. name*/ +
+                    2 * mask_words * sizeof(std::uint64_t));
+  if (history.mode() == HistoryMode::kFull) {
+    bytes += history.size() * sizeof(StepRecord);
+  }
+  bytes += schedule.size() * sizeof(ProcId);
+  bytes += fault_trace.size() * sizeof(Simulation::FaultRecord);
+  for (const ProcState& ps : procs) {
+    bytes += sizeof(ProcState) + ps.log.size() * sizeof(ResumeRecord);
+  }
+  return bytes;
 }
 
 Simulation::RunResult Simulation::run(Scheduler& sched,

@@ -22,6 +22,20 @@
 namespace rmrsim {
 
 class Simulation;
+struct WorldSnapshot;
+
+/// One recorded coroutine resume: the payload a process received when its
+/// pending action was applied. A process's coroutine frame is a deterministic
+/// function of its program and the sequence of resume payloads, so replaying
+/// the log against a fresh frame rebuilds the exact suspension point — the
+/// mechanism world forking uses to "copy" frames that C++ cannot copy.
+/// Replaying the log touches no shared memory, prices nothing, and records
+/// nothing: it is an order of magnitude cheaper than re-executing the steps.
+struct ResumeRecord {
+  ActionKind kind = ActionKind::kFinished;
+  OpOutcome outcome{};    ///< kMemOp payload
+  Directive directive{};  ///< kDirective payload (kEvent/kDelay carry none)
+};
 
 /// Picks which process takes the next step. Implementations in src/sched.
 /// The simulation is passed mutably so fault-injecting schedulers
@@ -50,6 +64,13 @@ class Simulation {
   /// simulation. Programs run (their local prologue) up to the first
   /// suspension point during construction.
   Simulation(SharedMemory& memory, std::vector<Program> programs,
+             DirectivePolicy policy = {});
+
+  /// Same, with the program vector shared rather than owned. Snapshots and
+  /// restored worlds all reference one immutable vector — forking never
+  /// copies the callables.
+  Simulation(SharedMemory& memory,
+             std::shared_ptr<const std::vector<Program>> programs,
              DirectivePolicy policy = {});
 
   int nprocs() const { return static_cast<int>(procs_.size()); }
@@ -229,6 +250,45 @@ class Simulation {
   /// Number of directives process p has consumed so far.
   int directives_consumed(ProcId p) const;
 
+  // ---- world forking (snapshot / restore) ------------------------------
+  //
+  // A WorldSnapshot is a deep, deterministic copy of the entire simulated
+  // world: memory values and writer/LL-reservation masks, cost-model cache
+  // state, RMR ledger, history (full or counters-only), schedule, fault
+  // trace, clock, and every process's control state. Coroutine frames cannot
+  // be copied in C++, so they are captured as per-process *resume logs* (see
+  // ResumeRecord) and rebuilt on restore by replaying the log against a
+  // fresh frame — no memory op is applied and nothing is priced or recorded
+  // during the replay. The contract: a restored world is behaviorally
+  // indistinguishable from one built by replaying the snapshot's schedule
+  // from scratch — same future steps, same ledger, same history.
+
+  /// Opts this simulation into resume logging (required for snapshot()).
+  /// Must be called before the first step; logging costs one small record
+  /// append per step, so the hot bench paths leave it off.
+  void enable_fork_log();
+  bool fork_log_enabled() const { return fork_log_; }
+
+  /// Captures the current world. Requires enable_fork_log() to have been
+  /// called before any step. The snapshot owns copies of everything except
+  /// the algorithm objects behind the programs — carry those via
+  /// `keepalive`.
+  WorldSnapshot snapshot() const;
+
+  /// A restored world: the Simulation borrows the SharedMemory, so the two
+  /// travel together.
+  struct ForkedWorld {
+    std::unique_ptr<SharedMemory> mem;
+    std::unique_ptr<Simulation> sim;
+  };
+
+  /// Rebuilds a live world from a snapshot. The restored simulation has
+  /// fork logging enabled (snapshots compose: a fork can be forked).
+  static ForkedWorld restore(const WorldSnapshot& snap);
+
+  /// snapshot() + restore() in one call: a deep fork of this world.
+  ForkedWorld fork() const;
+
  private:
   struct Proc {
     std::unique_ptr<ProcCtx> ctx;
@@ -242,10 +302,22 @@ class Simulation {
     int recoveries = 0;
     std::uint64_t steps = 0;
     std::uint64_t wake_time = 0;  // meaningful while pending is kDelay
+    // Resume payloads of the *current incarnation*'s frame (empty unless
+    // fork logging is on). Cleared on crash and recovery: a recovered
+    // program restarts from its prologue, so its frame is a function of the
+    // post-recovery payloads only.
+    std::vector<ResumeRecord> log;
   };
 
   Proc& proc(ProcId p);
   const Proc& proc(ProcId p) const;
+
+  /// Restore constructor: rebuilds the world captured in `snap` against
+  /// `memory` (which must already hold the snapshot's store/model/ledger).
+  /// Unlike the public constructors it creates frames only for live
+  /// processes — finished or crashed ones get their flags and counters
+  /// without paying a frame allocation and prologue run.
+  Simulation(SharedMemory& memory, const WorldSnapshot& snap);
 
   /// Arms a freshly-suspended delay (records its wake time).
   void arm_delay(Proc& pr);
@@ -255,14 +327,61 @@ class Simulation {
   // The program callables are kept alive here for the whole simulation: a
   // coroutine created from a capturing lambda references the closure stored
   // inside the std::function, so the vector must never be mutated after the
-  // frames are created in the constructor.
-  std::vector<Program> programs_;
+  // frames are created in the constructor. Shared (immutably) with every
+  // snapshot and restored world forked from this one.
+  std::shared_ptr<const std::vector<Program>> programs_;
   std::vector<Proc> procs_;
   int unfinished_ = 0;  // procs not yet finished: all_terminated() in O(1)
   DirectivePolicy policy_;
   History history_;
   std::vector<ProcId> schedule_;
   std::vector<FaultRecord> fault_trace_;
+  bool fork_log_ = false;  // resume logging on (snapshot()-capable)
+};
+
+/// A deep copy of one simulated world at a point in time. Move-only (owns a
+/// cloned cost model); share across threads as shared_ptr<const
+/// WorldSnapshot> — restoration only reads it.
+struct WorldSnapshot {
+  /// Per-process control state mirrored from Simulation::Proc (everything
+  /// except the uncopyable ctx/frame, which the resume log stands in for).
+  struct ProcState {
+    bool started = false;
+    bool finished = false;
+    bool erased = false;
+    bool crashed = false;
+    int directives = 0;
+    int crashes = 0;
+    int recoveries = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t wake_time = 0;
+    std::vector<ResumeRecord> log;
+  };
+
+  // The store/ledger initializers are 1-processor placeholders, overwritten
+  // by Simulation::snapshot() (MemoryStore rejects zero processors).
+  MemoryStore store{1};
+  std::unique_ptr<CostModel> model;
+  RmrLedger ledger{1};
+  std::uint64_t now = 0;
+  History history;
+  std::vector<ProcId> schedule;
+  std::vector<Simulation::FaultRecord> fault_trace;
+  std::vector<ProcState> procs;
+  // The program callables, shared immutably with the source simulation and
+  // every world restored from this snapshot. A capturing program shares its
+  // captured pointers/references with the original — keep the referents
+  // (algorithm objects, which hold only VarIds and no mutable state) alive
+  // via `keepalive`.
+  std::shared_ptr<const std::vector<Program>> programs;
+  Simulation::DirectivePolicy policy;
+  /// Opaque owner of whatever the programs capture by reference (typically
+  /// the ExploreInstance keepalive). Carried through restore() by callers.
+  std::shared_ptr<void> keepalive;
+
+  /// Rough retained size in bytes (store + history + logs + schedule) — the
+  /// snapshot cache budgets memory with this.
+  std::size_t approx_bytes() const;
 };
 
 }  // namespace rmrsim

@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "sched/schedulers.h"
+#include "verify/snapshot_cache.h"
 
 namespace rmrsim {
 
@@ -115,6 +116,10 @@ struct WorkItem {
   std::vector<SleepEntry> sleep;
   double naive_product = 1.0;  // prod of enabled-set sizes along the path
   double naive_sum = 1.0;      // naive nodes along the path so far
+  /// Snapshot of the item's root world (snapshot mode): work-stealing ships
+  /// the world with the stolen frame, so no worker ever replays the trunk
+  /// prefix from scratch. Immutable; safely shared across threads.
+  std::shared_ptr<const WorldSnapshot> root_snap;
 };
 
 struct ItemOutcome {
@@ -124,7 +129,7 @@ struct ItemOutcome {
   std::uint64_t sleep_prunes = 0;
   std::uint64_t sleep_blocked = 0;
   std::uint64_t backtracks = 0;
-  std::uint64_t replayed = 0;
+  ExploreStats replay;  // replayed_steps + snapshot_* counters only
   double estimate_sum = 0.0;
   std::uint64_t leaves = 0;
   std::vector<Violation> violations;
@@ -138,6 +143,9 @@ struct Shared {
   int max_depth = 0;
   std::uint64_t max_nodes = 0;
   bool collect_completes = false;
+  bool counters_only = false;
+  bool snapshots = false;  // SnapshotMode::kSnapshot
+  SnapshotCache::Config cache_config;
   std::atomic<std::uint64_t> nodes{0};
   std::atomic<bool> budget_hit{false};
 };
@@ -171,8 +179,22 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
   const std::size_t root_depth = schedule.size();
   std::vector<Frame> frames;
 
-  ExploreInstance inst = replay_macro_schedule(*sh.build, schedule);
-  out.replayed += schedule.size();
+  // Private per-item cache, seeded with the shipped root snapshot: the
+  // item's first rebuild is a pure restore, later ones restore the deepest
+  // stride-aligned ancestor captured during descent. No cross-thread state.
+  std::optional<SnapshotCache> cache;
+  if (sh.snapshots) {
+    cache.emplace(sh.cache_config);
+    if (item.root_snap != nullptr) {
+      cache->insert(item.schedule, item.root_snap);
+    }
+  }
+  SnapshotCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+
+  ExploreInstance inst = materialize_schedule(*sh.build, schedule,
+                                              ReplayUnit::kMacro,
+                                              sh.counters_only, cache_ptr,
+                                              &out.replay);
   bool sim_valid = true;
   const int nprocs = inst.sim->nprocs();
 
@@ -220,7 +242,10 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
     return true;
   };
 
-  if (!enter_node(item.sleep, item.naive_product, item.naive_sum)) return;
+  if (!enter_node(item.sleep, item.naive_product, item.naive_sum)) {
+    if (cache.has_value()) fold_cache_stats(*cache, out.replay);
+    return;
+  }
 
   while (!frames.empty()) {
     Frame& f = frames.back();
@@ -245,10 +270,13 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
       ++out.sleep_prunes;
       continue;
     }
-    if (!charge_node(sh)) return;  // budget: abandon the item (best effort)
+    if (!charge_node(sh)) {
+      if (cache.has_value()) fold_cache_stats(*cache, out.replay);
+      return;  // budget: abandon the item (best effort)
+    }
     if (!sim_valid) {
-      inst = replay_macro_schedule(*sh.build, schedule);
-      out.replayed += schedule.size();
+      inst = materialize_schedule(*sh.build, schedule, ReplayUnit::kMacro,
+                                  sh.counters_only, cache_ptr, &out.replay);
       sim_valid = true;
     }
     const MacroFootprint fp = inst.sim->macro_step(q);
@@ -293,8 +321,19 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
       schedule.pop_back();
       path.pop_back();
       sim_valid = false;
+    } else if (cache_ptr != nullptr &&
+               schedule.size() %
+                       static_cast<std::size_t>(sh.cache_config.stride) ==
+                   0 &&
+               !cache_ptr->contains(schedule)) {
+      // Descent-time capture at stride-aligned depths: later backtracks into
+      // this subtree restore here instead of replaying from the item root.
+      if (cache_ptr->insert(schedule, take_snapshot(inst))) {
+        ++out.replay.snapshots_taken;
+      }
     }
   }
+  if (cache.has_value()) fold_cache_stats(*cache, out.replay);
 }
 
 /// A persistent node of the sequentially-owned trunk (depth < trunk_depth).
@@ -323,26 +362,27 @@ ExploreInstance replay_macro_schedule(const ExploreBuilder& build,
   return inst;
 }
 
-ExploreResult explore_dpor(const ExploreBuilder& builder,
+ExploreResult explore_dpor(const ExploreBuilder& build,
                            const ExploreChecker& check,
                            const DporOptions& options) {
   ExploreResult result;
-  // The counters-only opt-in is applied here so every rebuilt instance gets
-  // it — replays, the root, and the nprocs probe alike.
-  const ExploreBuilder build =
-      options.counters_only_history
-          ? ExploreBuilder([&builder]() {
-              ExploreInstance i = builder();
-              if (i.sim) i.sim->set_history_mode(HistoryMode::kCountersOnly);
-              return i;
-            })
-          : builder;
   Shared sh;
   sh.build = &build;
   sh.check = &check;
   sh.max_depth = options.max_depth;
   sh.max_nodes = options.max_nodes;
   sh.collect_completes = static_cast<bool>(options.on_complete_schedule);
+  sh.counters_only = options.counters_only_history;
+  sh.snapshots = options.snapshot_mode == SnapshotMode::kSnapshot;
+  sh.cache_config = SnapshotCache::Config{std::max(1, options.snapshot_stride),
+                                          options.snapshot_max_bytes};
+
+  // Trunk-level cache: the coordinator's expansions walk prefixes of each
+  // other, so nearly every rebuild is a one-step delta from a cached node.
+  std::optional<SnapshotCache> trunk_cache;
+  if (sh.snapshots) trunk_cache.emplace(sh.cache_config);
+  SnapshotCache* trunk_cache_ptr =
+      trunk_cache.has_value() ? &*trunk_cache : nullptr;
 
   const int trunk_depth =
       std::max(0, std::min(options.trunk_depth, options.max_depth));
@@ -367,7 +407,8 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
                                      std::vector<PathStep> path,
                                      std::vector<SleepEntry> sleep,
                                      double product, double sum,
-                                     Simulation& sim) {
+                                     ExploreInstance& inst) {
+    Simulation& sim = *inst.sim;
     std::vector<ProcId> enabled;
     for (ProcId p = 0; p < sim.nprocs(); ++p) {
       if (sim.runnable(p)) enabled.push_back(p);
@@ -385,8 +426,15 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
       return;
     }
     if (static_cast<int>(sched.size()) >= trunk_depth) {
-      items.push_back(
-          {sched, std::move(path), std::move(sleep), product, sum});
+      WorkItem item{sched, std::move(path), std::move(sleep), product, sum,
+                    nullptr};
+      if (sh.snapshots) {
+        // Ship the root world with the item: whichever worker steals it
+        // starts from a restore, not a trunk-prefix replay.
+        item.root_snap = take_snapshot(inst);
+        ++result.stats.snapshots_taken;
+      }
+      items.push_back(std::move(item));
       return;
     }
     TrunkNode node;
@@ -418,13 +466,15 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
       result.exhausted = false;
       return result;
     }
-    ExploreInstance root = replay_macro_schedule(build, {});
+    ExploreInstance root =
+        materialize_schedule(build, {}, ReplayUnit::kMacro, sh.counters_only,
+                             trunk_cache_ptr, &result.stats);
     if (const auto v = check(root.sim->history()); v.has_value()) {
       result.nodes_visited = sh.nodes.load();
       result.violation = v;
       return result;
     }
-    enter_trunk_state({}, {}, {}, 1.0, 1.0, *root.sim);
+    enter_trunk_state({}, {}, {}, 1.0, 1.0, root);
   }
 
   const int nprocs = [&] {
@@ -455,8 +505,10 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
       }
       if (!charge_node(sh)) break;
 
-      ExploreInstance inst = replay_macro_schedule(build, sched);
-      result.stats.replayed_steps += sched.size();
+      ExploreInstance inst =
+          materialize_schedule(build, sched, ReplayUnit::kMacro,
+                               sh.counters_only, trunk_cache_ptr,
+                               &result.stats);
       const MacroFootprint fp = inst.sim->macro_step(q);
 
       std::vector<std::size_t> races;
@@ -491,7 +543,7 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
         continue;
       }
       enter_trunk_state(child_sched, std::move(child_path), std::move(sleep),
-                        product, sum, *inst.sim);
+                        product, sum, inst);
     }
 
     if (sh.budget_hit.load(std::memory_order_relaxed)) break;
@@ -558,7 +610,14 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
       result.stats.sleep_set_prunes += out.sleep_prunes;
       result.stats.sleep_blocked_paths += out.sleep_blocked;
       result.stats.backtrack_points += out.backtracks;
-      result.stats.replayed_steps += out.replayed;
+      result.stats.replayed_steps += out.replay.replayed_steps;
+      result.stats.snapshot_hits += out.replay.snapshot_hits;
+      result.stats.snapshot_misses += out.replay.snapshot_misses;
+      result.stats.snapshots_taken += out.replay.snapshots_taken;
+      result.stats.snapshot_evictions += out.replay.snapshot_evictions;
+      result.stats.snapshot_delta_steps += out.replay.snapshot_delta_steps;
+      result.stats.snapshot_peak_bytes = std::max(
+          result.stats.snapshot_peak_bytes, out.replay.snapshot_peak_bytes);
       estimate_sum += out.estimate_sum;
       leaves += out.leaves;
       for (const Violation& v : out.violations) violations.push_back(v);
@@ -576,6 +635,7 @@ ExploreResult explore_dpor(const ExploreBuilder& builder,
     }
   }
 
+  if (trunk_cache.has_value()) fold_cache_stats(*trunk_cache, result.stats);
   result.nodes_visited = std::min<std::uint64_t>(sh.nodes.load(), sh.max_nodes);
   result.exhausted = !sh.budget_hit.load(std::memory_order_relaxed);
   result.stats.naive_tree_estimate =
@@ -614,6 +674,21 @@ CrashProductResult sweep_crash_product(const ExploreBuilder& build,
     return result;
   }
 
+  // One cache across every base: lex-ordered bases share long prefixes, and
+  // within a base successive cuts extend each other — in snapshot mode each
+  // rebuild is a short delta replay. Only pre-crash worlds are cached; the
+  // crash and everything after it run on the materialized instance.
+  std::optional<SnapshotCache> cache;
+  if (options.explore.snapshot_mode == SnapshotMode::kSnapshot) {
+    cache.emplace(
+        SnapshotCache::Config{std::max(1, options.explore.snapshot_stride),
+                              options.explore.snapshot_max_bytes});
+  }
+  SnapshotCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+  const auto finish = [&] {
+    if (cache.has_value()) fold_cache_stats(*cache, result.sweep.stats);
+  };
+
   for (const std::vector<ProcId>& sched : bases) {
     ++result.schedules_swept;
     // Crash before the victim's first step, then after each of its steps.
@@ -622,11 +697,17 @@ CrashProductResult sweep_crash_product(const ExploreBuilder& build,
       if (sched[i] == victim) points.push_back(i + 1);
     }
     for (const std::size_t cut : points) {
-      if (result.sweep.crash_points >= options.max_crash_points) return result;
-      ExploreInstance inst = replay_macro_schedule(
-          build, std::vector<ProcId>(sched.begin(),
-                                     sched.begin() +
-                                         static_cast<std::ptrdiff_t>(cut)));
+      if (result.sweep.crash_points >= options.max_crash_points) {
+        finish();
+        return result;
+      }
+      ExploreInstance inst = materialize_schedule(
+          build,
+          std::vector<ProcId>(sched.begin(),
+                              sched.begin() +
+                                  static_cast<std::ptrdiff_t>(cut)),
+          ReplayUnit::kMacro, /*counters_only=*/false, cache_ptr,
+          &result.sweep.stats);
       Simulation& sim = *inst.sim;
       if (sim.terminated(victim)) continue;  // nothing left to crash
       ++result.sweep.crash_points;
@@ -638,6 +719,7 @@ CrashProductResult sweep_crash_product(const ExploreBuilder& build,
         result.sweep.violation = v;
         result.sweep.violating_crash_point = static_cast<int>(cut);
         result.violating_schedule = sched;
+        finish();
         return result;
       }
       switch (done) {
@@ -647,6 +729,7 @@ CrashProductResult sweep_crash_product(const ExploreBuilder& build,
       }
     }
   }
+  finish();
   return result;
 }
 

@@ -29,8 +29,11 @@
 // least one mutation, or both flush observable events
 // (Simulation::dependent). Races are detected retroactively with vector
 // clocks over the executed path; the search is stateless — each backtrack
-// rebuilds a disposable world and replays the schedule prefix, exactly like
-// the naive explorer.
+// rebuilds a disposable world, by replaying the schedule prefix from scratch
+// (SnapshotMode::kReplay, exactly like the naive explorer) or by restoring
+// the deepest cached WorldSnapshot and replaying only the suffix
+// (SnapshotMode::kSnapshot, the default — identical results, no O(depth)
+// replay per node).
 //
 // Parallel exploration is deterministic by construction: a sequential
 // coordinator owns the top of the tree (the "trunk", up to trunk_depth),
@@ -74,6 +77,17 @@ struct DporOptions {
   /// Same meaning as ExploreOptions::counters_only_history: built instances
   /// skip per-step records. Only sound with counter-backed checkers.
   bool counters_only_history = false;
+  /// Node reconstruction strategy (see ExploreOptions::snapshot_mode). In
+  /// snapshot mode the coordinator replays trunk expansions through a
+  /// trunk-level snapshot cache, and every work item carries a snapshot of
+  /// its root — stolen frames ship their world with them — plus a private
+  /// cache for its subtree. Verdicts, schedules, and statistics stay
+  /// deterministic across worker counts in both modes.
+  SnapshotMode snapshot_mode = SnapshotMode::kSnapshot;
+  int snapshot_stride = 6;
+  /// Byte budget per cache (the trunk cache and each item's private cache
+  /// are budgeted independently).
+  std::size_t snapshot_max_bytes = std::size_t{8} << 20;
 };
 
 /// Explores a persistent-set-reduced schedule tree of the instance.

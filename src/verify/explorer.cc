@@ -1,80 +1,110 @@
 #include "verify/explorer.h"
 
+#include <optional>
+
 #include "common/check.h"
 #include "sched/schedulers.h"
+#include "verify/snapshot_cache.h"
 
 namespace rmrsim {
 
-ExploreResult explore_all_schedules(const ExploreBuilder& builder,
-                                    const ExploreChecker& check,
-                                    const ExploreOptions& options) {
-  ExploreResult result;
-  // The counters-only opt-in is applied here so every rebuilt instance gets
-  // it, not just the first.
-  const ExploreBuilder build =
-      options.counters_only_history
-          ? ExploreBuilder([&builder]() {
-              ExploreInstance i = builder();
-              if (i.sim) i.sim->set_history_mode(HistoryMode::kCountersOnly);
-              return i;
-            })
-          : builder;
+namespace {
 
-  // Iterative DFS over schedule prefixes. Each visit rebuilds the world and
-  // replays the prefix — determinism makes this exact.
-  std::vector<std::vector<ProcId>> stack;
-  stack.push_back({});  // the empty schedule
+/// Recursive DFS over schedule prefixes, visiting nodes in the same
+/// preorder as the historical iterative explorer (low process ids first),
+/// so violation choices are schedule-for-schedule identical across modes.
+///
+/// Each visited node needs the world at its prefix. In replay mode every
+/// node is rebuilt from scratch (the oracle the parity suite compares
+/// against). In snapshot mode the *first* child inherits the parent's live
+/// world — one extend_in_place unit, zero copies — and later siblings
+/// restore the deepest cached ancestor; determinism makes all three routes
+/// produce the identical world.
+struct NaiveDfs {
+  const ExploreBuilder& build;
+  const ExploreChecker& check;
+  const ExploreOptions& options;
+  ReplayUnit unit;
+  SnapshotCache* cache;
+  ExploreResult& result;
+  std::vector<ProcId> prefix;
 
-  while (!stack.empty()) {
-    if (result.nodes_visited >= options.max_nodes) {
-      result.exhausted = false;
-      break;
-    }
-    const std::vector<ProcId> prefix = std::move(stack.back());
-    stack.pop_back();
-    ++result.nodes_visited;
-
-    ExploreInstance instance = build();
+  /// Visits the node at `prefix`, whose world is `instance`. Returns false
+  /// to abort the whole search (violation found or node cap hit).
+  bool visit(ExploreInstance instance) {
     ensure(instance.sim != nullptr, "explore builder returned no simulation");
+    ++result.nodes_visited;
     Simulation& sim = *instance.sim;
-    // Replay the prefix. Under macro stepping each prefix entry denotes
-    // "flush events, then one memory op" for that process.
-    for (const ProcId p : prefix) {
-      ensure(sim.runnable(p), "explore prefix replay diverged");
-      if (options.macro_steps) {
-        while (sim.runnable(p) &&
-               sim.pending(p).kind != ActionKind::kMemOp) {
-          sim.step(p);
-        }
-        if (sim.runnable(p)) sim.step(p);
-      } else {
-        sim.step(p);
-      }
-    }
 
     if (const auto v = check(sim.history()); v.has_value()) {
       result.violation = v;
       result.violating_schedule = prefix;
-      return result;
+      return false;
     }
-
     if (sim.all_terminated()) {
       ++result.complete_schedules;
-      continue;
+      return true;
     }
     if (static_cast<int>(prefix.size()) >= options.max_depth) {
       ++result.truncated_schedules;
-      continue;
+      return true;
     }
-    // Children: every runnable process, pushed in reverse so low ids are
-    // explored first.
-    for (ProcId p = static_cast<ProcId>(sim.nprocs()) - 1; p >= 0; --p) {
-      if (!sim.runnable(p)) continue;
-      std::vector<ProcId> child = prefix;
-      child.push_back(p);
-      stack.push_back(std::move(child));
+
+    std::vector<ProcId> children;
+    children.reserve(static_cast<std::size_t>(sim.nprocs()));
+    for (ProcId p = 0; p < static_cast<ProcId>(sim.nprocs()); ++p) {
+      if (sim.runnable(p)) children.push_back(p);
     }
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (result.nodes_visited >= options.max_nodes) {
+        result.exhausted = false;
+        return false;
+      }
+      prefix.push_back(children[i]);
+      bool keep_going;
+      if (i == 0 && cache != nullptr) {
+        // `instance` is the parent's world and nobody needs it afterwards:
+        // advance it one unit and hand it down.
+        extend_in_place(instance, children[i], unit, prefix, cache,
+                        &result.stats);
+        keep_going = visit(std::move(instance));
+      } else {
+        keep_going = visit(materialize_schedule(build, prefix, unit,
+                                                options.counters_only_history,
+                                                cache, &result.stats));
+      }
+      prefix.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
   }
+};
+
+}  // namespace
+
+ExploreResult explore_all_schedules(const ExploreBuilder& build,
+                                    const ExploreChecker& check,
+                                    const ExploreOptions& options) {
+  ExploreResult result;
+  const ReplayUnit unit =
+      options.macro_steps ? ReplayUnit::kMacro : ReplayUnit::kStep;
+  std::optional<SnapshotCache> cache;
+  if (options.snapshot_mode == SnapshotMode::kSnapshot) {
+    cache.emplace(SnapshotCache::Config{options.snapshot_stride,
+                                        options.snapshot_max_bytes});
+  }
+  SnapshotCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
+
+  if (options.max_nodes > 0) {
+    NaiveDfs dfs{build,     check, options, unit,
+                 cache_ptr, result, {}};
+    dfs.visit(materialize_schedule(build, {}, unit,
+                                   options.counters_only_history, cache_ptr,
+                                   &result.stats));
+  } else {
+    result.exhausted = false;
+  }
+  if (cache.has_value()) fold_cache_stats(*cache, result.stats);
   return result;
 }
 
@@ -83,6 +113,12 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
                                     ProcId victim,
                                     const CrashSweepOptions& options) {
   CrashSweepResult result;
+  std::optional<SnapshotCache> cache;
+  if (options.snapshot_mode == SnapshotMode::kSnapshot) {
+    cache.emplace(SnapshotCache::Config{options.snapshot_stride,
+                                        options.snapshot_max_bytes});
+  }
+  SnapshotCache* cache_ptr = cache.has_value() ? &*cache : nullptr;
 
   // Baseline crash-free run: its schedule enumerates the victim's steps,
   // each of which is a crash point to try.
@@ -102,18 +138,18 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
 
   for (const std::size_t cut : points) {
     if (result.crash_points >= options.max_crash_points) break;
-    ExploreInstance instance = build();
+    // Successive cuts extend each other along the one baseline, so in
+    // snapshot mode each rebuild restores the previous cut's world and
+    // replays only the delta. Only the pre-crash world is ever cached; the
+    // crash and everything after it run on the materialized instance.
+    const std::vector<ProcId> cut_schedule(
+        baseline.begin(), baseline.begin() + static_cast<std::ptrdiff_t>(cut));
+    ExploreInstance instance =
+        materialize_schedule(build, cut_schedule, ReplayUnit::kStep,
+                             /*counters_only=*/false, cache_ptr,
+                             &result.stats);
     ensure(instance.sim != nullptr, "sweep builder returned no simulation");
     Simulation& sim = *instance.sim;
-    for (std::size_t i = 0; i < cut; ++i) {
-      const ProcId p = baseline[i];
-      if (p == kNoProc) {
-        sim.tick();
-        continue;
-      }
-      ensure(sim.runnable(p), "crash-sweep prefix replay diverged");
-      sim.step(p);
-    }
     if (sim.terminated(victim)) continue;  // nothing left to crash
     ++result.crash_points;
     sim.crash(victim);
@@ -123,7 +159,7 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
     if (const auto v = check(sim.history()); v.has_value()) {
       result.violation = v;
       result.violating_crash_point = static_cast<int>(cut);
-      return result;
+      break;
     }
     switch (done) {
       case DriveOutcome::kAllTerminated: ++result.completed; break;
@@ -131,6 +167,7 @@ CrashSweepResult sweep_crash_points(const ExploreBuilder& build,
       case DriveOutcome::kWedged: ++result.wedged; break;
     }
   }
+  if (cache.has_value()) fold_cache_stats(*cache, result.stats);
   return result;
 }
 

@@ -35,6 +35,19 @@ struct ExploreInstance {
   std::unique_ptr<Simulation> sim;
 };
 
+/// How explorers rebuild the world at a tree node (DESIGN.md, "Snapshot
+/// exploration"):
+///  - kReplay: call build() and re-execute the schedule prefix from scratch
+///    — the original O(nodes x depth) strategy, kept as the oracle.
+///  - kSnapshot: restore the deepest cached WorldSnapshot whose schedule is
+///    a prefix of the target and replay only the remaining suffix. Identical
+///    results (forking is behaviorally lossless; the parity suite enforces
+///    it), much cheaper on deep trees.
+enum class SnapshotMode {
+  kReplay,
+  kSnapshot,
+};
+
 struct ExploreOptions {
   /// Abandon a schedule past this many steps (spinning processes make the
   /// tree infinite; such paths are reported as truncated, not failures).
@@ -54,6 +67,14 @@ struct ExploreOptions {
   /// only sound when the checker reads aggregate counters (size, rmrs,
   /// participants, ...), not records; record-backed queries throw.
   bool counters_only_history = false;
+  /// Node reconstruction strategy. kSnapshot is the default; kReplay is the
+  /// oracle the parity tests compare against.
+  SnapshotMode snapshot_mode = SnapshotMode::kSnapshot;
+  /// Take a snapshot every `snapshot_stride` tree levels along each replay
+  /// (1 = every node). Larger strides trade replay work for memory.
+  int snapshot_stride = 6;
+  /// Byte budget for cached snapshots per cache (LRU eviction beyond it).
+  std::size_t snapshot_max_bytes = std::size_t{8} << 20;
 };
 
 /// Reduction statistics. The naive explorer leaves everything but
@@ -63,13 +84,29 @@ struct ExploreOptions {
 /// as such; the exact naive count for configurations both explorers can
 /// finish is measured by running explore_all_schedules itself.
 struct ExploreStats {
-  std::uint64_t replayed_steps = 0;      ///< simulator steps spent on replays
+  /// Simulator steps actually executed to rebuild states (every step() and
+  /// tick() applied during prefix replays, counted from the simulator's own
+  /// schedule — NOT the number of macro-schedule entries, which undercounts
+  /// by the events/ticks each macro step flushes).
+  std::uint64_t replayed_steps = 0;
   std::uint64_t sleep_set_prunes = 0;    ///< children skipped via sleep sets
   std::uint64_t backtrack_points = 0;    ///< race-driven backtrack insertions
   std::uint64_t sleep_blocked_paths = 0; ///< nodes where every child slept
   double naive_tree_estimate = 0.0;      ///< est. nodes a naive DFS visits
   int rounds = 0;                        ///< parallel fixpoint rounds
   std::uint64_t work_items = 0;          ///< parallel work items executed
+  // Snapshot-mode counters (zero in kReplay mode).
+  std::uint64_t snapshot_hits = 0;       ///< rebuilds served from a snapshot
+  std::uint64_t snapshot_misses = 0;     ///< rebuilds that fell back to build()
+  std::uint64_t snapshots_taken = 0;     ///< snapshots captured into caches
+  std::uint64_t snapshot_evictions = 0;  ///< snapshots LRU-evicted (budget)
+  /// Of `replayed_steps`, the steps executed after restoring a snapshot
+  /// (the delta suffix). replayed_steps - snapshot_delta_steps = steps spent
+  /// on from-scratch replays.
+  std::uint64_t snapshot_delta_steps = 0;
+  /// Peak retained snapshot bytes — max over caches for parallel searches
+  /// (each worker item owns a private cache), not a global sum.
+  std::uint64_t snapshot_peak_bytes = 0;
 };
 
 struct ExploreResult {
@@ -112,6 +149,12 @@ struct CrashSweepOptions {
   /// false the victim stays crashed forever — the crash-stop model — and
   /// runs whose survivors wait on it end up wedged, not budget-exhausted.
   bool recover_victim = true;
+  /// Prefix reconstruction strategy for the per-crash-point replays (the
+  /// same semantics as ExploreOptions::snapshot_mode; pre-crash worlds
+  /// only, post-crash execution is never cached).
+  SnapshotMode snapshot_mode = SnapshotMode::kSnapshot;
+  int snapshot_stride = 6;
+  std::size_t snapshot_max_bytes = std::size_t{8} << 20;
 };
 
 struct CrashSweepResult {
@@ -128,6 +171,9 @@ struct CrashSweepResult {
   /// (the number of baseline steps replayed before the crash).
   std::optional<std::string> violation;
   int violating_crash_point = -1;
+  /// Replay/snapshot accounting for the per-crash-point prefix rebuilds
+  /// (only the replay-related and snapshot_* fields are meaningful here).
+  ExploreStats stats;
 };
 
 /// The deterministic analogue of explore_all_schedules for the crash axis:

@@ -38,6 +38,23 @@ struct ShrinkResult {
   std::string message;
   int candidates_tried = 0;
   int candidates_reproduced = 0;
+  /// Replay/snapshot accounting across all candidate reproductions (the
+  /// replay-related and snapshot_* fields only).
+  ExploreStats stats;
+};
+
+struct ShrinkOptions {
+  int max_passes = 32;
+  /// Candidate reproduction strategy. Candidates share long prefixes (each
+  /// edit touches one position), so in snapshot mode each reproduction
+  /// restores the deepest cached prefix instead of replaying from scratch.
+  /// Snapshots are cached only at depths where the checker has passed, so
+  /// skipping the restored prefix's checks is exact (determinism: same
+  /// prefix, same world, same check outcomes). Witnesses and messages are
+  /// identical in both modes.
+  SnapshotMode snapshot_mode = SnapshotMode::kSnapshot;
+  int snapshot_stride = 6;
+  std::size_t snapshot_max_bytes = std::size_t{8} << 20;
 };
 
 /// Replays `schedule` on a fresh world, checking after every macro step;
@@ -52,6 +69,11 @@ std::optional<std::pair<std::string, std::size_t>> reproduce_violation(
 /// to `max_passes` times or until a fixpoint). Returns nullopt if the input
 /// schedule does not reproduce a violation in the first place; otherwise
 /// the result's schedule is guaranteed to reproduce the result's message.
+std::optional<ShrinkResult> shrink_counterexample(
+    const ExploreBuilder& build, const ExploreChecker& check,
+    const std::vector<ProcId>& schedule, const ShrinkOptions& options);
+
+/// Convenience overload with default snapshot options.
 std::optional<ShrinkResult> shrink_counterexample(
     const ExploreBuilder& build, const ExploreChecker& check,
     const std::vector<ProcId>& schedule, int max_passes = 32);

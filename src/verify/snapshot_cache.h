@@ -1,0 +1,147 @@
+// Depth-stratified snapshot cache: the state-reconstruction engine behind
+// SnapshotMode::kSnapshot (DESIGN.md, "Snapshot exploration").
+//
+// Exploration trees address nodes by schedule prefixes, and rmrsim worlds
+// are deterministic functions of their prefix — so a WorldSnapshot captured
+// after replaying a prefix stands for that tree node forever. The cache maps
+// prefixes to snapshots; rebuilding a node restores the deepest cached
+// ancestor and replays only the remaining suffix. Replay cost per node drops
+// from O(depth) to O(stride), killing the O(nodes x depth) replay tax.
+//
+// Memory is bounded: snapshots are taken only at stride-aligned depths and
+// the cache LRU-evicts past a byte budget (WorldSnapshot::approx_bytes).
+// Caches are single-threaded by design; the parallel DPOR search gives each
+// work item a private cache seeded with the snapshot shipped alongside the
+// stolen frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "verify/explorer.h"
+
+namespace rmrsim {
+
+class SnapshotCache {
+ public:
+  struct Config {
+    int stride = 6;
+    std::size_t max_bytes = std::size_t{8} << 20;
+  };
+
+  explicit SnapshotCache(Config config) : config_(config) {}
+
+  const Config& config() const { return config_; }
+
+  /// True iff a snapshot for exactly this prefix is cached (cheap; used to
+  /// avoid re-capturing a prefix every time a replay passes through it).
+  bool contains(const std::vector<ProcId>& prefix) const {
+    return entries_.find(prefix) != entries_.end();
+  }
+
+  /// FNV-1a over the schedule entries. Prefix keys live in a hash map: the
+  /// longest-prefix probe runs hundreds of thousands of times per
+  /// exploration, and ordered-map lookups (O(log n) full vector
+  /// comparisons each) were the single hottest profile entry.
+  struct PrefixHash {
+    std::size_t operator()(const std::vector<ProcId>& v) const {
+      std::size_t h = 14695981039346656037ull;
+      for (const ProcId p : v) {
+        h ^= static_cast<std::size_t>(static_cast<std::uint32_t>(p));
+        h *= 1099511628211ull;
+      }
+      return h;
+    }
+  };
+
+  /// Caches `snap` as the world at `prefix`, evicting least-recently-used
+  /// entries if the byte budget overflows. A snapshot alone bigger than the
+  /// whole budget is refused (returns false).
+  bool insert(std::vector<ProcId> prefix,
+              std::shared_ptr<const WorldSnapshot> snap);
+
+  /// The deepest cached snapshot whose prefix is a prefix of `target`
+  /// (including `target` itself), or nullptr. Refreshes the entry's LRU
+  /// position. On return, `*matched_len` (if non-null) holds the prefix
+  /// length of the match.
+  std::shared_ptr<const WorldSnapshot> best_prefix(
+      const std::vector<ProcId>& target, std::size_t* matched_len = nullptr);
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t bytes() const { return bytes_; }
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  struct Entry {
+    std::shared_ptr<const WorldSnapshot> snap;
+    std::size_t bytes = 0;
+    std::uint64_t last_used = 0;
+  };
+
+  void evict_to_budget();
+  void erase_entry(const std::vector<ProcId>& key);
+
+  Config config_;
+  std::unordered_map<std::vector<ProcId>, Entry, PrefixHash> entries_;
+  // Distinct prefix lengths present -> entry count. best_prefix probes only
+  // lengths that actually exist (descending), not every length L..0.
+  std::map<std::size_t, std::size_t> length_count_;
+  std::size_t bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t tick_ = 0;  // monotonic LRU clock (deterministic)
+};
+
+/// The schedule entry granularity of a replay. Explorers and the DPOR engine
+/// branch on macro steps; the crash-point sweep replays raw simulator
+/// schedules (where kNoProc entries are clock ticks).
+enum class ReplayUnit {
+  kMacro,
+  kStep,
+};
+
+/// Captures the current world of `inst` (carrying its keepalive so restored
+/// clones keep the algorithm objects alive).
+std::shared_ptr<const WorldSnapshot> take_snapshot(const ExploreInstance& inst);
+
+/// Rehydrates a live instance from a snapshot.
+ExploreInstance restore_instance(const WorldSnapshot& snap);
+
+/// Builds the world at `schedule`: restores the deepest cached ancestor if
+/// `cache` is non-null (snapshot mode) or build()s from scratch (replay
+/// mode, or on a cache miss), then replays the remaining suffix one `unit`
+/// at a time. Along the replay, stride-aligned prefixes are captured into
+/// the cache, bounding any later rebuild's replay to at most `stride` units
+/// past its deepest cached ancestor.
+///
+/// `stats` (optional) receives the honest accounting: replayed_steps counts
+/// every simulator step and tick actually executed — measured from the
+/// simulator's own schedule growth, not the entry count of `schedule` — and
+/// the snapshot hit/miss/delta counters.
+ExploreInstance materialize_schedule(const ExploreBuilder& build,
+                                     const std::vector<ProcId>& schedule,
+                                     ReplayUnit unit, bool counters_only,
+                                     SnapshotCache* cache,
+                                     ExploreStats* stats = nullptr);
+
+/// Advances a live instance by one replay unit of `p` — the zero-copy way
+/// to descend into a DFS child when the parent world is already in hand.
+/// `prefix` must be the child node's full schedule (parent prefix + p);
+/// stride-aligned prefixes are captured into `cache` exactly as a replay
+/// through them would. Steps executed are counted into stats->replayed_steps
+/// (they are real simulator work) but not into snapshot_delta_steps (nothing
+/// was restored).
+void extend_in_place(ExploreInstance& inst, ProcId p, ReplayUnit unit,
+                     const std::vector<ProcId>& prefix, SnapshotCache* cache,
+                     ExploreStats* stats = nullptr);
+
+/// Folds a cache's end-of-life counters into `stats` (evictions and peak
+/// bytes are cache-lifetime aggregates, collected once per cache).
+void fold_cache_stats(const SnapshotCache& cache, ExploreStats& stats);
+
+}  // namespace rmrsim

@@ -360,11 +360,24 @@ int cmd_explore(const Args& a) {
     return 2;
   }
 
+  const std::string mode_name = a.get("mode", "snapshot");
+  SnapshotMode snapshot_mode;
+  if (mode_name == "snapshot") {
+    snapshot_mode = SnapshotMode::kSnapshot;
+  } else if (mode_name == "replay") {
+    snapshot_mode = SnapshotMode::kReplay;
+  } else {
+    std::fprintf(stderr, "unknown --mode '%s' (replay|snapshot)\n",
+                 mode_name.c_str());
+    return 2;
+  }
+
   DporOptions opt;
   opt.max_depth = static_cast<int>(a.get_int("depth", 20));
   opt.max_nodes = static_cast<std::uint64_t>(a.get_int("max-nodes", 2'000'000));
   opt.workers = static_cast<int>(a.get_int("workers", 1));
   opt.trunk_depth = static_cast<int>(a.get_int("trunk-depth", 6));
+  opt.snapshot_mode = snapshot_mode;
   const ExploreResult dpor = explore_dpor(build, check, opt);
 
   TextTable t;
@@ -380,6 +393,17 @@ int cmd_explore(const Args& a) {
   if (opt.workers > 1) {
     t.add_row({"parallel rounds", std::to_string(dpor.stats.rounds)});
     t.add_row({"work items", std::to_string(dpor.stats.work_items)});
+  }
+  if (a.has("snapshot-stats")) {
+    t.add_row({"snapshot hits", std::to_string(dpor.stats.snapshot_hits)});
+    t.add_row({"snapshot misses", std::to_string(dpor.stats.snapshot_misses)});
+    t.add_row({"snapshots taken", std::to_string(dpor.stats.snapshots_taken)});
+    t.add_row(
+        {"snapshot evictions", std::to_string(dpor.stats.snapshot_evictions)});
+    t.add_row({"snapshot delta steps",
+               std::to_string(dpor.stats.snapshot_delta_steps)});
+    t.add_row({"snapshot peak bytes",
+               std::to_string(dpor.stats.snapshot_peak_bytes)});
   }
   t.add_row({"verdict", dpor.violation ? "VIOLATED: " + *dpor.violation
                                        : "no violation"});
@@ -404,6 +428,7 @@ int cmd_explore(const Args& a) {
     ExploreOptions naive_opt;
     naive_opt.max_depth = opt.max_depth;
     naive_opt.max_nodes = opt.max_nodes;
+    naive_opt.snapshot_mode = snapshot_mode;
     const ExploreResult naive = explore_all_schedules(build, check, naive_opt);
     std::printf("naive: %llu nodes, %s, verdict %s\n",
                 static_cast<unsigned long long>(naive.nodes_visited),
@@ -440,6 +465,9 @@ void usage() {
       "  gme       --procs N --sessions K --passages P --model M\n"
       "  explore   --target signal|mutex --model M [--depth D]\n"
       "            [--max-nodes N] [--workers W] [--trunk-depth T]\n"
+      "            [--mode replay|snapshot]  (state reconstruction engine;\n"
+      "                       default snapshot — replay is the oracle)\n"
+      "            [--snapshot-stats] (print snapshot cache counters)\n"
       "            [--naive]  (also run the unreduced explorer, compare)\n"
       "            [--shrink] (minimize any counterexample)\n"
       "            signal: --alg A --waiters N --polls P\n"
