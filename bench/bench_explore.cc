@@ -173,11 +173,16 @@ PerfRun time_explore(SnapshotMode mode, double min_seconds) {
   return out;
 }
 
-MetricsRegistry perf_metrics(const PerfRun& r) {
+MetricsRegistry perf_metrics(const PerfRun& r, bool deterministic) {
   MetricsRegistry reg;
-  reg.set("ms_per_run", r.ms_per_run);
-  reg.set("nodes_per_sec",
-          static_cast<double>(r.result.nodes_visited) / (r.ms_per_run / 1e3));
+  // --deterministic keeps only the counters that are a pure function of the
+  // search (steps, hits, bytes): two runs of the suite then produce
+  // byte-identical artifacts, which is what lets CI diff them.
+  if (!deterministic) {
+    reg.set("ms_per_run", r.ms_per_run);
+    reg.set("nodes_per_sec",
+            static_cast<double>(r.result.nodes_visited) / (r.ms_per_run / 1e3));
+  }
   reg.set("replayed_steps", static_cast<double>(r.result.stats.replayed_steps));
   reg.set("snapshot_hits", static_cast<double>(r.result.stats.snapshot_hits));
   reg.set("snapshot_misses",
@@ -194,7 +199,8 @@ MetricsRegistry perf_metrics(const PerfRun& r) {
 }
 
 int run_perf_suite(const std::string& out_dir, double min_seconds,
-                   double gate_steps, double gate_speedup) {
+                   double gate_steps, double gate_speedup,
+                   bool deterministic) {
   const auto wall0 = std::chrono::steady_clock::now();
   const PerfRun replay = time_explore(SnapshotMode::kReplay, min_seconds);
   const PerfRun snap = time_explore(SnapshotMode::kSnapshot, min_seconds);
@@ -226,8 +232,8 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
   for (std::size_t i = 0; i < spec.grid_size(); ++i) {
     SweepPointResult pr;
     pr.point = spec.point_at(i);
-    pr.metrics =
-        perf_metrics(pr.point.algorithm == "explore_replay" ? replay : snap);
+    pr.metrics = perf_metrics(
+        pr.point.algorithm == "explore_replay" ? replay : snap, deterministic);
     result.points.push_back(std::move(pr));
   }
   result.wall_ms = ms_since(wall0);
@@ -238,7 +244,8 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
   artifact.generator = "bench_explore --perf-suite";
   artifact.git = git_describe();
   artifact.result = result;
-  const std::string path = write_artifact(artifact, out_dir);
+  const std::string path =
+      write_artifact(artifact, out_dir, /*include_wall_time=*/!deterministic);
 
   const double steps_reduction =
       static_cast<double>(replay.result.stats.replayed_steps) /
@@ -278,6 +285,7 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
 
 int main(int argc, char** argv) {
   bool perf_suite = false;
+  bool deterministic = false;
   std::string out_dir = ".";
   double min_seconds = 0.5;
   double gate_steps = 0;
@@ -285,6 +293,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--perf-suite") == 0) {
       perf_suite = true;
+    } else if (std::strcmp(argv[i], "--deterministic") == 0) {
+      deterministic = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
@@ -296,7 +306,8 @@ int main(int argc, char** argv) {
     }
   }
   if (perf_suite) {
-    return run_perf_suite(out_dir, min_seconds, gate_steps, gate_speedup);
+    return run_perf_suite(out_dir, min_seconds, gate_steps, gate_speedup,
+                          deterministic);
   }
 
   const std::uint64_t cap = 2'000'000;

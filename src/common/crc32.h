@@ -1,0 +1,24 @@
+// Checksums and fingerprints for on-disk records.
+//
+// The checkpoint format (verify/checkpoint.h) guards every record and
+// header with CRC-32 so a torn or bit-flipped write is detected, never
+// trusted; FNV-1a 64 fingerprints a search configuration so a checkpoint
+// written under one set of options refuses to resume under another.
+// Both are self-contained (no zlib dependency) and byte-order independent:
+// they hash the bytes they are given.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace rmrsim {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, reflected), the checksum of
+/// zip/zlib/ethernet. crc32("123456789") == 0xCBF43926.
+std::uint32_t crc32(std::string_view bytes);
+
+/// FNV-1a 64-bit hash — cheap, stable across platforms, good enough to
+/// fingerprint configuration strings (not adversarial input).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace rmrsim

@@ -2,9 +2,9 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 
 #include "common/check.h"
+#include "common/fsio.h"
 #include "trace/export.h"
 
 namespace rmrsim {
@@ -115,11 +115,10 @@ std::string write_artifact(const BenchArtifact& artifact,
   std::string path = dir.empty() ? std::string(".") : dir;
   if (path.back() != '/') path += '/';
   path += "BENCH_" + artifact.name + ".json";
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  ensure(out.good(), "cannot open artifact file for writing");
-  out << artifact_to_json(artifact, include_wall_time);
-  out.close();
-  ensure(out.good(), "artifact write failed");
+  // Atomic replace (tmp + fsync + rename): downstream gates byte-compare
+  // these files, so a reader must never see a torn artifact — a kill or a
+  // full disk mid-write leaves the previous file intact and throws here.
+  write_file_atomic(path, artifact_to_json(artifact, include_wall_time));
   return path;
 }
 

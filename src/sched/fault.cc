@@ -1,6 +1,7 @@
 #include "sched/fault.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/check.h"
@@ -76,17 +77,38 @@ std::string find_field(const std::string& body, const std::string& key) {
   return {};
 }
 
+/// Strict non-negative integer: rejects anything strtoull would silently
+/// read as 0 (letters, empty, trailing junk) with an actionable message.
+std::uint64_t parse_u64_strict(const std::string& v, const std::string& key,
+                               const std::string& spec) {
+  ensure(!v.empty() && v.find_first_not_of("0123456789") == std::string::npos,
+         "--fault-plan '" + spec + "': " + key +
+             "= expects a non-negative integer, got '" + v + "'");
+  errno = 0;
+  const std::uint64_t n = std::strtoull(v.c_str(), nullptr, 10);
+  ensure(errno == 0, "--fault-plan '" + spec + "': " + key +
+                         "= value '" + v + "' is out of range");
+  return n;
+}
+
 std::uint64_t need_u64(const std::string& body, const std::string& key,
                        const std::string& spec) {
   const std::string v = find_field(body, key);
   ensure(!v.empty(), "--fault-plan '" + spec + "' is missing " + key + "=");
-  return std::strtoull(v.c_str(), nullptr, 10);
+  return parse_u64_strict(v, key, spec);
 }
 
 std::uint64_t opt_u64(const std::string& body, const std::string& key,
-                      std::uint64_t fallback) {
+                      std::uint64_t fallback, const std::string& spec) {
   const std::string v = find_field(body, key);
-  return v.empty() ? fallback : std::strtoull(v.c_str(), nullptr, 10);
+  return v.empty() ? fallback : parse_u64_strict(v, key, spec);
+}
+
+/// recover= accepts an integer downtime or the word "never" (crash-stop).
+std::uint64_t recover_u64(const std::string& body, const std::string& spec) {
+  const std::string v = find_field(body, "recover");
+  if (v.empty() || v == "never") return 100;
+  return parse_u64_strict(v, "recover", spec);
 }
 
 }  // namespace
@@ -102,22 +124,31 @@ FaultPlan parse_fault_plan(const std::string& spec) {
   if (kind == "step") {
     const auto proc = static_cast<ProcId>(need_u64(body, "proc", spec));
     FaultPlan plan = FaultPlan::crash_at_step(
-        proc, need_u64(body, "n", spec), opt_u64(body, "recover", 100));
+        proc, need_u64(body, "n", spec), recover_u64(body, spec));
     if (find_field(body, "recover") == "never") plan.recover = false;
     return plan;
   }
   if (kind == "rmr") {
     const auto proc = static_cast<ProcId>(need_u64(body, "proc", spec));
-    return FaultPlan::crash_on_nth_rmr(proc, need_u64(body, "n", spec),
-                                       opt_u64(body, "recover", 100));
+    FaultPlan plan = FaultPlan::crash_on_nth_rmr(
+        proc, need_u64(body, "n", spec), recover_u64(body, spec));
+    if (find_field(body, "recover") == "never") plan.recover = false;
+    return plan;
   }
   if (kind == "random") {
     const std::string rate = find_field(body, "rate");
     ensure(!rate.empty(), "--fault-plan '" + spec + "' is missing rate=");
-    return FaultPlan::random(
-        opt_u64(body, "seed", 1), std::strtod(rate.c_str(), nullptr),
-        opt_u64(body, "recover", 100),
-        static_cast<int>(opt_u64(body, "max", 1 << 20)));
+    char* rate_end = nullptr;
+    const double rate_val = std::strtod(rate.c_str(), &rate_end);
+    ensure(rate_end != nullptr && *rate_end == '\0' && !rate.empty(),
+           "--fault-plan '" + spec + "': rate= expects a number, got '" +
+               rate + "'");
+    FaultPlan plan = FaultPlan::random(
+        opt_u64(body, "seed", 1, spec), rate_val,
+        recover_u64(body, spec),
+        static_cast<int>(opt_u64(body, "max", 1 << 20, spec)));
+    if (find_field(body, "recover") == "never") plan.recover = false;
+    return plan;
   }
   fail("--fault-plan kind must be step, rmr, or random, got '" + kind + "'");
 }

@@ -2,15 +2,18 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
 #include "common/check.h"
 #include "sched/schedulers.h"
+#include "verify/checkpoint.h"
 #include "verify/snapshot_cache.h"
 
 namespace rmrsim {
@@ -94,17 +97,10 @@ std::vector<std::int32_t> race_scan(const std::vector<PathStep>& path,
   return acc;
 }
 
-struct Violation {
-  std::vector<ProcId> schedule;
-  std::string message;
-};
-
-/// A race insertion that targets a trunk node: drained by the coordinator
-/// at the round barrier, in canonical (path, proc) order.
-struct ExternalAdd {
-  std::vector<ProcId> node_path;
-  ProcId proc = kNoProc;
-};
+// Violations, external race insertions, and item outcomes are public types
+// now (verify/checkpoint.h): an ItemOutcome is exactly the unit the
+// persistent frontier records and replays.
+using Violation = ExploreViolation;
 
 /// A closed subtree handed to a worker: the macro path to its root, the
 /// executed steps (footprints + clocks) along it, and the sleep set at the
@@ -122,19 +118,11 @@ struct WorkItem {
   std::shared_ptr<const WorldSnapshot> root_snap;
 };
 
-struct ItemOutcome {
-  std::uint64_t nodes = 0;
-  std::uint64_t complete = 0;
-  std::uint64_t truncated = 0;
-  std::uint64_t sleep_prunes = 0;
-  std::uint64_t sleep_blocked = 0;
-  std::uint64_t backtracks = 0;
-  ExploreStats replay;  // replayed_steps + snapshot_* counters only
-  double estimate_sum = 0.0;
-  std::uint64_t leaves = 0;
-  std::vector<Violation> violations;
-  std::vector<std::vector<ProcId>> completes;  // macro schedules (if collected)
-  std::vector<ExternalAdd> externals;
+/// A failed item execution attempt: a worker "dying" (injected failure, an
+/// exception escaping the item) or a per-item deadline trip. Caught by the
+/// retry wrapper; never escapes to the caller.
+struct ItemFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 struct Shared {
@@ -146,8 +134,17 @@ struct Shared {
   bool counters_only = false;
   bool snapshots = false;  // SnapshotMode::kSnapshot
   SnapshotCache::Config cache_config;
+  // Worker-failure discipline (DporOptions). The injection hook is a
+  // pointer into the options object, which outlives the search.
+  int item_max_attempts = 1;
+  std::uint64_t retry_backoff_ms = 0;
+  std::uint64_t item_node_limit = 0;
+  double item_wall_limit_ms = 0.0;
+  const std::function<bool(const std::vector<ProcId>&, int)>* inject = nullptr;
   std::atomic<std::uint64_t> nodes{0};
   std::atomic<bool> budget_hit{false};
+  std::atomic<std::uint64_t> worker_failures{0};
+  std::atomic<std::uint64_t> item_retries{0};
 };
 
 bool charge_node(Shared& sh) {
@@ -163,7 +160,14 @@ bool charge_node(Shared& sh) {
 /// and replays the schedule prefix, like the naive explorer; races whose
 /// reversal point lies inside the subtree grow local backtrack sets, races
 /// targeting the trunk are emitted as externals.
-void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
+///
+/// Node-budget charges accumulate in out.charged and are committed to the
+/// shared counter only by the retry wrapper, when the attempt succeeds —
+/// an attempt that fails (ItemFailure) leaves the global count untouched,
+/// so the retried attempt re-executes an identical subtree and
+/// nodes_visited stays deterministic under any failure pattern.
+void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
+              std::chrono::steady_clock::time_point attempt_start) {
   struct Frame {
     std::vector<ProcId> enabled;
     std::vector<SleepEntry> sleep;
@@ -270,9 +274,26 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
       ++out.sleep_prunes;
       continue;
     }
-    if (!charge_node(sh)) {
+    ++out.charged;
+    if (sh.nodes.load(std::memory_order_relaxed) + out.charged >
+        sh.max_nodes) {
+      // Global budget: abandon the item (best effort, partial outcome).
+      out.budget_hit = true;
       if (cache.has_value()) fold_cache_stats(*cache, out.replay);
-      return;  // budget: abandon the item (best effort)
+      return;
+    }
+    if (sh.item_node_limit > 0 && out.charged > sh.item_node_limit) {
+      throw ItemFailure("work item exceeded its per-attempt step deadline (" +
+                        std::to_string(sh.item_node_limit) + " nodes)");
+    }
+    if (sh.item_wall_limit_ms > 0.0 && (out.charged & 31) == 0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - attempt_start)
+              .count();
+      if (elapsed_ms > sh.item_wall_limit_ms) {
+        throw ItemFailure("work item exceeded its per-attempt wall deadline");
+      }
     }
     if (!sim_valid) {
       inst = materialize_schedule(*sh.build, schedule, ReplayUnit::kMacro,
@@ -336,6 +357,56 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out) {
   if (cache.has_value()) fold_cache_stats(*cache, out.replay);
 }
 
+/// Runs one item under the worker-failure discipline: a failed attempt
+/// (thrown exception — a "dead" worker — or a per-item deadline) is retried
+/// in the same slot with exponential backoff, up to item_max_attempts
+/// total attempts. Retrying in place rather than re-enqueueing preserves
+/// the pool's termination invariant (no new queue entries appear mid-round)
+/// while giving the same bounded-retry semantics. Node charges are
+/// committed only on success, so the merged results are independent of how
+/// many attempts any item needed. Returns false when the item is
+/// permanently failing; `quarantine_reason` then says why and `out` is left
+/// empty (the subtree contributed nothing).
+bool run_item_recovering(Shared& sh, const WorkItem& item, ItemOutcome& out,
+                         std::string* quarantine_reason) {
+  for (int attempt = 1;; ++attempt) {
+    ItemOutcome attempt_out;
+    attempt_out.schedule = item.schedule;
+    try {
+      if (sh.inject != nullptr && *sh.inject &&
+          (*sh.inject)(item.schedule, attempt)) {
+        throw ItemFailure("injected worker failure");
+      }
+      run_item(sh, item, attempt_out, std::chrono::steady_clock::now());
+    } catch (const std::exception& e) {
+      sh.worker_failures.fetch_add(1, std::memory_order_relaxed);
+      if (attempt >= sh.item_max_attempts) {
+        *quarantine_reason = e.what();
+        out = ItemOutcome{};
+        out.schedule = item.schedule;
+        return false;
+      }
+      sh.item_retries.fetch_add(1, std::memory_order_relaxed);
+      if (sh.retry_backoff_ms > 0) {
+        const std::uint64_t shift =
+            std::min<std::uint64_t>(static_cast<std::uint64_t>(attempt - 1),
+                                    10);
+        const std::uint64_t delay_ms =
+            std::min<std::uint64_t>(sh.retry_backoff_ms << shift, 1000);
+        std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      }
+      continue;
+    }
+    out = std::move(attempt_out);
+    const std::uint64_t before =
+        sh.nodes.fetch_add(out.charged, std::memory_order_relaxed);
+    if (before + out.charged > sh.max_nodes) {
+      sh.budget_hit.store(true, std::memory_order_relaxed);
+    }
+    return true;
+  }
+}
+
 /// A persistent node of the sequentially-owned trunk (depth < trunk_depth).
 /// Trunk nodes live across rounds so that race insertions arriving from
 /// deep items can still open new branches near the root.
@@ -376,6 +447,13 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
   sh.snapshots = options.snapshot_mode == SnapshotMode::kSnapshot;
   sh.cache_config = SnapshotCache::Config{std::max(1, options.snapshot_stride),
                                           options.snapshot_max_bytes};
+  sh.item_max_attempts = std::max(1, options.item_max_attempts);
+  sh.retry_backoff_ms = options.retry_backoff_ms;
+  sh.item_node_limit = options.item_node_limit;
+  sh.item_wall_limit_ms = options.item_wall_limit_ms;
+  sh.inject = options.inject_item_failure ? &options.inject_item_failure
+                                          : nullptr;
+  ExploreCheckpoint* const ck = options.checkpoint;
 
   // Trunk-level cache: the coordinator's expansions walk prefixes of each
   // other, so nearly every rebuild is a one-step delta from a cached node.
@@ -553,20 +631,58 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
     // item is self-contained, so results are independent of which worker
     // runs what; outcomes merge in item order (canonical).
     std::vector<ItemOutcome> outcomes(items.size());
+    std::vector<std::string> quarantine(items.size());  // empty = healthy
     result.stats.work_items += items.size();
+
+    // Checkpoint pre-pass: items already completed by a previous run (or an
+    // earlier epoch of this one) merge their recorded outcome verbatim and
+    // never re-execute; items quarantined there stay quarantined. Charges
+    // commit exactly as a live run of the item would, so nodes_visited and
+    // the budget check are unchanged by resuming.
+    std::vector<char> resolved(items.size(), 0);
+    if (ck != nullptr) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (ck->is_quarantined(items[i].schedule, &quarantine[i])) {
+          resolved[i] = 1;
+        } else if (ck->lookup(items[i].schedule, &outcomes[i])) {
+          resolved[i] = 1;
+          ++result.stats.checkpoint_item_hits;
+          const std::uint64_t before = sh.nodes.fetch_add(
+              outcomes[i].charged, std::memory_order_relaxed);
+          if (before + outcomes[i].charged > sh.max_nodes) {
+            sh.budget_hit.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
+    std::vector<std::size_t> live;
+    live.reserve(items.size());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (!resolved[i]) live.push_back(i);
+    }
+
+    const auto run_one = [&](std::size_t job) {
+      if (!run_item_recovering(sh, items[job], outcomes[job],
+                               &quarantine[job])) {
+        if (ck != nullptr) {
+          ck->record_quarantine(items[job].schedule, quarantine[job]);
+        }
+      } else if (ck != nullptr && !outcomes[job].budget_hit) {
+        ck->record_outcome(outcomes[job]);
+      }
+    };
+
     const int workers =
         std::min<int>(std::max(1, options.workers),
-                      static_cast<int>(items.size()));
+                      static_cast<int>(live.size()));
     if (workers <= 1) {
-      for (std::size_t i = 0; i < items.size(); ++i) {
-        run_item(sh, items[i], outcomes[i]);
-      }
+      for (const std::size_t job : live) run_one(job);
     } else {
       std::vector<std::deque<std::size_t>> queues(
           static_cast<std::size_t>(workers));
       std::vector<std::mutex> locks(static_cast<std::size_t>(workers));
-      for (std::size_t i = 0; i < items.size(); ++i) {
-        queues[i % static_cast<std::size_t>(workers)].push_back(i);
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        queues[i % static_cast<std::size_t>(workers)].push_back(live[i]);
       }
       const auto worker = [&](int w) {
         for (;;) {
@@ -581,7 +697,8 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
           }
           if (job == items.size()) {
             // Steal from the front of the longest-suffering victim. No new
-            // items appear mid-round, so one empty sweep means done.
+            // items appear mid-round (failed attempts retry in place, they
+            // are not re-enqueued), so one empty sweep means done.
             for (int v = 0; v < workers && job == items.size(); ++v) {
               if (v == w) continue;
               std::lock_guard<std::mutex> g(
@@ -594,7 +711,7 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
             }
           }
           if (job == items.size()) return;
-          run_item(sh, items[job], outcomes[job]);
+          run_one(job);
         }
       };
       std::vector<std::thread> pool;
@@ -602,9 +719,14 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
       for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
       for (std::thread& t : pool) t.join();
     }
-    items.clear();
 
-    for (const ItemOutcome& out : outcomes) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      if (!quarantine[i].empty()) {
+        result.quarantined_items.push_back(
+            {items[i].schedule, quarantine[i]});
+        continue;  // unexplored subtree: contributes nothing else
+      }
+      const ItemOutcome& out = outcomes[i];
       result.complete_schedules += out.complete;
       result.truncated_schedules += out.truncated;
       result.stats.sleep_set_prunes += out.sleep_prunes;
@@ -633,11 +755,25 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
         }
       }
     }
+    items.clear();
+    // Round barrier = checkpoint barrier: everything merged so far is
+    // durable before the next round's trunk expansions begin.
+    if (ck != nullptr) ck->flush();
   }
 
   if (trunk_cache.has_value()) fold_cache_stats(*trunk_cache, result.stats);
   result.nodes_visited = std::min<std::uint64_t>(sh.nodes.load(), sh.max_nodes);
-  result.exhausted = !sh.budget_hit.load(std::memory_order_relaxed);
+  // Quarantined items leave their subtrees unexplored: like a budget trip,
+  // the verdict is then best-effort, never reported as exhaustive.
+  result.exhausted = !sh.budget_hit.load(std::memory_order_relaxed) &&
+                     result.quarantined_items.empty();
+  result.stats.worker_failures =
+      sh.worker_failures.load(std::memory_order_relaxed);
+  result.stats.item_retries = sh.item_retries.load(std::memory_order_relaxed);
+  if (ck != nullptr) {
+    ck->flush();
+    result.stats.checkpoint_epochs = ck->epochs_written();
+  }
   result.stats.naive_tree_estimate =
       leaves > 0 ? estimate_sum / static_cast<double>(leaves) : 1.0;
   if (!violations.empty()) {

@@ -54,6 +54,8 @@
 
 namespace rmrsim {
 
+class ExploreCheckpoint;
+
 struct DporOptions {
   /// Abandon a schedule past this many macro steps (same meaning as
   /// ExploreOptions::max_depth under macro stepping).
@@ -88,6 +90,34 @@ struct DporOptions {
   /// Byte budget per cache (the trunk cache and each item's private cache
   /// are budgeted independently).
   std::size_t snapshot_max_bytes = std::size_t{8} << 20;
+  /// Persistent frontier (verify/checkpoint.h), or null for an in-memory
+  /// search. Non-null: completed work-item outcomes are recorded as they
+  /// finish (epochs written atomically every flush_interval records and at
+  /// every round barrier), and items already present in the checkpoint are
+  /// merged from it instead of re-explored — so a killed search resumed
+  /// with the loaded checkpoint reproduces the uninterrupted run's results
+  /// byte-for-byte. The caller owns loading (load_latest / reset) and
+  /// fingerprinting; checkpoints only make sense across runs with
+  /// identical (instance, options).
+  ExploreCheckpoint* checkpoint = nullptr;
+  /// Worker-failure discipline. An item execution attempt that throws (a
+  /// worker "dying" mid-item), exceeds `item_node_limit` node expansions,
+  /// or runs past `item_wall_limit_ms` is retried in place with exponential
+  /// backoff (base `retry_backoff_ms`, doubled per attempt, capped at 1s)
+  /// up to `item_max_attempts` total attempts. A failed attempt commits
+  /// nothing — node charges stay item-local until success — so retries
+  /// re-execute the subtree identically and verdicts are unchanged by any
+  /// transient failure pattern. An item whose every attempt fails is
+  /// quarantined: reported in ExploreResult::quarantined_items, recorded in
+  /// the checkpoint (if any), and the search ends with exhausted == false.
+  int item_max_attempts = 3;
+  std::uint64_t retry_backoff_ms = 1;
+  std::uint64_t item_node_limit = 0;   ///< per-attempt node deadline (0 = off)
+  double item_wall_limit_ms = 0.0;     ///< per-attempt wall deadline (0 = off)
+  /// Test hook: called before each attempt with (item root schedule,
+  /// attempt number, 1-based); returning true makes the attempt fail as if
+  /// the worker died. Must be thread-safe.
+  std::function<bool(const std::vector<ProcId>&, int)> inject_item_failure;
 };
 
 /// Explores a persistent-set-reduced schedule tree of the instance.

@@ -107,6 +107,14 @@ struct ExploreStats {
   /// Peak retained snapshot bytes — max over caches for parallel searches
   /// (each worker item owns a private cache), not a global sum.
   std::uint64_t snapshot_peak_bytes = 0;
+  // Crash-tolerance counters (verify/checkpoint.h; all zero without a
+  // checkpoint or injected failures). Runtime accounting of the recovery
+  // machinery — everything above stays identical whether a search ran
+  // uninterrupted or was resumed from a checkpoint.
+  std::uint64_t checkpoint_item_hits = 0; ///< work items served from a checkpoint
+  std::uint64_t checkpoint_epochs = 0;    ///< checkpoint epochs written
+  std::uint64_t worker_failures = 0;      ///< item attempts that died or timed out
+  std::uint64_t item_retries = 0;         ///< failed attempts that were re-run
 };
 
 struct ExploreResult {
@@ -120,6 +128,15 @@ struct ExploreResult {
   /// deterministic (explore_dpor: across worker counts too).
   std::optional<std::string> violation;
   std::vector<ProcId> violating_schedule;
+  /// A work item whose every execution attempt failed (worker death or
+  /// per-item deadline; see DporOptions::item_max_attempts). Its subtree is
+  /// unexplored, so any search that quarantines items reports
+  /// exhausted == false.
+  struct QuarantinedItem {
+    std::vector<ProcId> schedule;  ///< macro schedule of the item's root
+    std::string reason;            ///< why the last attempt failed
+  };
+  std::vector<QuarantinedItem> quarantined_items;
   ExploreStats stats;
 };
 

@@ -4,11 +4,15 @@
 // expectation gate CI enforces).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "common/fsio.h"
 #include "harness/artifact.h"
 #include "harness/drive.h"
 #include "harness/experiments.h"
@@ -253,6 +257,53 @@ TEST(Artifact, GitDescribeHonorsEnvOverride) {
   ::setenv("RMRSIM_GIT_DESCRIBE", "v-test-override", 1);
   EXPECT_EQ(git_describe(), "v-test-override");
   ::unsetenv("RMRSIM_GIT_DESCRIBE");
+}
+
+TEST(Artifact, WriteIsAtomicAndLeavesNoTempFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / ("rmrsim-artifact-" + std::to_string(getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  SweepSpec s;
+  s.name = "unit";
+  s.ns = {4};
+  BenchArtifact a;
+  a.name = "unit";
+  a.git = "pinned";
+  a.result = run_sweep(s, synthetic_runner, 1);
+
+  const std::string path = write_artifact(a, dir.string(), false);
+  EXPECT_EQ(read_file(path).value_or(""), artifact_to_json(a, false));
+  // The atomic-rename discipline must not leave its scratch file behind —
+  // a stray .tmp would be picked up by directory-globbing consumers.
+  std::size_t entries = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+  }
+  EXPECT_EQ(entries, 1u);
+
+  // Overwrite in place: readers racing the rewrite see old or new bytes,
+  // never a torn file; afterwards the content is the new version.
+  a.git = "pinned-2";
+  write_artifact(a, dir.string(), false);
+  EXPECT_EQ(read_file(path).value_or(""), artifact_to_json(a, false));
+  fs::remove_all(dir);
+}
+
+TEST(Artifact, WriteToMissingDirectoryFailsLoudly) {
+  SweepSpec s;
+  s.name = "unit";
+  s.ns = {4};
+  BenchArtifact a;
+  a.name = "unit";
+  a.result = run_sweep(s, synthetic_runner, 1);
+  // No silent no-op (the old ofstream path wrote nothing and returned
+  // success): an unwritable destination must throw with the errno text.
+  EXPECT_THROW(write_artifact(a, "/nonexistent-rmrsim-dir/nope", false),
+               std::exception);
 }
 
 // ---- drive.h factories --------------------------------------------------

@@ -10,15 +10,21 @@
 //   rmrsim_cli gme       --procs 16 --sessions 2 --passages 3
 //
 // Models: dsm | cc | cc-wb | cc-mesi | cc-lfcu.
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <memory>
 #include <string>
 
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/fsio.h"
 #include "common/table.h"
 #include "gme/session_gme.h"
 #include "harness/drive.h"
@@ -30,6 +36,7 @@
 #include "signaling/workload.h"
 #include "trace/call_stats.h"
 #include "trace/export.h"
+#include "verify/checkpoint.h"
 #include "verify/dpor.h"
 #include "verify/explorer.h"
 #include "verify/shrink.h"
@@ -46,9 +53,18 @@ struct Args {
     auto it = kv.find(key);
     return it == kv.end() ? def : it->second;
   }
+  /// Strict: a present-but-malformed value is a one-line error and exit 1
+  /// (via main's catch), never a silent 0 the way atol would read it.
   long get_int(const std::string& key, long def) const {
     auto it = kv.find(key);
-    return it == kv.end() ? def : std::atol(it->second.c_str());
+    if (it == kv.end()) return def;
+    const std::string& v = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const long n = std::strtol(v.c_str(), &end, 10);
+    ensure(!v.empty() && end != nullptr && *end == '\0' && errno == 0,
+           "--" + key + " expects an integer, got '" + v + "'");
+    return n;
   }
   bool has(const std::string& flag) const { return flags.count(flag) != 0; }
 };
@@ -188,6 +204,23 @@ int cmd_sweep(const Args& a) {
   }
   const int workers = static_cast<int>(a.get_int("workers", 1));
   const int max_n = static_cast<int>(a.get_int("max-n", 0));
+  // Read the golden file before the sweep runs, not after: a typo'd path
+  // should fail in milliseconds, not after minutes of measurement.
+  const std::string golden_path = a.get("golden", "");
+  std::string golden_bytes;
+  if (!golden_path.empty()) {
+    std::ifstream golden(golden_path, std::ios::binary);
+    if (!golden.good()) {
+      std::fprintf(stderr,
+                   "sweep --golden: cannot read '%s' (no such file or not "
+                   "readable)\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::stringstream buf;
+    buf << golden.rdbuf();
+    golden_bytes = buf.str();
+  }
   const BenchArtifact artifact =
       run_experiment(*exp, workers, "rmrsim_cli sweep", max_n);
   std::printf("experiment %s: %zu points, %d workers, %.1f ms\n%s\n",
@@ -202,17 +235,8 @@ int cmd_sweep(const Args& a) {
   const std::string path =
       write_artifact(artifact, a.get("out", "."), !deterministic);
   std::printf("wrote %s\n", path.c_str());
-  const std::string golden_path = a.get("golden", "");
   if (!golden_path.empty()) {
-    std::ifstream golden(golden_path, std::ios::binary);
-    if (!golden.good()) {
-      std::fprintf(stderr, "sweep --golden: cannot read '%s'\n",
-                   golden_path.c_str());
-      return 3;
-    }
-    std::stringstream buf;
-    buf << golden.rdbuf();
-    if (buf.str() != artifact_to_json(artifact, !deterministic)) {
+    if (golden_bytes != artifact_to_json(artifact, !deterministic)) {
       std::fprintf(stderr,
                    "sweep --golden: artifact differs from %s — the sweep's "
                    "measured results changed (run with RMRSIM_GIT_DESCRIBE "
@@ -302,6 +326,11 @@ int cmd_explore(const Args& a) {
 
   ExploreBuilder build;
   ExploreChecker check;
+  // Canonical description of everything that determines the search results;
+  // FNV-hashed into the checkpoint fingerprint so a checkpoint written under
+  // one configuration refuses to resume under another. Worker count is
+  // deliberately absent: verdicts are worker-count-invariant.
+  std::string fp_src;
   if (target == "signal") {
     const int waiters = static_cast<int>(a.get_int("waiters", 2));
     const int polls = static_cast<int>(a.get_int("polls", 1));
@@ -332,6 +361,9 @@ int cmd_explore(const Args& a) {
     std::printf("explore signal: alg %s, model %s, %d waiters x %d polls\n",
                 a.get("alg", "registration").c_str(), model.c_str(), waiters,
                 polls);
+    fp_src = "signal|alg=" + a.get("alg", "registration") + "|model=" +
+             model + "|waiters=" + std::to_string(waiters) + "|polls=" +
+             std::to_string(polls);
   } else if (target == "mutex") {
     const int nprocs = static_cast<int>(a.get_int("procs", 2));
     const int passages = static_cast<int>(a.get_int("passages", 1));
@@ -354,6 +386,8 @@ int cmd_explore(const Args& a) {
     };
     std::printf("explore mutex: lock %s, model %s, %d procs x %d passages\n",
                 lock_name.c_str(), model.c_str(), nprocs, passages);
+    fp_src = "mutex|lock=" + lock_name + "|model=" + model + "|procs=" +
+             std::to_string(nprocs) + "|passages=" + std::to_string(passages);
   } else {
     std::fprintf(stderr, "unknown explore target '%s' (signal|mutex)\n",
                  target.c_str());
@@ -378,14 +412,103 @@ int cmd_explore(const Args& a) {
   opt.workers = static_cast<int>(a.get_int("workers", 1));
   opt.trunk_depth = static_cast<int>(a.get_int("trunk-depth", 6));
   opt.snapshot_mode = snapshot_mode;
+  opt.item_max_attempts = static_cast<int>(a.get_int("item-attempts", 3));
+  opt.retry_backoff_ms =
+      static_cast<std::uint64_t>(a.get_int("backoff-ms", 1));
+  opt.item_node_limit =
+      static_cast<std::uint64_t>(a.get_int("item-step-limit", 0));
+  // Deterministic worker-death injection for the robustness harness: the
+  // first attempt of every item whose root schedule hashes to 0 mod N dies;
+  // retries succeed. Independent of worker count and timing.
+  const long inject_every = a.get_int("inject-worker-failures", 0);
+  if (inject_every > 0) {
+    opt.inject_item_failure = [inject_every](const std::vector<ProcId>& sched,
+                                             int attempt) {
+      if (attempt > 1) return false;
+      std::string key;
+      for (const ProcId p : sched) {
+        key += std::to_string(p);
+        key += ',';
+      }
+      return fnv1a64(key) %
+                 static_cast<std::uint64_t>(inject_every) == 0;
+    };
+  }
+
+  fp_src += "|mode=" + mode_name + "|depth=" + std::to_string(opt.max_depth) +
+            "|max-nodes=" + std::to_string(opt.max_nodes) + "|trunk-depth=" +
+            std::to_string(opt.trunk_depth) + "|item-attempts=" +
+            std::to_string(opt.item_max_attempts) + "|item-step-limit=" +
+            std::to_string(opt.item_node_limit) + "|inject=" +
+            std::to_string(inject_every);
+
+  // Persistent frontier: --checkpoint-dir D records progress into D (a
+  // fresh run wipes stale epochs first); --resume D loads the newest valid
+  // epoch and continues. Checkpoint bookkeeping prints to stderr so stdout
+  // and --report stay byte-identical between interrupted and uninterrupted
+  // runs.
+  std::optional<ExploreCheckpoint> ckpt;
+  const bool resume = a.kv.count("resume") != 0;
+  const std::string ck_dir =
+      resume ? a.get("resume", "") : a.get("checkpoint-dir", "");
+  if (resume && ck_dir.empty()) {
+    std::fprintf(stderr, "--resume expects a checkpoint directory\n");
+    return 2;
+  }
+  if (!ck_dir.empty()) {
+    ExploreCheckpoint::Config cfg;
+    cfg.dir = ck_dir;
+    cfg.fingerprint = fnv1a64(fp_src);
+    cfg.flush_interval =
+        static_cast<int>(a.get_int("checkpoint-interval", 8));
+    if (const char* kill_at = std::getenv("RMRSIM_KILL_AFTER_EPOCH")) {
+      // Self-fault injection for the resume harness: die by SIGKILL the
+      // instant the N-th epoch is durably on disk.
+      const unsigned long long at = std::strtoull(kill_at, nullptr, 10);
+      cfg.on_epoch_written = [at](std::uint64_t epoch) {
+        if (epoch >= at) raise(SIGKILL);
+      };
+    }
+    ckpt.emplace(std::move(cfg));
+    if (resume) {
+      const ExploreCheckpoint::LoadReport rep = ckpt->load_latest();
+      for (const std::string& d : rep.discarded) {
+        std::fprintf(stderr, "resume: discarded %s\n", d.c_str());
+      }
+      std::fprintf(stderr,
+                   "resume: epoch %llu, %zu item outcomes, %zu quarantined\n",
+                   static_cast<unsigned long long>(rep.epoch), rep.outcomes,
+                   rep.quarantined);
+    } else {
+      ckpt->reset();
+    }
+    opt.checkpoint = &*ckpt;
+  }
+
   const ExploreResult dpor = explore_dpor(build, check, opt);
+
+  if (ckpt.has_value()) {
+    std::fprintf(stderr,
+                 "checkpoint: %llu epochs written, %llu item hits, "
+                 "%llu worker failures, %llu retries\n",
+                 static_cast<unsigned long long>(
+                     dpor.stats.checkpoint_epochs),
+                 static_cast<unsigned long long>(
+                     dpor.stats.checkpoint_item_hits),
+                 static_cast<unsigned long long>(dpor.stats.worker_failures),
+                 static_cast<unsigned long long>(dpor.stats.item_retries));
+  }
 
   TextTable t;
   t.set_header({"metric", "dpor"});
   t.add_row({"nodes visited", std::to_string(dpor.nodes_visited)});
   t.add_row({"complete schedules", std::to_string(dpor.complete_schedules)});
   t.add_row({"truncated schedules", std::to_string(dpor.truncated_schedules)});
-  t.add_row({"exhausted", dpor.exhausted ? "yes" : "NO (max-nodes hit)"});
+  t.add_row({"exhausted",
+             dpor.exhausted ? "yes"
+                            : (dpor.quarantined_items.empty()
+                                   ? "NO (max-nodes hit)"
+                                   : "NO (items quarantined)")});
   t.add_row({"sleep-set prunes", std::to_string(dpor.stats.sleep_set_prunes)});
   t.add_row({"backtrack points", std::to_string(dpor.stats.backtrack_points)});
   t.add_row({"replayed sim steps", std::to_string(dpor.stats.replayed_steps)});
@@ -407,22 +530,34 @@ int cmd_explore(const Args& a) {
   }
   t.add_row({"verdict", dpor.violation ? "VIOLATED: " + *dpor.violation
                                        : "no violation"});
-  std::fputs(t.render().c_str(), stdout);
 
+  // The report is one deterministic string: printed to stdout and, with
+  // --report FILE, atomically written for byte-comparison by the resume
+  // harness. Interrupted-and-resumed runs must reproduce it exactly.
+  std::string report = t.render();
+  for (const ExploreResult::QuarantinedItem& q : dpor.quarantined_items) {
+    report += "quarantined item (" + std::to_string(q.schedule.size()) +
+              " steps): " + schedule_str(q.schedule) + " — " + q.reason +
+              "\n";
+  }
   if (dpor.violation) {
-    std::printf("violating schedule (%zu steps): %s\n",
-                dpor.violating_schedule.size(),
-                schedule_str(dpor.violating_schedule).c_str());
+    report += "violating schedule (" +
+              std::to_string(dpor.violating_schedule.size()) +
+              " steps): " + schedule_str(dpor.violating_schedule) + "\n";
     if (a.has("shrink")) {
       const auto shrunk =
           shrink_counterexample(build, check, dpor.violating_schedule);
       if (shrunk.has_value()) {
-        std::printf("shrunk to %zu steps (%d candidates tried): %s\n",
-                    shrunk->schedule.size(), shrunk->candidates_tried,
-                    schedule_str(shrunk->schedule).c_str());
+        report += "shrunk to " + std::to_string(shrunk->schedule.size()) +
+                  " steps (" + std::to_string(shrunk->candidates_tried) +
+                  " candidates tried): " + schedule_str(shrunk->schedule) +
+                  "\n";
       }
     }
   }
+  std::fputs(report.c_str(), stdout);
+  const std::string report_path = a.get("report", "");
+  if (!report_path.empty()) write_file_atomic(report_path, report);
 
   if (a.has("naive")) {
     ExploreOptions naive_opt;
@@ -470,6 +605,16 @@ void usage() {
       "            [--snapshot-stats] (print snapshot cache counters)\n"
       "            [--naive]  (also run the unreduced explorer, compare)\n"
       "            [--shrink] (minimize any counterexample)\n"
+      "            [--report FILE]  (write the results block atomically)\n"
+      "            [--checkpoint-dir D | --resume D]  (persistent frontier:\n"
+      "                       record progress into D / continue from the\n"
+      "                       newest valid epoch in D)\n"
+      "            [--checkpoint-interval K]  (epoch every K item outcomes)\n"
+      "            [--item-attempts A] [--backoff-ms B]  (worker-failure\n"
+      "                       retry policy: A attempts, exponential backoff)\n"
+      "            [--item-step-limit L]  (per-attempt node deadline)\n"
+      "            [--inject-worker-failures N]  (test hook: first attempt\n"
+      "                       of every N-th item dies and is retried)\n"
       "            signal: --alg A --waiters N --polls P\n"
       "            mutex:  --lock L --procs N --passages K\n"
       "            model-checks every schedule class up to D macro steps;\n"
