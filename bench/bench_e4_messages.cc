@@ -16,7 +16,9 @@
 // ideal-directory msgs/RMR to O(1) and the coarse ping-pong ratio to
 // super-constant. The run is written to BENCH_e4.json.
 #include <cstdio>
+#include <string>
 
+#include "coherence/fleet.h"
 #include "common/table.h"
 #include "harness/experiments.h"
 
@@ -70,12 +72,43 @@ int main() {
   std::fputs(render_fit_table(artifact).c_str(), stdout);
   std::printf("wrote %s\n", write_artifact(artifact).c_str());
 
+  // The state-machine fleet on the same grid: each protocol's messages AND
+  // cycles per RMR must stay O(1) on both workloads (protocol invariance of
+  // the asymptotic classes). One artifact per protocol.
+  std::printf("\nProtocol fleet at N = 64 (flag-half-idle / ping-pong):\n");
+  TextTable fleet_table;
+  fleet_table.set_header({"protocol", "workload", "msgs", "msgs/RMR",
+                          "cycles", "cycles/RMR", "invariants"});
+  bool fleet_ok = true;
+  for (const std::string& proto : protocol_names()) {
+    const Experiment* pe = find_experiment("e4_" + proto);
+    const BenchArtifact pa =
+        run_experiment(*pe, /*workers=*/2, "bench_e4_messages");
+    for (const char* algo : {"flag-half-idle", "ping-pong"}) {
+      const SweepPointResult* pr = find_point(pa.result, "cc", algo, 64);
+      if (pr == nullptr) continue;
+      const MetricsRegistry& m = pr->metrics;
+      fleet_table.add_row(
+          {proto, algo,
+           format_metric_number(m.value("msgs." + proto + ".total")),
+           fixed(m.value("msgs." + proto + ".per_rmr")),
+           format_metric_number(m.value("cycles." + proto + ".total")),
+           fixed(m.value("cycles." + proto + ".per_rmr")),
+           m.value("protocol.invariants_ok") == 1.0 ? "ok" : "VIOLATED"});
+    }
+    std::printf("%s fit:\n%s", proto.c_str(), render_fit_table(pa).c_str());
+    std::printf("wrote %s\n", write_artifact(pa).c_str());
+    if (!artifact_matches(pa)) fleet_ok = false;
+  }
+  std::fputs(fleet_table.render().c_str(), stdout);
+
   std::printf(
       "\nExpected shape (paper): bus msgs == RMRs exactly; ideal-directory\n"
       "msgs/RMR stays a small constant (each cached copy dies at most\n"
       "once); the coarse directory's msgs/RMR ratio grows ~N/2 in the\n"
       "ping-pong workload via superfluous invalidations — Section 8's\n"
       "caveat: the RMR separation is not a message-complexity separation\n"
-      "on large-scale CC machines.\n");
-  return artifact_matches(artifact) ? 0 : 1;
+      "on large-scale CC machines. The snooping fleet (MESI, MESIF, MOESI,\n"
+      "Dragon) stays at par: O(1) messages and cycles per RMR throughout.\n");
+  return (artifact_matches(artifact) && fleet_ok) ? 0 : 1;
 }

@@ -1,0 +1,66 @@
+#include "coherence/fleet.h"
+
+#include "coherence/protocols/dragon.h"
+#include "coherence/protocols/mesi.h"
+#include "coherence/protocols/mesif.h"
+#include "coherence/protocols/moesi.h"
+
+namespace rmrsim {
+
+const std::vector<std::string>& protocol_names() {
+  static const std::vector<std::string> kNames = {"mesi", "mesif", "moesi",
+                                                  "dragon"};
+  return kNames;
+}
+
+std::unique_ptr<SnoopingCache> make_protocol(const std::string& name,
+                                             int nprocs, CycleCosts costs) {
+  if (name == "mesi") return std::make_unique<MesiCache>(nprocs, costs);
+  if (name == "mesif") return std::make_unique<MesifCache>(nprocs, costs);
+  if (name == "moesi") return std::make_unique<MoesiCache>(nprocs, costs);
+  if (name == "dragon") return std::make_unique<DragonCache>(nprocs, costs);
+  return nullptr;
+}
+
+ProtocolFleet::ProtocolFleet(int nprocs, CycleCosts costs)
+    : nprocs_(nprocs), coarse_(nprocs) {
+  for (const std::string& name : protocol_names()) {
+    caches_.push_back(make_protocol(name, nprocs, costs));
+  }
+  for (auto& c : caches_) fanout_.add(c.get());
+  fanout_.add(&bus_);
+  fanout_.add(&ideal_);
+  fanout_.add(&coarse_);
+}
+
+SnoopingCache* ProtocolFleet::cache(const std::string& name) {
+  for (auto& c : caches_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+std::vector<MessageCounter*> ProtocolFleet::counters() {
+  std::vector<MessageCounter*> out;
+  for (auto& c : caches_) out.push_back(c.get());
+  out.push_back(&bus_);
+  out.push_back(&ideal_);
+  out.push_back(&coarse_);
+  return out;
+}
+
+void ProtocolFleet::reset() {
+  for (auto& c : caches_) c->reset();
+  bus_.reset();
+  ideal_.reset();
+  coarse_.reset();
+}
+
+std::optional<std::string> ProtocolFleet::check_invariants() const {
+  for (const auto& c : caches_) {
+    if (auto err = c->check_invariants()) return err;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rmrsim

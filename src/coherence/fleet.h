@@ -1,0 +1,73 @@
+// ProtocolFleet: every coherence protocol riding one event stream.
+//
+// Bundles the four snooping state machines (MESI, MESIF, MOESI, Dragon)
+// together with the legacy Section 8 message counters (broadcast bus, ideal
+// directory, coarse directory) behind a single CoherenceListener, so one
+// run — one schedule, one RMR tally — is simultaneously priced under every
+// protocol. That is what makes the differential gates sharp: the protocols
+// cannot disagree because they saw different schedules, only because their
+// state machines differ.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coherence/cache_controller.h"
+#include "coherence/protocols.h"
+#include "coherence/stats.h"
+
+namespace rmrsim {
+
+/// Names of the fleet's state-machine protocols, in fleet order.
+const std::vector<std::string>& protocol_names();
+
+/// Builds one protocol by name ("mesi", "mesif", "moesi", "dragon");
+/// nullptr for an unknown name.
+std::unique_ptr<SnoopingCache> make_protocol(const std::string& name,
+                                             int nprocs, CycleCosts costs = {});
+
+class ProtocolFleet {
+ public:
+  explicit ProtocolFleet(int nprocs, CycleCosts costs = {});
+
+  /// The listener to hand to SharedMemory::set_coherence_listener (or to a
+  /// WriteBuffer wrapping it). Fans events out to every member.
+  CoherenceListener* listener() { return &fanout_; }
+
+  SnoopingCache& mesi() { return *caches_[0]; }
+  SnoopingCache& mesif() { return *caches_[1]; }
+  SnoopingCache& moesi() { return *caches_[2]; }
+  SnoopingCache& dragon() { return *caches_[3]; }
+  const std::vector<std::unique_ptr<SnoopingCache>>& caches() const {
+    return caches_;
+  }
+  /// Fleet member by protocol name; nullptr if absent.
+  SnoopingCache* cache(const std::string& name);
+
+  BusBroadcastCounter& bus() { return bus_; }
+  IdealDirectoryCounter& ideal() { return ideal_; }
+  CoarseDirectoryCounter& coarse() { return coarse_; }
+
+  /// Every MessageCounter in the fleet (state machines + legacy counters),
+  /// for uniform table/metric emission.
+  std::vector<MessageCounter*> counters();
+
+  void reset();
+
+  /// First invariant violation across every state machine, if any.
+  std::optional<std::string> check_invariants() const;
+
+  int nprocs() const { return nprocs_; }
+
+ private:
+  int nprocs_;
+  std::vector<std::unique_ptr<SnoopingCache>> caches_;
+  BusBroadcastCounter bus_;
+  IdealDirectoryCounter ideal_;
+  CoarseDirectoryCounter coarse_;
+  ListenerFanout fanout_;
+};
+
+}  // namespace rmrsim

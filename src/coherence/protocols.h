@@ -25,18 +25,24 @@ class MessageCounter : public CoherenceListener {
   /// Messages that carry data for the access itself (one per RMR).
   std::uint64_t transfer_messages() const { return transfers_; }
 
-  /// Invalidation (or update) messages sent to other caches.
+  /// Invalidation messages sent to other caches.
   std::uint64_t invalidation_messages() const { return invalidations_; }
 
-  /// Invalidation messages that destroyed (or updated) a copy that actually
-  /// existed. superfluous = invalidation_messages - useful.
+  /// Update messages sent to other caches (write-update protocols only;
+  /// invalidation-based counters report 0).
+  virtual std::uint64_t update_messages() const { return 0; }
+
+  /// Invalidation messages that destroyed a copy that actually existed.
+  /// superfluous = invalidation_messages - useful.
   std::uint64_t useful_invalidations() const { return useful_; }
 
   std::uint64_t superfluous_invalidations() const {
     return invalidations_ - useful_;
   }
 
-  std::uint64_t total_messages() const { return transfers_ + invalidations_; }
+  std::uint64_t total_messages() const {
+    return transfers_ + invalidations_ + update_messages();
+  }
 
   virtual std::string_view name() const = 0;
 
@@ -76,6 +82,12 @@ class ListenerFanout final : public CoherenceListener {
   void add(CoherenceListener* listener) { listeners_.push_back(listener); }
   void on_event(const CoherenceEvent& e) override {
     for (CoherenceListener* l : listeners_) l->on_event(e);
+  }
+  void on_crash(ProcId p) override {
+    for (CoherenceListener* l : listeners_) l->on_crash(p);
+  }
+  void flush() override {
+    for (CoherenceListener* l : listeners_) l->flush();
   }
 
  private:

@@ -1,0 +1,44 @@
+// Cycle-cost configuration and per-protocol statistics.
+//
+// Section 8 of the paper prices interconnect traffic in *messages*; real
+// machines price it in *cycles*, and the exchange rate between the two is
+// exactly what distinguishes one coherence protocol from another (a MESI
+// read miss that demotes a Modified line pays a write-back; the same miss
+// under MOESI moves the line to Owned and pays nothing). The fleet charges
+// every bus action against this table, following the cost structure of the
+// classic snooping-cache simulators: a memory fill is an order of magnitude
+// dearer than a cache-to-cache transfer, and address-only transactions
+// (upgrades, update words) are nearly free.
+#pragma once
+
+#include <cstdint>
+
+namespace rmrsim {
+
+/// Cycle charge per bus action. One variable == one line == one word here,
+/// so the per-word terms of the classic formulas collapse into constants.
+/// All fields are overridable so tests can pin arithmetic exactly.
+struct CycleCosts {
+  std::uint64_t memory_fetch = 100;   ///< line fill from main memory
+  std::uint64_t cache_transfer = 12;  ///< line fill cache-to-cache
+  std::uint64_t bus_signal = 2;       ///< address-only broadcast (upgrade /
+                                      ///< invalidation transaction)
+  std::uint64_t bus_update = 2;       ///< write-update word broadcast
+  std::uint64_t write_back = 100;     ///< dirty line flushed to memory
+};
+
+/// Event tallies a snooping cache accumulates, one bump per bus action
+/// (cycles = sum of count * CycleCosts charge, maintained incrementally).
+struct ProtocolStats {
+  std::uint64_t cache_hits = 0;       ///< accesses serviced locally, 0 cycles
+  std::uint64_t memory_fetches = 0;   ///< misses filled from memory
+  std::uint64_t cache_transfers = 0;  ///< misses filled cache-to-cache
+  std::uint64_t bus_signals = 0;      ///< address-only transactions
+  std::uint64_t bus_updates = 0;      ///< write-update transactions
+  std::uint64_t write_backs = 0;      ///< dirty flushes forced by snoops
+  std::uint64_t cycles = 0;           ///< total cycles across all actions
+
+  void reset() { *this = ProtocolStats{}; }
+};
+
+}  // namespace rmrsim

@@ -138,6 +138,7 @@ MutexWorld build_mutex_world(const MutexRunOptions& opt) {
   ensure(static_cast<bool>(opt.make_lock), "mutex run needs a lock factory");
   MutexWorld w;
   w.mem = make_model_by_name(opt.model, opt.nprocs);
+  if (opt.listener != nullptr) w.mem->set_listener(opt.listener);
   w.lock = opt.make_lock(*w.mem);
   w.sim = std::make_unique<Simulation>(
       *w.mem, make_mutex_programs(*w.mem, w.lock, opt.passages));
@@ -165,6 +166,7 @@ MutexRunOutcome run_mutex_workload(const MutexRunOptions& opt) {
     result = sim.run(faulty, opt.max_steps);
   }
 
+  if (opt.listener != nullptr) opt.listener->flush();
   out.completed = result.all_terminated;
   out.violation = check_mutual_exclusion(sim.history());
   for (ProcId p = 0; p < opt.nprocs; ++p) {

@@ -72,6 +72,10 @@ struct MutexRunOptions {
   std::uint64_t gap_delta = 0;
   std::string fault_plan;  ///< parse_fault_plan syntax; "" = crash-free
   std::uint64_t max_steps = 500'000'000;
+  /// Attached to the world's memory for the whole run (coherence-protocol
+  /// pricing); run_mutex_workload flushes it after the run. Must outlive
+  /// the world. nullptr = none.
+  CoherenceListener* listener = nullptr;
 };
 
 struct MutexWorld {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "coherence/fleet.h"
 #include "coherence/protocols.h"
 #include "common/check.h"
 #include "common/table.h"
@@ -71,13 +72,16 @@ MetricsRegistry run_adversary_point(const SignalingFactory& factory,
 }
 
 /// Full-contention mutex point under round-robin (the E5/E8 shape).
+/// `listener` (optional) is attached to the world's memory for the run.
 MetricsRegistry run_mutex_point(const std::string& model,
                                 const std::string& lock_name, int n,
-                                int passages) {
+                                int passages,
+                                CoherenceListener* listener = nullptr) {
   MutexRunOptions opt;
   opt.model = model;
   opt.nprocs = n;
   opt.passages = passages;
+  opt.listener = listener;
   opt.make_lock = [lock_name](SharedMemory& mem) {
     return make_lock_by_name(lock_name, mem);
   };
@@ -219,6 +223,47 @@ SweepSpec e4_spec() {
   return s;
 }
 
+/// The Section 8 workloads, run against `mem` with whatever coherence
+/// listener is already attached: flag-half-idle (broadcast-friendly: many
+/// sharers, one invalidating write) or ping-pong (the coarse directory's
+/// worst case: one producer rewriting a cell one consumer re-reads).
+/// Publishes the simulation/ledger side into `reg`; message tallies are the
+/// caller's, since only it knows which counters it attached.
+void run_e4_workload(const SweepPoint& p, SharedMemory& mem,
+                     MetricsRegistry& reg) {
+  const int n = p.n;
+  if (p.algorithm == "flag-half-idle") {
+    const int n_waiters = n / 2 - 1;
+    const int n_idle = n - n_waiters - 1;
+    CcFlagSignal alg(mem);
+    std::vector<Program> programs;
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 1'000'000); });
+    }
+    for (int i = 0; i < n_idle; ++i) programs.emplace_back(Program{});
+    programs.emplace_back(
+        [&alg](ProcCtx& ctx) { return signaler(ctx, &alg, 16); });
+    Simulation sim(mem, std::move(programs));
+    RoundRobinScheduler rr;
+    const auto result = sim.run(rr, 100'000'000);
+    publish_simulation(reg, sim);
+    reg.set("run.completed", result.all_terminated ? 1.0 : 0.0);
+  } else if (p.algorithm == "ping-pong") {
+    // One producer rewriting a cell, one consumer re-reading it — the
+    // regime where the coarse directory's blind broadcasts diverge.
+    const VarId v = mem.allocate_global(0);
+    for (int round = 0; round < 64; ++round) {
+      mem.apply(0, MemOp::write(v, round));
+      mem.apply(1, MemOp::read(v));
+    }
+    publish_ledger(reg, mem.ledger());
+  } else {
+    fail("e4: unknown algorithm '" + p.algorithm + "'");
+  }
+  if (mem.listener() != nullptr) mem.listener()->flush();
+}
+
 MetricsRegistry e4_runner(const SweepPoint& p) {
   MetricsRegistry reg;
   const int n = p.n;
@@ -232,35 +277,7 @@ MetricsRegistry e4_runner(const SweepPoint& p) {
   fan.add(&coarse);
   mem->set_listener(&fan);
 
-  if (p.algorithm == "flag-half-idle") {
-    const int n_waiters = n / 2 - 1;
-    const int n_idle = n - n_waiters - 1;
-    CcFlagSignal alg(*mem);
-    std::vector<Program> programs;
-    for (int i = 0; i < n_waiters; ++i) {
-      programs.emplace_back(
-          [&alg](ProcCtx& ctx) { return polling_waiter(ctx, &alg, 1'000'000); });
-    }
-    for (int i = 0; i < n_idle; ++i) programs.emplace_back(Program{});
-    programs.emplace_back(
-        [&alg](ProcCtx& ctx) { return signaler(ctx, &alg, 16); });
-    Simulation sim(*mem, std::move(programs));
-    RoundRobinScheduler rr;
-    const auto result = sim.run(rr, 100'000'000);
-    publish_simulation(reg, sim);
-    reg.set("run.completed", result.all_terminated ? 1.0 : 0.0);
-  } else if (p.algorithm == "ping-pong") {
-    // One producer rewriting a cell, one consumer re-reading it — the
-    // regime where the coarse directory's blind broadcasts diverge.
-    const VarId v = mem->allocate_global(0);
-    for (int round = 0; round < 64; ++round) {
-      mem->apply(0, MemOp::write(v, round));
-      mem->apply(1, MemOp::read(v));
-    }
-    publish_ledger(reg, mem->ledger());
-  } else {
-    fail("e4: unknown algorithm '" + p.algorithm + "'");
-  }
+  run_e4_workload(p, *mem, reg);
 
   publish_messages(reg, bus);
   publish_messages(reg, ideal);
@@ -274,6 +291,41 @@ MetricsRegistry e4_runner(const SweepPoint& p) {
   reg.set("msgs.coarse.per_rmr",
           static_cast<double>(coarse.total_messages()) / rmrs);
   return reg;
+}
+
+// ---- E4 per-protocol: the state-machine fleet on the same grid ---------
+
+/// One fleet protocol on the E4 grid: the state machine rides the same
+/// event stream the legacy counters saw, and its message *and* cycle
+/// tallies per RMR must both fit O(1) — the protocol-invariance gate (the
+/// asymptotic classes the paper derives cannot depend on which snooping
+/// protocol the interconnect happens to run).
+MetricsRegistry e4_protocol_runner(const std::string& protocol,
+                                   const SweepPoint& p) {
+  MetricsRegistry reg;
+  auto mem = make_cc(p.n);
+  auto cache = make_protocol(protocol, p.n);
+  ensure(cache != nullptr, "e4: unknown protocol '" + protocol + "'");
+  mem->set_listener(cache.get());
+
+  run_e4_workload(p, *mem, reg);
+
+  publish_protocol(reg, *cache);
+  const double rmrs =
+      std::max<double>(1.0, static_cast<double>(mem->ledger().total_rmrs()));
+  reg.set("msgs." + protocol + ".per_rmr",
+          static_cast<double>(cache->total_messages()) / rmrs);
+  reg.set("cycles." + protocol + ".per_rmr",
+          static_cast<double>(cache->total_cycles()) / rmrs);
+  const auto violation = cache->check_invariants();
+  reg.set("protocol.invariants_ok", violation.has_value() ? 0.0 : 1.0);
+  return reg;
+}
+
+SweepSpec e4_protocol_spec(const std::string& protocol) {
+  SweepSpec s = e4_spec();
+  s.name = "e4_" + protocol;
+  return s;
 }
 
 // ---- E5 ----------------------------------------------------------------
@@ -379,15 +431,40 @@ SweepSpec e8_spec() {
   return s;
 }
 
+/// Fleet tallies for an E8 point: per-protocol cycle metrics, the
+/// amortized-per-process gauge the pins read, and the invariant verdict.
+void publish_e8_fleet(MetricsRegistry& reg, ProtocolFleet& fleet,
+                      int participants) {
+  for (const auto& c : fleet.caches()) {
+    publish_protocol(reg, *c);
+    reg.set("cycles." + std::string(c->name()) + ".amortized",
+            static_cast<double>(c->total_cycles()) /
+                std::max(1, participants));
+  }
+  reg.set("protocol.invariants_ok",
+          fleet.check_invariants().has_value() ? 0.0 : 1.0);
+}
+
 MetricsRegistry e8_runner(const SweepPoint& p) {
+  // The whole fleet rides every E8 point: one schedule, every protocol
+  // priced, so the cost-model ablation (x axis: CC policy) carries a
+  // per-protocol cycle ablation alongside it for free.
   if (p.algorithm == "flag") {
+    ProtocolFleet fleet(p.n + 1);  // waiters + the signaler
     SignalingWorkloadOptions opt;
     opt.signaler_idle_polls = 64;
-    return run_signaling_point(p.model, p.n,
-                               make_signal_factory_by_name("flag", p.n), opt);
+    opt.listener = fleet.listener();
+    MetricsRegistry reg = run_signaling_point(
+        p.model, p.n, make_signal_factory_by_name("flag", p.n), opt);
+    publish_e8_fleet(reg, fleet, p.n + 1);
+    return reg;
   }
   if (p.algorithm == "tas") {
-    return run_mutex_point(p.model, "tas", p.n, /*passages=*/3);
+    ProtocolFleet fleet(p.n);
+    MetricsRegistry reg =
+        run_mutex_point(p.model, "tas", p.n, /*passages=*/3, fleet.listener());
+    publish_e8_fleet(reg, fleet, p.n);
+    return reg;
   }
   fail("e8: unknown algorithm '" + p.algorithm + "'");
 }
@@ -487,6 +564,28 @@ std::vector<Experiment> build_experiments() {
        decl("msgs.ideal.per_rmr", "cc", "ping-pong", Expectation::kO1),
        decl("msgs.coarse.per_rmr", "cc", "ping-pong", Expectation::kOmegaW)}});
 
+  // One E4 replica per fleet protocol, each with its own artifact
+  // (BENCH_e4_<protocol>.json) and its own fitter gates: messages-per-RMR
+  // and cycles-per-RMR must fit O(1) on both workloads under every
+  // protocol — the paper's asymptotic classes are protocol-invariant.
+  for (const std::string& proto : protocol_names()) {
+    out.push_back(Experiment{
+        "e4_" + proto,
+        "Section 8 accounting under the " + proto + " state machine",
+        e4_protocol_spec(proto),
+        [proto](const SweepPoint& p) { return e4_protocol_runner(proto, p); },
+        {decl("msgs." + proto + ".per_rmr", "cc", "flag-half-idle",
+              Expectation::kO1),
+         decl("msgs." + proto + ".per_rmr", "cc", "ping-pong",
+              Expectation::kO1),
+         decl("cycles." + proto + ".per_rmr", "cc", "flag-half-idle",
+              Expectation::kO1),
+         decl("cycles." + proto + ".per_rmr", "cc", "ping-pong",
+              Expectation::kO1),
+         decl("protocol.invariants_ok", "cc", "flag-half-idle"),
+         decl("protocol.invariants_ok", "cc", "ping-pong")}});
+  }
+
   out.push_back(Experiment{
       "e5", "Section 3 mutual exclusion anchors: RMRs per passage",
       e5_spec(), e5_runner,
@@ -526,7 +625,15 @@ std::vector<Experiment> build_experiments() {
        decl("rmrs.max_waiter", "cc-mesi", "flag", Expectation::kO1),
        decl("rmrs.max_waiter", "cc-lfcu", "flag", Expectation::kO1),
        decl("rmrs.per_passage", "cc-lfcu", "tas", Expectation::kO1),
-       decl("rmrs.per_passage", "cc", "tas")}});
+       decl("rmrs.per_passage", "cc", "tas"),
+       // Fleet cycle ablation: amortized protocol cycles on the flag
+       // workload stay O(1) per process under every state machine.
+       decl("cycles.mesi.amortized", "cc", "flag", Expectation::kO1),
+       decl("cycles.mesif.amortized", "cc", "flag", Expectation::kO1),
+       decl("cycles.moesi.amortized", "cc", "flag", Expectation::kO1),
+       decl("cycles.dragon.amortized", "cc", "flag", Expectation::kO1),
+       decl("cycles.mesi.amortized", "cc", "tas"),
+       decl("cycles.dragon.amortized", "cc", "tas")}});
 
   out.push_back(Experiment{
       "e9", "Crash/recovery: RMR cost of the recoverable lock under faults",

@@ -134,6 +134,14 @@ FitReport fit_growth_class(std::span<const double> xs,
     r.cls = GrowthClass::kConstant;
     return r;
   }
+  // Decreasing beyond the flat band: bounded above by its first point, so
+  // asymptotically O(1). The increasing classes cannot describe it; without
+  // this rule a ratio that amortizes a one-time constant toward its floor
+  // (cycles per RMR with a single cold fetch) misfits Theta(logN).
+  if (r.loglog_slope <= -0.10) {
+    r.cls = GrowthClass::kConstant;
+    return r;
+  }
   // A log-log slope near (or above) 1 is linear regardless of which shape
   // model happens to fit the finite prefix marginally better.
   if (r.loglog_slope > 0.80) {

@@ -31,11 +31,22 @@ struct CoherenceEvent {
 };
 
 /// Observer of coherence events. Implemented by the message-counting
-/// protocols in src/coherence.
+/// protocols and the snooping-cache state machines in src/coherence.
 class CoherenceListener {
  public:
   virtual ~CoherenceListener() = default;
   virtual void on_event(const CoherenceEvent& event) = 0;
+
+  /// Process `p` crashed: its processor powers down and every cached copy
+  /// it held disappears, exactly mirroring CostModel::on_crash. Stateful
+  /// listeners (protocol state machines) must drop p's lines or their
+  /// sharer sets drift from the pricing model's. Default: no state, no-op.
+  virtual void on_crash(ProcId p) { (void)p; }
+
+  /// End-of-run barrier. Buffering front ends (the write buffer) drain
+  /// pending operations into their backing protocol here so final tallies
+  /// are complete. Stateless counters need nothing.
+  virtual void flush() {}
 };
 
 /// Architecture pricing interface.

@@ -76,6 +76,16 @@ class SharedMemory {
 
   /// Registers (or clears, with nullptr) the coherence message counter.
   void set_listener(CoherenceListener* listener) { listener_ = listener; }
+  CoherenceListener* listener() const { return listener_; }
+
+  /// Process `p` crashed: forwards to the cost model (cached copies die
+  /// with the processor) and to the coherence listener, whose protocol
+  /// state must track the same architectural event. Called by
+  /// Simulation::crash, never during a step.
+  void notify_crash(ProcId p) {
+    model_->on_crash(p);
+    if (listener_ != nullptr) listener_->on_crash(p);
+  }
 
   /// Resets values, caches, and the ledger to the initial state; variable
   /// ids stay valid. The listener, if any, is NOT reset here (callers own

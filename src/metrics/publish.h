@@ -13,7 +13,10 @@
 //   calls.<name>.count / .completed / .rmrs / .mem_steps  (+ summaries and
 //     a per-call RMR histogram under calls.<name>.rmrs_per_call)
 //   msgs.<protocol>.transfers / .invalidations / .useful / .superfluous /
-//     .total
+//     .updates / .total
+//   cycles.<protocol>.total / .hits / .memory_fetches / .cache_transfers /
+//     .bus_signals / .bus_updates / .write_backs (+ a per-proc cycle
+//     summary under cycles.<protocol>.proc_cycles)
 #pragma once
 
 #include <vector>
@@ -26,6 +29,7 @@ class RmrLedger;
 class History;
 class Simulation;
 class MessageCounter;
+class SnoopingCache;
 struct CallCost;
 
 /// ledger.* totals plus a per-process RMR summary (ledger.proc_rmrs).
@@ -46,5 +50,9 @@ void publish_call_costs(MetricsRegistry& reg,
 
 /// msgs.<counter-name>.* tallies from a coherence message counter.
 void publish_messages(MetricsRegistry& reg, const MessageCounter& counter);
+
+/// cycles.<protocol>.* cost-model tallies from a protocol state machine
+/// (implies publish_messages for its msgs.* side).
+void publish_protocol(MetricsRegistry& reg, const SnoopingCache& cache);
 
 }  // namespace rmrsim

@@ -246,7 +246,7 @@ void Simulation::crash(ProcId p) {
   pr.crashed = true;
   ++pr.crashes;
   pr.ctx->mark_crashed();
-  memory_->model().on_crash(p);
+  memory_->notify_crash(p);
   // The link register does not survive a failure: any LL reservation p held
   // dies with the crash, so a post-recovery SC must fail until a fresh LL.
   memory_->store().clear_reservations(p);

@@ -34,6 +34,7 @@ SignalingRun run_signaling_workload(std::unique_ptr<SharedMemory> mem,
   r.mem = std::move(mem);
   ensure(r.mem->nprocs() >= options.n_waiters + 1,
          "memory must have room for the waiters plus one signaler");
+  if (options.listener != nullptr) r.mem->set_listener(options.listener);
   r.alg = factory(*r.mem);
   SignalingAlgorithm* alg = r.alg.get();
 
@@ -64,6 +65,7 @@ SignalingRun run_signaling_workload(std::unique_ptr<SharedMemory> mem,
     result = r.sim->run(sched, options.step_budget);
   }
   ensure(result.all_terminated, "signaling workload did not complete");
+  if (options.listener != nullptr) options.listener->flush();
   return r;
 }
 

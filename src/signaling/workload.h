@@ -46,6 +46,9 @@ struct SignalingWorkloadOptions {
   /// ledger and aggregate counters survive, record-backed relations do not.
   /// Benches opt in; measurement paths that read records keep the default.
   HistoryMode history_mode = HistoryMode::kFull;
+  /// Attached to the memory for the whole run (coherence-protocol pricing);
+  /// flushed after completion. Must outlive the call. nullptr = none.
+  CoherenceListener* listener = nullptr;
 };
 
 /// Runs waiters (procs 0..n-1) plus one signaler (proc n) to completion

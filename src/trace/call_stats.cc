@@ -5,12 +5,16 @@
 
 namespace rmrsim {
 
-std::vector<CallCost> per_call_costs(const History& h) {
+namespace {
+
+std::vector<CallCost> per_call_costs_impl(
+    const History& h, const std::vector<std::uint64_t>* cycle_log) {
   std::vector<CallCost> out;
   // Per-process stack of open calls (indices into `out`), so nested spans
   // keep the outer call alive instead of overwriting it.
   std::map<ProcId, std::vector<std::size_t>> open;
   std::map<std::pair<ProcId, Word>, int> counters;  // per-code call index
+  std::size_t mem_step_index = 0;  // k-th memory step == k-th cycle_log entry
   for (const StepRecord& r : h.records()) {
     if (r.kind == StepRecord::Kind::kEvent) {
       if (r.event == EventKind::kCallBegin) {
@@ -44,13 +48,28 @@ std::vector<CallCost> per_call_costs(const History& h) {
     // Memory step: attribute to the proc's innermost open call, if any —
     // exclusive attribution, so a nested call's steps never double-count
     // into its parent.
+    const std::size_t step = mem_step_index++;
     auto it = open.find(r.proc);
     if (it == open.end() || it->second.empty()) continue;
     CallCost& c = out[it->second.back()];
     ++c.mem_steps;
     if (r.outcome.rmr) ++c.rmrs;
+    if (cycle_log != nullptr && step < cycle_log->size()) {
+      c.cycles += (*cycle_log)[step];
+    }
   }
   return out;
+}
+
+}  // namespace
+
+std::vector<CallCost> per_call_costs(const History& h) {
+  return per_call_costs_impl(h, nullptr);
+}
+
+std::vector<CallCost> per_call_costs(
+    const History& h, const std::vector<std::uint64_t>& cycle_log) {
+  return per_call_costs_impl(h, &cycle_log);
 }
 
 std::vector<CallCost> calls_of(const std::vector<CallCost>& costs, ProcId p,

@@ -22,6 +22,7 @@ struct CallCost {
   bool completed = false;   ///< false if the call never ended in the history
   std::uint64_t mem_steps = 0;
   std::uint64_t rmrs = 0;
+  std::uint64_t cycles = 0;  ///< coherence-protocol cycles (overload below)
 };
 
 /// Slices the history into call spans and attributes each memory step to
@@ -34,6 +35,16 @@ struct CallCost {
 ///   * a call with no end in the history stays completed == false and
 ///     keeps the costs accrued so far.
 std::vector<CallCost> per_call_costs(const History& h);
+
+/// As above, but additionally attributes protocol cycles to each call.
+/// `cycle_log` is a SnoopingCache's cycle log (enable_cycle_log() before the
+/// run): SharedMemory::apply publishes exactly one CoherenceEvent per
+/// applied op, so the log's k-th entry prices the history's k-th memory-step
+/// record. Requires the listener attached for the whole run, and not behind
+/// a WriteBuffer (buffering breaks the 1:1 correspondence). A log shorter
+/// than the history attributes only the steps it covers.
+std::vector<CallCost> per_call_costs(const History& h,
+                                     const std::vector<std::uint64_t>& cycle_log);
 
 /// Convenience filters over per_call_costs.
 std::vector<CallCost> calls_of(const std::vector<CallCost>& costs, ProcId p,

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "coherence/fleet.h"
 #include "common/fsio.h"
 #include "harness/artifact.h"
 #include "harness/drive.h"
@@ -366,9 +367,15 @@ TEST(Drive, SeedSweepAggregates) {
 // ---- reduced experiment runs (the CI gate, in-process) ------------------
 
 TEST(Experiments, RegistryHasAllNineAndLookupWorks) {
-  EXPECT_EQ(all_experiments().size(), 9u);
+  // e1..e9 plus one e4_<protocol> replica per fleet protocol.
+  EXPECT_EQ(all_experiments().size(), 9u + protocol_names().size());
   ASSERT_NE(find_experiment("e5"), nullptr);
   EXPECT_EQ(find_experiment("e5")->name, "e5");
+  for (const std::string& proto : protocol_names()) {
+    ASSERT_NE(find_experiment("e4_" + proto), nullptr);
+    EXPECT_EQ(find_experiment("e4_" + proto)->spec.ns,
+              find_experiment("e4")->spec.ns);
+  }
   EXPECT_EQ(find_experiment("e99"), nullptr);
 }
 

@@ -222,6 +222,48 @@ TEST(CallStats, EndClosesInnermostMatchingCodeAndAbandonsNestedAbove) {
   EXPECT_EQ(per_call_costs(h).size(), 2u);
 }
 
+TEST(CallStats, CyclesOverlayAttributesPerMemoryStep) {
+  // The cycle log indexes memory steps globally (SharedMemory publishes one
+  // CoherenceEvent per applied op), so entry k prices the k-th kMemOp record
+  // whether or not that step falls inside a call span; only span-contained
+  // steps contribute to a call's total, innermost-exclusively.
+  History h;
+  h.append(mem_rec(0, true));  // step 0: before any call
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kAcquire));
+  h.append(mem_rec(0, true));  // step 1: outer
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(mem_rec(0, false));  // step 2: inner
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kPoll, 0));
+  h.append(mem_rec(0, true));  // step 3: outer again
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kAcquire, 1));
+  h.append(mem_rec(0, true));  // step 4: after every call
+
+  const std::vector<std::uint64_t> cycles = {100, 12, 0, 2, 100};
+  const auto costs = per_call_costs(h, cycles);
+  ASSERT_EQ(costs.size(), 2u);
+  EXPECT_EQ(costs[0].call_code, calls::kAcquire);
+  EXPECT_EQ(costs[0].cycles, 12u + 2u);  // steps 1 and 3; not the nested one
+  EXPECT_EQ(costs[1].call_code, calls::kPoll);
+  EXPECT_EQ(costs[1].cycles, 0u);
+  // The log-free overload reports zero cycles everywhere.
+  EXPECT_EQ(per_call_costs(h)[0].cycles, 0u);
+}
+
+TEST(CallStats, CyclesOverlayToleratesShortLog) {
+  // A log shorter than the step count (listener attached for only part of
+  // the run) prices the uncovered steps at zero instead of reading past
+  // the end.
+  History h;
+  h.append(event_rec(0, EventKind::kCallBegin, calls::kPoll));
+  h.append(mem_rec(0, true));
+  h.append(mem_rec(0, true));
+  h.append(event_rec(0, EventKind::kCallEnd, calls::kPoll, 0));
+  const std::vector<std::uint64_t> cycles = {7};
+  const auto costs = per_call_costs(h, cycles);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_EQ(costs[0].cycles, 7u);
+}
+
 // ---- JSON escaping ------------------------------------------------------
 
 /// Minimal JSON string unescaper for round-trip checks (handles exactly the

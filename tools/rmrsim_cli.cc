@@ -22,6 +22,8 @@
 #include <memory>
 #include <string>
 
+#include "coherence/fleet.h"
+#include "coherence/write_buffer.h"
 #include "common/check.h"
 #include "common/crc32.h"
 #include "common/fsio.h"
@@ -99,6 +101,80 @@ SignalingFactory make_signal_alg(const std::string& name, int fixed_home) {
   return make_signal_factory_by_name(name, fixed_home);
 }
 
+// --protocols [all|name,name,...] [--write-buffer N]: ride the run with
+// snooping-protocol state machines (optionally behind a store buffer) and
+// print their message/cycle tallies afterwards.
+struct ProtocolRig {
+  std::vector<std::unique_ptr<SnoopingCache>> caches;
+  ListenerFanout fanout;
+  std::unique_ptr<WriteBuffer> wb;
+
+  bool active() const { return !caches.empty(); }
+  CoherenceListener* listener() {
+    if (!active()) return nullptr;
+    return wb != nullptr ? static_cast<CoherenceListener*>(wb.get())
+                         : &fanout;
+  }
+};
+
+ProtocolRig make_protocol_rig(const Args& a, int nprocs) {
+  ProtocolRig rig;
+  std::string spec = a.get("protocols", a.has("protocols") ? "all" : "");
+  if (spec.empty()) return rig;
+  std::vector<std::string> names;
+  if (spec == "all") {
+    names = protocol_names();
+  } else {
+    std::stringstream ss(spec);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (!tok.empty()) names.push_back(tok);
+    }
+  }
+  for (const std::string& name : names) {
+    auto cache = make_protocol(name, nprocs);
+    ensure(cache != nullptr, "--protocols: unknown protocol '" + name +
+                                 "' (want mesi|mesif|moesi|dragon|all)");
+    rig.fanout.add(cache.get());
+    rig.caches.push_back(std::move(cache));
+  }
+  const long wb = a.get_int("write-buffer", 0);
+  if (wb > 0) {
+    rig.wb = std::make_unique<WriteBuffer>(&rig.fanout, nprocs,
+                                           static_cast<int>(wb));
+  }
+  return rig;
+}
+
+/// Prints the rig's tallies; returns false if any protocol's invariants
+/// are violated (callers fold that into the exit code).
+bool print_protocol_rig(const ProtocolRig& rig) {
+  bool ok = true;
+  TextTable t;
+  t.set_header({"protocol", "transfers", "invalidations", "updates",
+                "total msgs", "cycles", "invariants"});
+  for (const auto& c : rig.caches) {
+    const auto violation = c->check_invariants();
+    if (violation) ok = false;
+    t.add_row({std::string(c->name()),
+               std::to_string(c->transfer_messages()),
+               std::to_string(c->invalidation_messages()),
+               std::to_string(c->update_messages()),
+               std::to_string(c->total_messages()),
+               std::to_string(c->total_cycles()),
+               violation ? "VIOLATED: " + *violation : "ok"});
+  }
+  std::fputs(t.render().c_str(), stdout);
+  if (rig.wb != nullptr) {
+    std::printf(
+        "write buffer: %llu buffered, %llu coalesced, %llu reads forwarded\n",
+        static_cast<unsigned long long>(rig.wb->buffered_writes()),
+        static_cast<unsigned long long>(rig.wb->coalesced_writes()),
+        static_cast<unsigned long long>(rig.wb->forwarded_reads()));
+  }
+  return ok;
+}
+
 int cmd_signal(const Args& a) {
   const int waiters = static_cast<int>(a.get_int("waiters", 8));
   const int nprocs = waiters + 1;
@@ -109,6 +185,8 @@ int cmd_signal(const Args& a) {
   opt.scheduler_seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
   opt.blocking = a.has("blocking");
   if (opt.blocking) opt.signaler_idle_polls = 0;
+  ProtocolRig rig = make_protocol_rig(a, nprocs);
+  opt.listener = rig.listener();
   auto run =
       run_signaling_workload(make_model(a.get("model", "dsm"), nprocs),
                              make_signal_alg(alg_name, nprocs - 1), opt);
@@ -144,7 +222,9 @@ int cmd_signal(const Args& a) {
                              : check_polling_spec(run.sim->history());
   t.add_row({"spec", violation ? "VIOLATED: " + violation->what : "ok"});
   std::fputs(t.render().c_str(), stdout);
-  return violation ? 1 : 0;
+  bool protocols_ok = true;
+  if (rig.active()) protocols_ok = print_protocol_rig(rig);
+  return violation || !protocols_ok ? 1 : 0;
 }
 
 int cmd_mutex(const Args& a) {
@@ -159,6 +239,8 @@ int cmd_mutex(const Args& a) {
   // long we spin before reporting "completed NO".
   opt.max_steps = static_cast<std::uint64_t>(
       a.get_int("max-steps", 500'000'000));
+  ProtocolRig rig = make_protocol_rig(a, opt.nprocs);
+  opt.listener = rig.listener();
   const MutexRunOutcome o = run_mutex_workload(opt);
   std::printf("lock %s, model %s, %d procs x %d passages\n",
               o.world.lock->name().data(), o.world.mem->model().name().data(),
@@ -180,7 +262,9 @@ int cmd_mutex(const Args& a) {
                std::to_string(rep.fifo_inversions)});
   }
   std::fputs(t.render().c_str(), stdout);
-  return o.violation || !o.completed ? 1 : 0;
+  bool protocols_ok = true;
+  if (rig.active()) protocols_ok = print_protocol_rig(rig);
+  return o.violation || !o.completed || !protocols_ok ? 1 : 0;
 }
 
 int cmd_sweep(const Args& a) {
@@ -589,7 +673,11 @@ void usage() {
       "[--key value ...]\n"
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
+      "            [--protocols all|mesi,mesif,moesi,dragon]\n"
+      "            [--write-buffer N]  (per-proc store buffer in front of\n"
+      "                       the protocols; N entries, TSO drain order)\n"
       "  mutex     --lock L --model M --procs N --passages K --seed S\n"
+      "            [--protocols ...] [--write-buffer N]  (as for signal)\n"
       "            L: mcs|ya|anderson|ticket|tas|clh|bakery|peterson|\n"
       "               recoverable\n"
       "            [--fault-plan step:proc=P,n=N[,recover=R]\n"
@@ -619,7 +707,8 @@ void usage() {
       "            mutex:  --lock L --procs N --passages K\n"
       "            model-checks every schedule class up to D macro steps;\n"
       "            exits 1 iff a violation is found\n"
-      "  sweep     --exp e1..e9 [--workers W] [--out DIR] [--max-n N]\n"
+      "  sweep     --exp e1..e9|e4_<protocol> [--workers W] [--out DIR]\n"
+      "            [--max-n N]\n"
       "            [--deterministic] [--golden FILE]\n"
       "            [--check] [--list]\n"
       "            runs the experiment's declarative grid on W threads\n"
