@@ -34,6 +34,8 @@
 #include "signaling/dsm_registration.h"
 #include "signaling/workload.h"
 #include "verify/dpor.h"
+#include "workload/generators.h"
+#include "workload/replay.h"
 
 namespace rmrsim {
 namespace {
@@ -187,6 +189,26 @@ MetricsRegistry time_dpor_config(int waiters, double min_seconds) {
   return reg;
 }
 
+MetricsRegistry time_trace_replay_config(int procs, double min_seconds) {
+  // Bare cc replay of a pinned zipf trace (no protocol fleet): the workload
+  // engine's end-to-end op throughput, ledger and counters included.
+  GenSpec g;
+  g.kind = "zipf";
+  g.procs = procs;
+  g.ops = 50'000;
+  g.seed = 1;
+  const Trace trace = generate_trace(g);
+  const auto [ops, seconds] = run_timed(min_seconds, [&]() -> std::uint64_t {
+    auto mem = make_cc(trace.nprocs);
+    replay_trace_core(trace, *mem);
+    return trace.ops.size();
+  });
+  MetricsRegistry reg;
+  reg.set("trace_replay_ops_per_sec", static_cast<double>(ops) / seconds);
+  reg.set("ns_per_trace_op", seconds * 1e9 / static_cast<double>(ops));
+  return reg;
+}
+
 MetricsRegistry time_apply_config(bool cc, double min_seconds) {
   std::unique_ptr<SharedMemory> mem = cc ? make_cc(8) : make_dsm(8);
   const VarId v = mem->allocate_global(0);
@@ -213,7 +235,7 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
   spec.name = "PERF";
   spec.models = {"dsm"};
   spec.algorithms = {"steps_full", "steps_counters", "dpor_registration",
-                     "apply_dsm", "apply_cc"};
+                     "apply_dsm", "apply_cc", "trace_replay"};
   spec.ns = {8, 64};
 
   SweepResult result;
@@ -238,6 +260,8 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
       pr.metrics = time_apply_config(/*cc=*/false, min_seconds);
     } else if (alg == "apply_cc" && pr.point.n == 8) {
       pr.metrics = time_apply_config(/*cc=*/true, min_seconds);
+    } else if (alg == "trace_replay") {
+      pr.metrics = time_trace_replay_config(pr.point.n, min_seconds);
     }
     result.points.push_back(std::move(pr));
   }
@@ -259,8 +283,10 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
         pr.point.n == kReferenceWaiters) {
       ref = pr.metrics.value("steps_per_sec");
     }
-    for (const char* m : {"steps_per_sec", "ns_per_step", "nodes_per_sec",
-                          "ns_per_dpor_node", "ops_per_sec", "ns_per_op"}) {
+    for (const char* m :
+         {"steps_per_sec", "ns_per_step", "nodes_per_sec", "ns_per_dpor_node",
+          "ops_per_sec", "ns_per_op", "trace_replay_ops_per_sec",
+          "ns_per_trace_op"}) {
       if (pr.metrics.has_value(m)) {
         std::printf("perf %-18s n=%-3d %-16s %14.0f\n",
                     pr.point.algorithm.c_str(), pr.point.n, m,

@@ -1,9 +1,15 @@
 #include "coherence/fleet.h"
 
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
 #include "coherence/protocols/dragon.h"
 #include "coherence/protocols/mesi.h"
 #include "coherence/protocols/mesif.h"
 #include "coherence/protocols/moesi.h"
+#include "common/check.h"
 
 namespace rmrsim {
 
@@ -20,6 +26,44 @@ std::unique_ptr<SnoopingCache> make_protocol(const std::string& name,
   if (name == "moesi") return std::make_unique<MoesiCache>(nprocs, costs);
   if (name == "dragon") return std::make_unique<DragonCache>(nprocs, costs);
   return nullptr;
+}
+
+CycleCosts parse_cycle_costs(const std::string& spec) {
+  CycleCosts costs;
+  if (spec.empty()) return costs;
+  std::set<std::string> seen;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t eq = item.find('=');
+    ensure(eq != std::string::npos && eq > 0 && eq + 1 < item.size(),
+           "--cycle-cost: expected key=value, got '" + item + "'");
+    const std::string key = item.substr(0, eq);
+    const std::string val = item.substr(eq + 1);
+    ensure(seen.insert(key).second,
+           "--cycle-cost: duplicate key '" + key + "'");
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long v = std::strtoull(val.c_str(), &end, 10);
+    ensure(val[0] != '-' && end != nullptr && *end == '\0' && errno == 0,
+           "--cycle-cost: " + key + " expects a non-negative integer, got '" +
+               val + "'");
+    if (key == "fetch") {
+      costs.memory_fetch = v;
+    } else if (key == "transfer") {
+      costs.cache_transfer = v;
+    } else if (key == "signal") {
+      costs.bus_signal = v;
+    } else if (key == "update") {
+      costs.bus_update = v;
+    } else if (key == "writeback") {
+      costs.write_back = v;
+    } else {
+      fail("--cycle-cost: unknown key '" + key +
+           "' (want fetch|transfer|signal|update|writeback)");
+    }
+  }
+  return costs;
 }
 
 ProtocolFleet::ProtocolFleet(int nprocs, CycleCosts costs)

@@ -28,6 +28,13 @@ const std::vector<std::string>& protocol_names();
 std::unique_ptr<SnoopingCache> make_protocol(const std::string& name,
                                              int nprocs, CycleCosts costs = {});
 
+/// Parses a CLI cost-table override: "fetch=100,transfer=12,signal=2,
+/// update=2,writeback=100". Every key is optional (unmentioned fields keep
+/// their defaults), but an unknown key, a malformed value, or a duplicate
+/// key throws std::logic_error — a typo must never silently price a run
+/// with defaults. An empty spec returns the default table.
+CycleCosts parse_cycle_costs(const std::string& spec);
+
 class ProtocolFleet {
  public:
   explicit ProtocolFleet(int nprocs, CycleCosts costs = {});

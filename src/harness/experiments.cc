@@ -22,6 +22,8 @@
 #include "signaling/dsm_registration.h"
 #include "signaling/workload.h"
 #include "trace/call_stats.h"
+#include "workload/generators.h"
+#include "workload/replay.h"
 
 namespace rmrsim {
 
@@ -513,6 +515,62 @@ MetricsRegistry e9_runner(const SweepPoint& p) {
   return reg;
 }
 
+// ---- T1: trace-driven workloads ---------------------------------------
+
+/// T1-synth grid: every synthetic generator under both cost models, N on
+/// the processor axis with a fixed op budget per processor (so total work
+/// grows with N — which is what makes the hot-set DSM total an Ω(W)
+/// series while per-op rates stay comparable across N).
+constexpr std::uint64_t kT1OpsPerProc = 256;
+
+SweepSpec t1_synth_spec() {
+  SweepSpec s;
+  s.name = "t1_synth";
+  s.models = {"dsm", "cc"};
+  s.algorithms = generator_names();
+  s.ns = {8, 16, 32, 64};
+  return s;
+}
+
+MetricsRegistry t1_synth_runner(const SweepPoint& p) {
+  GenSpec g;
+  g.kind = p.algorithm;
+  g.procs = p.n;
+  g.ops = kT1OpsPerProc * static_cast<std::uint64_t>(p.n);
+  g.seed = 1;
+  const Trace trace = generate_trace(g);
+  auto mem = make_model_by_name(p.model, p.n);
+  return replay_trace(trace, *mem);
+}
+
+/// T1-scale grid: trace *length* on the N axis at a fixed processor count,
+/// with the whole protocol fleet riding the replay — per-op RMR and cycle
+/// rates must be flat in the trace length (heavy traffic changes totals,
+/// never the asymptotic per-op price).
+constexpr int kT1ScaleProcs = 16;
+
+SweepSpec t1_scale_spec() {
+  SweepSpec s;
+  s.name = "t1_scale";
+  s.models = {"dsm", "cc"};
+  s.algorithms = {"zipf"};
+  s.ns = {4096, 8192, 16384, 32768};
+  return s;
+}
+
+MetricsRegistry t1_scale_runner(const SweepPoint& p) {
+  GenSpec g;
+  g.kind = p.algorithm;
+  g.procs = kT1ScaleProcs;
+  g.ops = static_cast<std::uint64_t>(p.n);
+  g.seed = 1;
+  const Trace trace = generate_trace(g);
+  auto mem = make_model_by_name(p.model, kT1ScaleProcs);
+  ReplayOptions opts;
+  opts.protocols = protocol_names();
+  return replay_trace(trace, *mem, opts);
+}
+
 // ---- registry ----------------------------------------------------------
 
 SeriesDecl decl(std::string metric, std::string model, std::string algorithm,
@@ -641,6 +699,35 @@ std::vector<Experiment> build_experiments() {
       // N is fixed (the sweep axis is the fault plan), so there is no
       // growth series to fit — the artifact carries the raw points.
       {}});
+
+  out.push_back(Experiment{
+      "t1_synth", "Trace workloads: synthetic sharing patterns, N axis",
+      t1_synth_spec(), t1_synth_runner,
+      {// Private streaming is the O(1)-per-op best case in both models.
+       decl("rmrs.per_op", "cc", "private", Expectation::kO1),
+       decl("rmrs.per_op", "dsm", "private", Expectation::kO1),
+       // Hot-set writes under DSM: every touch of another module is an
+       // RMR, and total work grows with N — a super-constant total.
+       decl("ledger.total_rmrs", "dsm", "hotset", Expectation::kOmegaW),
+       decl("rmrs.per_op", "dsm", "hotset"),
+       decl("rmrs.per_op", "cc", "hotset"),
+       decl("rmrs.per_op", "cc", "zipf"),
+       decl("rmrs.per_op", "dsm", "zipf"),
+       decl("rmrs.per_op", "cc", "migratory"),
+       decl("rmrs.per_op", "cc", "ring")}});
+
+  out.push_back(Experiment{
+      "t1_scale", "Trace workloads: zipf trace-length scaling + fleet",
+      t1_scale_spec(), t1_scale_runner,
+      {decl("rmrs.per_op", "cc", "zipf", Expectation::kO1),
+       decl("rmrs.per_op", "dsm", "zipf", Expectation::kO1),
+       decl("cycles.mesi.per_op", "cc", "zipf", Expectation::kO1),
+       decl("cycles.moesi.per_op", "cc", "zipf", Expectation::kO1),
+       decl("cycles.mesif.per_op", "cc", "zipf", Expectation::kO1),
+       decl("cycles.dragon.per_op", "cc", "zipf", Expectation::kO1),
+       decl("msgs.mesi.per_op", "cc", "zipf"),
+       decl("protocol.invariants_ok", "cc", "zipf"),
+       decl("protocol.invariants_ok", "dsm", "zipf")}});
 
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include "coherence/cache_controller.h"
 #include "coherence/protocols.h"
+#include "coherence/write_buffer.h"
 #include "history/history.h"
 #include "memory/ledger.h"
 #include "runtime/simulation.h"
@@ -102,6 +103,13 @@ void publish_protocol(MetricsRegistry& reg, const SnoopingCache& cache) {
     if (cy == 0) continue;
     reg.observe(base + ".proc_cycles", static_cast<double>(cy));
   }
+}
+
+void publish_write_buffer(MetricsRegistry& reg, const WriteBuffer& wb) {
+  reg.add("wb.buffered", wb.buffered_writes());
+  reg.add("wb.coalesced", wb.coalesced_writes());
+  reg.add("wb.forwarded", wb.forwarded_reads());
+  reg.add("wb.drained", wb.drained_writes());
 }
 
 }  // namespace rmrsim

@@ -30,6 +30,7 @@ class History;
 class Simulation;
 class MessageCounter;
 class SnoopingCache;
+class WriteBuffer;
 struct CallCost;
 
 /// ledger.* totals plus a per-process RMR summary (ledger.proc_rmrs).
@@ -54,5 +55,9 @@ void publish_messages(MetricsRegistry& reg, const MessageCounter& counter);
 /// cycles.<protocol>.* cost-model tallies from a protocol state machine
 /// (implies publish_messages for its msgs.* side).
 void publish_protocol(MetricsRegistry& reg, const SnoopingCache& cache);
+
+/// wb.buffered / wb.coalesced / wb.forwarded / wb.drained tallies from a
+/// store-buffer front end (call after flush() so drains are complete).
+void publish_write_buffer(MetricsRegistry& reg, const WriteBuffer& wb);
 
 }  // namespace rmrsim

@@ -1,0 +1,49 @@
+// Deterministic synthetic trace generators.
+//
+// Each generator emits a classic sharing pattern from the coherence /
+// shared-memory literature, seeded through common/rng.h (never wall
+// clock), so a (kind, procs, ops, seed) tuple always produces the same
+// trace bytes — the property the golden-artifact byte-compares and the
+// worker-count determinism gates rest on. The catalog spans the regimes
+// the CC/DSM separation cares about:
+//
+//   private    — each processor streams over its own addresses; the
+//                best case for both models (cacheable in CC, home-local
+//                in DSM under the interleave map).
+//   hotset     — all processors hammer a few shared hot words with reads,
+//                writes, and RMWs: maximal invalidation traffic in CC and
+//                Ω(total ops) remote references in DSM.
+//   zipf       — heavy-tailed sharing over a 1024-word universe (an
+//                integer-only zipf-flavored rank draw; no floating point,
+//                so the bytes are identical on every platform).
+//   ring       — producer/consumer pairs moving data through fixed-size
+//                rings: one-way sharing with a head counter RMW.
+//   migratory  — an object per processor group, read-modify-written in
+//                bursts by one holder at a time before migrating to the
+//                next: the pattern MOESI's Owned state exists for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/trace.h"
+
+namespace rmrsim {
+
+struct GenSpec {
+  std::string kind = "zipf";  ///< one of generator_names()
+  int procs = 8;
+  std::uint64_t ops = 1024;  ///< total operations across all processors
+  std::uint64_t seed = 1;
+};
+
+/// Generator kinds, in catalog order.
+const std::vector<std::string>& generator_names();
+bool is_generator_name(const std::string& kind);
+
+/// Builds the trace for `spec`. Throws std::logic_error on an unknown
+/// kind, procs < 1, ops == 0, or ops > kMaxTraceOps.
+Trace generate_trace(const GenSpec& spec);
+
+}  // namespace rmrsim

@@ -1,0 +1,132 @@
+// Multi-core memory-trace format (the workload engine's input).
+//
+// A trace is an interleaved sequence of shared-memory operations tagged
+// with the processor that issued them; the global order doubles as the
+// replay schedule, and the per-processor subsequences are each processor's
+// program. Two on-disk encodings carry the same data:
+//
+//  * text, v1 — line-oriented and diffable:
+//
+//        rmrsim-trace v1 procs=4 ops=6
+//        # comments and blank lines are ignored
+//        0 0 RD 0x10
+//        0 1 WR 0x10 7
+//        1 0 CAS 0x10 0 1
+//        2 0 FAA 0x20 3
+//        3 0 FENCE
+//        1 1 RD 0x10
+//
+//    Each op line is `<proc> <seq> <MNEMONIC> [<addr> [args...]]` where
+//    `<seq>` is the op's 0-based index within its processor's stream and
+//    must increase by exactly 1 — a gap, repeat, or regression is a parse
+//    error, which is what makes interleaving mistakes in hand-written or
+//    tool-generated traces detectable at parse time.
+//
+//  * binary, v1 — `RMRTRC1\n` magic, a fixed header, packed little-endian
+//    records, and a trailing CRC32 over everything before it (the PR-6
+//    torn-file discipline: a truncated or bit-flipped file is rejected
+//    loudly, never half-loaded).
+//
+// Parsing is strict and loudly-failing: every rejection throws with the
+// offending line number (text) or byte offset (binary). There is no
+// recovery mode and no silent skipping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.h"
+
+namespace rmrsim {
+
+/// The operations a trace can carry. Everything except kFence maps 1:1
+/// onto a MemOp; kFence is a per-processor ordering barrier (replayed as a
+/// local atomic no-op, which drains that processor's write buffer).
+enum class TraceOpKind : std::uint8_t {
+  kRead,   ///< RD addr
+  kWrite,  ///< WR addr value
+  kCas,    ///< CAS addr expect desired
+  kFaa,    ///< FAA addr delta
+  kFas,    ///< FAS addr value
+  kTas,    ///< TAS addr
+  kFence,  ///< FENCE (no address)
+};
+
+std::string_view to_string(TraceOpKind k);
+
+struct TraceOp {
+  ProcId proc = 0;
+  TraceOpKind kind = TraceOpKind::kRead;
+  std::uint64_t addr = 0;  ///< unused for kFence
+  Word arg0 = 0;
+  Word arg1 = 0;
+
+  friend bool operator==(const TraceOp&, const TraceOp&) = default;
+};
+
+struct Trace {
+  int nprocs = 0;
+  std::vector<TraceOp> ops;  ///< global interleaved order == replay schedule
+
+  friend bool operator==(const Trace&, const Trace&) = default;
+};
+
+/// Parser guard rails: a header declaring more processors or operations
+/// than these is rejected as malformed (overflow-sized counts would
+/// otherwise turn into multi-gigabyte allocations before the body is read).
+inline constexpr std::uint64_t kMaxTraceProcs = 1u << 16;
+inline constexpr std::uint64_t kMaxTraceOps = 1'000'000'000;
+
+/// Parses the text encoding. `origin` names the input in error messages
+/// (a file path, or "<trace>" for in-memory strings). Throws
+/// std::logic_error with a line-numbered message on any malformation.
+Trace parse_trace_text(std::string_view text,
+                       std::string_view origin = "<trace>");
+
+/// Canonical text form (header, then one line per op, seq rederived).
+std::string trace_to_text(const Trace& trace);
+
+/// Parses the binary encoding; rejects bad magic, truncated headers or
+/// records, trailing bytes, out-of-range fields, and CRC mismatches, each
+/// with the byte offset. Throws std::logic_error.
+Trace parse_trace_binary(std::string_view bytes,
+                         std::string_view origin = "<trace>");
+
+std::string trace_to_binary(const Trace& trace);
+
+/// Reads `path` and parses it, sniffing the encoding from the magic.
+/// Throws on unreadable files and on any parse error.
+Trace load_trace_file(const std::string& path);
+
+/// Writes `path` atomically in the chosen encoding.
+void save_trace_file(const std::string& path, const Trace& trace,
+                     bool binary = false);
+
+// ---- address → (variable, home) mapping --------------------------------
+
+/// How trace addresses become simulator variables. Every distinct address
+/// is one variable (one word, one cache line); the policy decides which
+/// processor's memory module homes it, which is what the DSM cost model
+/// prices against. CC pricing ignores homes entirely.
+struct AddrMapSpec {
+  enum class Policy {
+    kInterleave,  ///< home = (addr / block) % nprocs (block defaults to 1)
+    kGlobal,      ///< every variable in a detached module (remote to all)
+    kFirstTouch,  ///< homed at the first processor to touch it, in trace
+                  ///< order — deterministic because the trace order is
+  };
+  Policy policy = Policy::kInterleave;
+  std::uint64_t block = 1;  ///< kInterleave granularity; must be > 0
+
+  friend bool operator==(const AddrMapSpec&, const AddrMapSpec&) = default;
+};
+
+/// Parses "interleave" | "interleave:<block>" | "global" | "first-touch".
+/// Throws std::logic_error on anything else.
+AddrMapSpec parse_addr_map(const std::string& spec);
+
+std::string to_string(const AddrMapSpec& spec);
+
+}  // namespace rmrsim

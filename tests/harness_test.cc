@@ -367,10 +367,13 @@ TEST(Drive, SeedSweepAggregates) {
 // ---- reduced experiment runs (the CI gate, in-process) ------------------
 
 TEST(Experiments, RegistryHasAllNineAndLookupWorks) {
-  // e1..e9 plus one e4_<protocol> replica per fleet protocol.
-  EXPECT_EQ(all_experiments().size(), 9u + protocol_names().size());
+  // e1..e9, one e4_<protocol> replica per fleet protocol, and the two
+  // trace-workload experiments (t1_synth, t1_scale).
+  EXPECT_EQ(all_experiments().size(), 9u + protocol_names().size() + 2u);
   ASSERT_NE(find_experiment("e5"), nullptr);
   EXPECT_EQ(find_experiment("e5")->name, "e5");
+  ASSERT_NE(find_experiment("t1_synth"), nullptr);
+  ASSERT_NE(find_experiment("t1_scale"), nullptr);
   for (const std::string& proto : protocol_names()) {
     ASSERT_NE(find_experiment("e4_" + proto), nullptr);
     EXPECT_EQ(find_experiment("e4_" + proto)->spec.ns,

@@ -8,6 +8,7 @@
 //   rmrsim_cli mutex     --lock mcs --model cc-wb --procs 16 --passages 4
 //   rmrsim_cli adversary --alg registration --n 64 [--lenient] [--no-erase]
 //   rmrsim_cli gme       --procs 16 --sessions 2 --passages 3
+//   rmrsim_cli trace     --gen zipf --ops 1000000 --procs 32 --protocols all
 //
 // Models: dsm | cc | cc-wb | cc-mesi | cc-lfcu.
 #include <cerrno>
@@ -42,6 +43,9 @@
 #include "verify/dpor.h"
 #include "verify/explorer.h"
 #include "verify/shrink.h"
+#include "workload/generators.h"
+#include "workload/replay.h"
+#include "workload/trace.h"
 
 using namespace rmrsim;
 
@@ -117,10 +121,9 @@ struct ProtocolRig {
   }
 };
 
-ProtocolRig make_protocol_rig(const Args& a, int nprocs) {
-  ProtocolRig rig;
-  std::string spec = a.get("protocols", a.has("protocols") ? "all" : "");
-  if (spec.empty()) return rig;
+/// Expands a --protocols spec ("all" or a comma list) into protocol
+/// names, validating each against the fleet catalog.
+std::vector<std::string> parse_protocol_names(const std::string& spec) {
   std::vector<std::string> names;
   if (spec == "all") {
     names = protocol_names();
@@ -132,9 +135,20 @@ ProtocolRig make_protocol_rig(const Args& a, int nprocs) {
     }
   }
   for (const std::string& name : names) {
-    auto cache = make_protocol(name, nprocs);
-    ensure(cache != nullptr, "--protocols: unknown protocol '" + name +
-                                 "' (want mesi|mesif|moesi|dragon|all)");
+    ensure(make_protocol(name, 1) != nullptr,
+           "--protocols: unknown protocol '" + name +
+               "' (want mesi|mesif|moesi|dragon|all)");
+  }
+  return names;
+}
+
+ProtocolRig make_protocol_rig(const Args& a, int nprocs) {
+  ProtocolRig rig;
+  std::string spec = a.get("protocols", a.has("protocols") ? "all" : "");
+  if (spec.empty()) return rig;
+  const CycleCosts costs = parse_cycle_costs(a.get("cycle-cost", ""));
+  for (const std::string& name : parse_protocol_names(spec)) {
+    auto cache = make_protocol(name, nprocs, costs);
     rig.fanout.add(cache.get());
     rig.caches.push_back(std::move(cache));
   }
@@ -334,6 +348,165 @@ int cmd_sweep(const Args& a) {
     std::fprintf(stderr,
                  "sweep --check: fitted class disagrees with the paper's "
                  "claim (see MISMATCH rows)\n");
+    return 1;
+  }
+  return 0;
+}
+
+// trace: parse or synthesize a multi-core memory trace and replay it
+// through every requested cost model (and, optionally, the protocol
+// fleet). The model grid runs through the sweep engine, so the artifact is
+// byte-identical for any --workers count; --deterministic + --golden give
+// the same byte-compare regression gate the sweep experiments have.
+int cmd_trace(const Args& a) {
+  const std::string gen = a.get("gen", "");
+  const std::string in = a.get("in", "");
+  if (gen.empty() == in.empty()) {
+    std::fprintf(stderr,
+                 "trace needs exactly one of --gen <kind> or --in <file>\n");
+    return 2;
+  }
+  Trace trace;
+  std::string source;
+  if (!gen.empty()) {
+    ensure(is_generator_name(gen),
+           "--gen: unknown generator '" + gen +
+               "' (want private|hotset|zipf|ring|migratory)");
+    GenSpec g;
+    g.kind = gen;
+    const long procs = a.get_int("procs", 16);
+    const long ops = a.get_int("ops", 100000);
+    ensure(procs > 0, "--procs must be positive");
+    ensure(ops > 0, "--ops must be positive");
+    g.procs = static_cast<int>(procs);
+    g.ops = static_cast<std::uint64_t>(ops);
+    g.seed = static_cast<std::uint64_t>(a.get_int("seed", 1));
+    trace = generate_trace(g);
+    source = gen;
+  } else {
+    trace = load_trace_file(in);
+    source = "file";
+  }
+  const std::string emit = a.get("emit", "");
+  if (!emit.empty()) {
+    save_trace_file(emit, trace, a.has("binary"));
+    std::printf("wrote trace %s (%zu ops, %d procs)\n", emit.c_str(),
+                trace.ops.size(), trace.nprocs);
+    if (a.has("no-replay")) return 0;
+  }
+
+  ReplayOptions opts;
+  opts.addr_map = parse_addr_map(a.get("addr-map", "interleave"));
+  opts.costs = parse_cycle_costs(a.get("cycle-cost", ""));
+  opts.write_buffer = static_cast<int>(a.get_int("write-buffer", 0));
+  opts.legacy_counters = a.has("legacy-counters");
+  const std::string pspec =
+      a.get("protocols", a.has("protocols") ? "all" : "");
+  if (!pspec.empty()) opts.protocols = parse_protocol_names(pspec);
+
+  const std::string mspec = a.get("models", "all");
+  std::vector<std::string> models;
+  if (mspec == "all") {
+    models = {"dsm", "cc", "cc-wb", "cc-mesi", "cc-lfcu"};
+  } else {
+    std::stringstream ss(mspec);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      if (tok.empty()) continue;
+      ensure(is_model_name(tok), "--models: unknown model '" + tok +
+                                     "' (want dsm|cc|cc-wb|cc-mesi|cc-lfcu)");
+      models.push_back(tok);
+    }
+    ensure(!models.empty(), "--models: empty model list");
+  }
+
+  // Same early-golden-read discipline as cmd_sweep: a typo'd path fails
+  // before the replay runs, not after.
+  const std::string golden_path = a.get("golden", "");
+  std::string golden_bytes;
+  if (!golden_path.empty()) {
+    std::ifstream golden(golden_path, std::ios::binary);
+    if (!golden.good()) {
+      std::fprintf(stderr, "trace --golden: cannot read '%s'\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::stringstream buf;
+    buf << golden.rdbuf();
+    golden_bytes = buf.str();
+  }
+
+  SweepSpec spec;
+  spec.name = "t1_" + source;
+  spec.models = models;
+  spec.algorithms = {source};
+  spec.ns = {trace.nprocs};
+  const int workers = static_cast<int>(a.get_int("workers", 1));
+  const SweepResult result = run_sweep(
+      spec,
+      [&trace, &opts](const SweepPoint& p) {
+        auto mem = make_model_by_name(p.model, trace.nprocs);
+        return replay_trace(trace, *mem, opts);
+      },
+      workers);
+
+  std::printf("trace %s: %zu ops, %d procs, %zu vars, addr-map %s\n",
+              source.c_str(), trace.ops.size(), trace.nprocs,
+              result.points.empty()
+                  ? std::size_t{0}
+                  : static_cast<std::size_t>(
+                        result.points[0].metrics.value("trace.vars")),
+              to_string(opts.addr_map).c_str());
+  bool invariants_ok = true;
+  TextTable t;
+  std::vector<std::string> header = {"model", "rmrs", "rmrs/op"};
+  for (const std::string& p : opts.protocols) header.push_back(p + " cycles");
+  if (!opts.protocols.empty()) header.push_back("invariants");
+  t.set_header(header);
+  for (const SweepPointResult& pr : result.points) {
+    std::vector<std::string> row = {
+        pr.point.model,
+        std::to_string(
+            static_cast<std::uint64_t>(pr.metrics.value("ledger.total_rmrs"))),
+        std::to_string(pr.metrics.value("rmrs.per_op"))};
+    for (const std::string& p : opts.protocols) {
+      row.push_back(std::to_string(static_cast<std::uint64_t>(
+          pr.metrics.value("cycles." + p + ".total"))));
+    }
+    if (!opts.protocols.empty()) {
+      const bool ok = pr.metrics.value("protocol.invariants_ok") != 0.0;
+      if (!ok) invariants_ok = false;
+      row.push_back(ok ? "ok" : "VIOLATED");
+    }
+    t.add_row(row);
+  }
+  std::fputs(t.render().c_str(), stdout);
+
+  BenchArtifact artifact;
+  artifact.name = spec.name;
+  artifact.title = "trace replay: " + source + " through " +
+                   std::to_string(models.size()) + " cost model(s)";
+  artifact.generator = "rmrsim_cli trace";
+  artifact.git = git_describe();
+  artifact.result = result;
+  const bool deterministic = a.has("deterministic");
+  const std::string out_dir = a.get("out", ".");
+  ensure_dir(out_dir);
+  const std::string path = write_artifact(artifact, out_dir, !deterministic);
+  std::printf("wrote %s\n", path.c_str());
+  if (!golden_path.empty()) {
+    if (golden_bytes != artifact_to_json(artifact, !deterministic)) {
+      std::fprintf(stderr,
+                   "trace --golden: artifact differs from %s — the replay's "
+                   "measured results changed (run with RMRSIM_GIT_DESCRIBE "
+                   "pinned and --deterministic to reproduce byte-exactly)\n",
+                   golden_path.c_str());
+      return 3;
+    }
+    std::printf("golden match: %s\n", golden_path.c_str());
+  }
+  if (!invariants_ok) {
+    std::fprintf(stderr, "trace: protocol invariants violated\n");
     return 1;
   }
   return 0;
@@ -669,7 +842,7 @@ int cmd_explore(const Args& a) {
 
 void usage() {
   std::fputs(
-      "usage: rmrsim_cli <signal|mutex|adversary|gme|explore|sweep> "
+      "usage: rmrsim_cli <signal|mutex|adversary|gme|explore|sweep|trace> "
       "[--key value ...]\n"
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
@@ -715,7 +888,21 @@ void usage() {
       "            (output is bit-identical for any W), writes\n"
       "            BENCH_<exp>.json, and fits each series' growth class;\n"
       "            --check exits 1 if a fit misses the paper's claim;\n"
-      "            --max-n caps the grid for quick CI runs\n",
+      "            --max-n caps the grid for quick CI runs\n"
+      "  trace     --gen private|hotset|zipf|ring|migratory | --in FILE\n"
+      "            [--ops K] [--procs N] [--seed S]\n"
+      "            [--models all|dsm,cc,cc-wb,cc-mesi,cc-lfcu]\n"
+      "            [--protocols [all|mesi,mesif,moesi,dragon]]\n"
+      "            [--write-buffer N] [--addr-map interleave[:B]|global|\n"
+      "                       first-touch]  (address -> (var, home) policy)\n"
+      "            [--cycle-cost fetch=F,transfer=T,signal=S,update=U,\n"
+      "                       writeback=W]  (override protocol cycle costs)\n"
+      "            [--emit FILE [--binary] [--no-replay]]  (save the trace)\n"
+      "            [--workers W] [--out DIR] [--deterministic]\n"
+      "            [--golden FILE]  (byte-compare BENCH_t1_*.json, exit 3)\n"
+      "            replays the trace through every requested cost model and\n"
+      "            protocol, writes BENCH_t1_<gen>.json; byte-identical for\n"
+      "            any --workers count\n",
       stderr);
 }
 
@@ -735,6 +922,7 @@ int main(int argc, char** argv) {
     if (cmd == "gme") return cmd_gme(args);
     if (cmd == "explore") return cmd_explore(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
