@@ -3,10 +3,10 @@
 #include <stdexcept>
 #include <string>
 
-namespace rmrsim {
+namespace rmrsim::detail {
 
-namespace {
-std::string format(std::string_view message, const std::source_location& where) {
+void throw_check_failure(std::string_view message,
+                         const std::source_location& where) {
   std::string out;
   out += where.file_name();
   out += ':';
@@ -15,18 +15,7 @@ std::string format(std::string_view message, const std::source_location& where) 
   out += where.function_name();
   out += "] ";
   out += message;
-  return out;
-}
-}  // namespace
-
-void ensure(bool cond, std::string_view message, std::source_location where) {
-  if (!cond) {
-    throw std::logic_error(format(message, where));
-  }
+  throw std::logic_error(out);
 }
 
-void fail(std::string_view message, std::source_location where) {
-  throw std::logic_error(format(message, where));
-}
-
-}  // namespace rmrsim
+}  // namespace rmrsim::detail

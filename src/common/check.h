@@ -10,14 +10,34 @@
 
 namespace rmrsim {
 
+namespace detail {
+/// Cold path shared by ensure()/fail(): formats the call site and throws
+/// std::logic_error. Out of line so the hot inlined check is just a
+/// test-and-branch.
+[[noreturn]] void throw_check_failure(std::string_view message,
+                                      const std::source_location& where);
+}  // namespace detail
+
 /// Throws std::logic_error with a message naming the call site if `cond` is
 /// false. Used for simulator-internal invariants and API preconditions.
-void ensure(bool cond, std::string_view message,
-            std::source_location where = std::source_location::current());
+///
+/// Inline on purpose: checks sit on the simulator's per-step hot paths, and
+/// an out-of-line call per check is measurable there. The passing case
+/// compiles to a predicted-not-taken branch; all formatting and throwing
+/// lives in the cold helper.
+inline void ensure(bool cond, std::string_view message,
+                   std::source_location where =
+                       std::source_location::current()) {
+  if (!cond) [[unlikely]] {
+    detail::throw_check_failure(message, where);
+  }
+}
 
 /// Unconditional failure; convenience for unreachable branches.
-[[noreturn]] void fail(std::string_view message,
-                       std::source_location where =
-                           std::source_location::current());
+[[noreturn]] inline void fail(std::string_view message,
+                              std::source_location where =
+                                  std::source_location::current()) {
+  detail::throw_check_failure(message, where);
+}
 
 }  // namespace rmrsim

@@ -138,7 +138,10 @@ FitReport fit_growth_class(std::span<const double> xs,
   // asymptotically O(1). The increasing classes cannot describe it; without
   // this rule a ratio that amortizes a one-time constant toward its floor
   // (cycles per RMR with a single cold fetch) misfits Theta(logN).
-  if (r.loglog_slope <= -0.10) {
+  // Two points cannot establish a trend — any single noisy dip has a
+  // steeply negative slope, and calling it O(1) on that evidence would
+  // mask real growth. The asymptotic argument needs at least 3 points.
+  if (r.points >= 3 && r.loglog_slope <= -0.10) {
     r.cls = GrowthClass::kConstant;
     return r;
   }

@@ -22,6 +22,16 @@ void RmrLedger::record(ProcId p, const MemOp&, bool rmr) {
   }
 }
 
+void RmrLedger::charge(ProcId p, std::uint64_t ops, std::uint64_t rmrs) {
+  ensure(p >= 0 && p < nprocs(), "process id out of range");
+  ensure(rmrs <= ops, "cannot charge more RMRs than operations");
+  Counters& c = per_proc_[static_cast<std::size_t>(p)];
+  c.ops += ops;
+  c.rmrs += rmrs;
+  total_ops_ += ops;
+  total_rmrs_ += rmrs;
+}
+
 std::uint64_t RmrLedger::ops(ProcId p) const {
   ensure(p >= 0 && p < nprocs(), "process id out of range");
   return per_proc_[static_cast<std::size_t>(p)].ops;

@@ -8,34 +8,28 @@
 namespace rmrsim {
 
 MemoryStore::MemoryStore(int nprocs)
-    : nprocs_(nprocs), mask_words_((nprocs + 63) / 64) {
+    : nprocs_(nprocs), mask_words_((nprocs + 63) / 64),
+      names_(std::make_shared<std::vector<std::string>>()) {
   ensure(nprocs > 0, "store needs at least one processor");
 }
 
 VarId MemoryStore::allocate(Word initial, ProcId home, std::string name) {
   ensure(home == kNoProc || (home >= 0 && home < nprocs_),
          "variable home must be a processor id or kNoProc");
-  Slot s;
-  s.value = initial;
-  s.initial = initial;
-  s.home = home;
-  s.name = std::move(name);
-  slots_.push_back(std::move(s));
-  writers_bits_.resize(slots_.size() * static_cast<std::size_t>(mask_words_),
+  values_.push_back(initial);
+  initials_.push_back(initial);
+  homes_.push_back(home);
+  last_writers_.push_back(kNoProc);
+  if (names_.use_count() > 1) {
+    // A snapshot still shares our name table — copy-on-write before growing.
+    names_ = std::make_shared<std::vector<std::string>>(*names_);
+  }
+  names_->push_back(std::move(name));
+  writers_bits_.resize(values_.size() * static_cast<std::size_t>(mask_words_),
                        0);
   reservation_bits_.resize(
-      slots_.size() * static_cast<std::size_t>(mask_words_), 0);
-  return static_cast<VarId>(slots_.size() - 1);
-}
-
-MemoryStore::Slot& MemoryStore::slot(VarId v) {
-  ensure(v >= 0 && v < num_vars(), "variable id out of range");
-  return slots_[static_cast<std::size_t>(v)];
-}
-
-const MemoryStore::Slot& MemoryStore::slot(VarId v) const {
-  ensure(v >= 0 && v < num_vars(), "variable id out of range");
-  return slots_[static_cast<std::size_t>(v)];
+      values_.size() * static_cast<std::size_t>(mask_words_), 0);
+  return static_cast<VarId>(values_.size() - 1);
 }
 
 std::uint64_t* MemoryStore::writer_mask(VarId v) {
@@ -83,22 +77,25 @@ void MemoryStore::clear_slot_reservations(VarId v) {
   for (int w = 0; w < mask_words_; ++w) m[w] = 0;
 }
 
-ProcId MemoryStore::home(VarId v) const { return slot(v).home; }
-Word MemoryStore::value(VarId v) const { return slot(v).value; }
-Word MemoryStore::initial(VarId v) const { return slot(v).initial; }
-ProcId MemoryStore::last_writer(VarId v) const { return slot(v).last_writer; }
+Word MemoryStore::value(VarId v) const { return values_[index(v)]; }
+Word MemoryStore::initial(VarId v) const { return initials_[index(v)]; }
+ProcId MemoryStore::last_writer(VarId v) const {
+  return last_writers_[index(v)];
+}
 
 int MemoryStore::distinct_writers(VarId v) const {
-  const std::uint64_t* m = writer_mask(v);
+  const std::uint64_t* m = writer_mask(static_cast<VarId>(index(v)));
   int count = 0;
   for (int w = 0; w < mask_words_; ++w) count += std::popcount(m[w]);
   return count;
 }
 
-const std::string& MemoryStore::name(VarId v) const { return slot(v).name; }
+const std::string& MemoryStore::name(VarId v) const {
+  return (*names_)[index(v)];
+}
 
 bool MemoryStore::would_write(ProcId p, const MemOp& op) const {
-  const Slot& s = slot(op.var);
+  const Word value = values_[index(op.var)];
   switch (op.type) {
     case OpType::kRead:
     case OpType::kLl:
@@ -112,17 +109,17 @@ bool MemoryStore::would_write(ProcId p, const MemOp& op) const {
       // value: a TAS on an already-set flag fails the comparison and does
       // not overwrite. This is the reading under which LFCU systems service
       // failed TAS locally (Section 3, [1]).
-      return s.value == 0;
+      return value == 0;
     case OpType::kCas:
-      return s.value == op.arg0;
+      return value == op.arg0;
     case OpType::kSc:
       return mask_test(reservation_mask(op.var), p);
   }
   fail("unknown op type");
 }
 
-void MemoryStore::note_write(VarId v, Slot& s, ProcId p) {
-  s.last_writer = p;
+void MemoryStore::note_write(VarId v, ProcId p) {
+  last_writers_[static_cast<std::size_t>(v)] = p;
   mask_set(writer_mask(v), p);
   // An overwrite invalidates every other process's LL reservation on this
   // variable; the writer's own reservation also dies (standard LL/SC: SC
@@ -133,35 +130,36 @@ void MemoryStore::note_write(VarId v, Slot& s, ProcId p) {
 
 MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
   ensure(p >= 0 && p < nprocs_, "process id out of range");
-  Slot& s = slot(op.var);
+  const std::size_t i = index(op.var);
+  Word& value = values_[i];
   ApplyResult r;
-  r.prev_writer = s.last_writer;
+  r.prev_writer = last_writers_[i];
   switch (op.type) {
     case OpType::kRead:
-      r.result = s.value;
+      r.result = value;
       break;
     case OpType::kWrite:
       r.result = op.arg0;
-      note_write(op.var, s, p);
-      s.value = op.arg0;
+      note_write(op.var, p);
+      value = op.arg0;
       r.wrote = true;
       break;
     case OpType::kCas:
-      r.result = s.value;
-      if (s.value == op.arg0) {
-        note_write(op.var, s, p);
-        s.value = op.arg1;
+      r.result = value;
+      if (value == op.arg0) {
+        note_write(op.var, p);
+        value = op.arg1;
         r.wrote = true;
       }
       break;
     case OpType::kLl:
-      r.result = s.value;
+      r.result = value;
       mask_set(reservation_mask(op.var), p);
       break;
     case OpType::kSc: {
       if (mask_test(reservation_mask(op.var), p)) {
-        note_write(op.var, s, p);
-        s.value = op.arg0;
+        note_write(op.var, p);
+        value = op.arg0;
         r.wrote = true;
         r.result = 1;
       } else {
@@ -170,22 +168,22 @@ MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
       break;
     }
     case OpType::kFaa:
-      r.result = s.value;
-      note_write(op.var, s, p);
-      s.value += op.arg0;
+      r.result = value;
+      note_write(op.var, p);
+      value += op.arg0;
       r.wrote = true;
       break;
     case OpType::kFas:
-      r.result = s.value;
-      note_write(op.var, s, p);
-      s.value = op.arg0;
+      r.result = value;
+      note_write(op.var, p);
+      value = op.arg0;
       r.wrote = true;
       break;
     case OpType::kTas:
-      r.result = s.value;
-      if (s.value == 0) {
-        note_write(op.var, s, p);
-        s.value = 1;
+      r.result = value;
+      if (value == 0) {
+        note_write(op.var, p);
+        value = 1;
         r.wrote = true;
       }
       break;
@@ -194,14 +192,13 @@ MemoryStore::ApplyResult MemoryStore::apply(ProcId p, const MemOp& op) {
 }
 
 void MemoryStore::poke(VarId v, Word value, ProcId last_writer) {
-  Slot& s = slot(v);
-  s.value = value;
-  s.last_writer = last_writer;
+  const std::size_t i = index(v);
+  values_[i] = value;
+  last_writers_[i] = last_writer;
 }
 
 void MemoryStore::forget_writer(VarId v, ProcId p) {
-  ensure(v >= 0 && v < num_vars(), "variable id out of range");
-  mask_clear(writer_mask(v), p);
+  mask_clear(writer_mask(static_cast<VarId>(index(v))), p);
 }
 
 void MemoryStore::clear_reservations(ProcId p) {
@@ -216,15 +213,12 @@ void MemoryStore::clear_reservations(ProcId p) {
 }
 
 bool MemoryStore::has_reservation(ProcId p, VarId v) const {
-  ensure(v >= 0 && v < num_vars(), "variable id out of range");
-  return mask_test(reservation_mask(v), p);
+  return mask_test(reservation_mask(static_cast<VarId>(index(v))), p);
 }
 
 void MemoryStore::reset() {
-  for (Slot& s : slots_) {
-    s.value = s.initial;
-    s.last_writer = kNoProc;
-  }
+  values_ = initials_;
+  std::fill(last_writers_.begin(), last_writers_.end(), kNoProc);
   std::fill(writers_bits_.begin(), writers_bits_.end(), 0);
   std::fill(reservation_bits_.begin(), reservation_bits_.end(), 0);
 }

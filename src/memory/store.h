@@ -14,15 +14,24 @@
 // past 64 processes (E1 sweeps to N=1024), hence multi-word masks rather than
 // a single uint64_t.
 //
+// Layout is structure-of-arrays: values, initials, homes, and last-writers
+// live in parallel flat vectors of trivially copyable elements, and the
+// diagnostic names sit behind a copy-on-write shared vector. Copying a store
+// (world forking / snapshot capture in the explorer) is therefore a handful
+// of bulk memcpys plus one refcount bump — no per-variable std::string
+// traffic — and the hot apply() path touches only the value lane.
+//
 // The store is fully resettable: reset() restores every variable to its
 // initial value and clears reservations, which is what makes the lower-bound
 // adversary's erasure-by-replay exact (DESIGN.md Section 4, item 5).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "memory/memop.h"
 
@@ -40,10 +49,11 @@ class MemoryStore {
   VarId allocate(Word initial, ProcId home, std::string name = {});
 
   int nprocs() const { return nprocs_; }
-  int num_vars() const { return static_cast<int>(slots_.size()); }
+  int num_vars() const { return static_cast<int>(values_.size()); }
 
-  /// Home module of `v` (kNoProc for a detached module).
-  ProcId home(VarId v) const;
+  /// Home module of `v` (kNoProc for a detached module). Inline: DSM pricing
+  /// calls this once per memory-op step.
+  ProcId home(VarId v) const { return homes_[index(v)]; }
 
   /// Current value (checker/diagnostic access; not a process step and never
   /// charged an RMR).
@@ -103,16 +113,10 @@ class MemoryStore {
   bool has_reservation(ProcId p, VarId v) const;
 
  private:
-  struct Slot {
-    Word value = 0;
-    Word initial = 0;
-    ProcId home = kNoProc;
-    ProcId last_writer = kNoProc;
-    std::string name;
-  };
-
-  Slot& slot(VarId v);
-  const Slot& slot(VarId v) const;
+  std::size_t index(VarId v) const {
+    ensure(v >= 0 && v < num_vars(), "variable id out of range");
+    return static_cast<std::size_t>(v);
+  }
 
   // Bitmask plumbing: variable v's process set occupies words
   // [v * mask_words_, (v + 1) * mask_words_) of the flat array.
@@ -126,11 +130,18 @@ class MemoryStore {
   bool any_reservation(VarId v) const;
   void clear_slot_reservations(VarId v);
 
-  void note_write(VarId v, Slot& s, ProcId p);
+  void note_write(VarId v, ProcId p);
 
   int nprocs_;
   int mask_words_;
-  std::vector<Slot> slots_;
+  // SoA variable lanes, indexed by VarId (all the same length).
+  std::vector<Word> values_;
+  std::vector<Word> initials_;
+  std::vector<ProcId> homes_;
+  std::vector<ProcId> last_writers_;
+  // Diagnostic names, copy-on-write: snapshots share the vector; allocate()
+  // clones it first if anyone else still holds a reference.
+  std::shared_ptr<std::vector<std::string>> names_;
   std::vector<std::uint64_t> writers_bits_;      // mask_words_ words per var
   std::vector<std::uint64_t> reservation_bits_;  // mask_words_ words per var
 };

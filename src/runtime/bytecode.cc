@@ -1,0 +1,220 @@
+#include "runtime/bytecode.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+// ---------------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------------
+
+BcReg BytecodeBuilder::reg() {
+  ensure(next_reg_ < 255, "bytecode program uses too many registers");
+  return static_cast<BcReg>(next_reg_++);
+}
+
+std::uint32_t BytecodeBuilder::var(VarId v) {
+  ensure(v != kNoVar, "cannot intern kNoVar");
+  for (std::size_t i = 0; i < vartab_.size(); ++i) {
+    if (vartab_[i] == v) return static_cast<std::uint32_t>(i);
+  }
+  vartab_.push_back(v);
+  return static_cast<std::uint32_t>(vartab_.size() - 1);
+}
+
+std::uint32_t BytecodeBuilder::var_array(const std::vector<VarId>& vs) {
+  ensure(!vs.empty(), "var_array needs at least one variable");
+  const auto base = static_cast<std::uint32_t>(vartab_.size());
+  vartab_.insert(vartab_.end(), vs.begin(), vs.end());
+  return base;
+}
+
+BytecodeBuilder::Label BytecodeBuilder::label() {
+  labels_.push_back(-1);
+  return Label{static_cast<std::uint32_t>(labels_.size() - 1)};
+}
+
+void BytecodeBuilder::bind(Label l) {
+  ensure(l.id < labels_.size(), "bind: unknown label");
+  ensure(labels_[l.id] == -1, "bind: label already bound");
+  labels_[l.id] = static_cast<std::int64_t>(code_.size());
+}
+
+void BytecodeBuilder::emit(BcInstr in) { code_.push_back(in); }
+
+void BytecodeBuilder::branch(BcOp op, BcReg a, BcReg b, Word imm, Label l) {
+  ensure(l.id < labels_.size(), "branch: unknown label");
+  emit({.op = op, .a = a, .b = b, .target = l.id, .imm = imm});
+}
+
+void BytecodeBuilder::load_imm(BcReg dst, Word imm) {
+  emit({.op = BcOp::kLoadImm, .dst = dst, .imm = imm});
+}
+void BytecodeBuilder::move(BcReg dst, BcReg src) {
+  emit({.op = BcOp::kMove, .dst = dst, .a = src});
+}
+void BytecodeBuilder::add_imm(BcReg dst, BcReg src, Word imm) {
+  emit({.op = BcOp::kAddImm, .dst = dst, .a = src, .imm = imm});
+}
+void BytecodeBuilder::ne_imm(BcReg dst, BcReg src, Word imm) {
+  emit({.op = BcOp::kNeImm, .dst = dst, .a = src, .imm = imm});
+}
+void BytecodeBuilder::jump(Label l) {
+  branch(BcOp::kJump, kNoReg, kNoReg, 0, l);
+}
+void BytecodeBuilder::jz(BcReg r, Label l) {
+  branch(BcOp::kJumpIfZero, r, kNoReg, 0, l);
+}
+void BytecodeBuilder::jnz(BcReg r, Label l) {
+  branch(BcOp::kJumpIfNotZero, r, kNoReg, 0, l);
+}
+void BytecodeBuilder::jeq(BcReg x, BcReg y, Label l) {
+  branch(BcOp::kJumpIfEq, x, y, 0, l);
+}
+void BytecodeBuilder::jeq_imm(BcReg x, Word imm, Label l) {
+  branch(BcOp::kJumpIfEqImm, x, kNoReg, imm, l);
+}
+void BytecodeBuilder::trap() { emit({.op = BcOp::kTrap}); }
+void BytecodeBuilder::halt() { emit({.op = BcOp::kHalt}); }
+
+void BytecodeBuilder::mem(BcOp op, BcReg dst, std::uint32_t v, BcReg ix,
+                          BcReg a, BcReg b) {
+  emit({.op = op, .dst = dst, .a = a, .b = b, .vx = ix, .var = v});
+}
+
+void BytecodeBuilder::read(BcReg dst, std::uint32_t v, BcReg ix) {
+  mem(BcOp::kRead, dst, v, ix, kNoReg, kNoReg);
+}
+void BytecodeBuilder::write(std::uint32_t v, BcReg value, BcReg ix) {
+  mem(BcOp::kWrite, kNoReg, v, ix, value, kNoReg);
+}
+void BytecodeBuilder::cas(BcReg dst, std::uint32_t v, BcReg expect,
+                          BcReg desired, BcReg ix) {
+  mem(BcOp::kCas, dst, v, ix, expect, desired);
+}
+void BytecodeBuilder::ll(BcReg dst, std::uint32_t v, BcReg ix) {
+  mem(BcOp::kLl, dst, v, ix, kNoReg, kNoReg);
+}
+void BytecodeBuilder::sc(BcReg dst, std::uint32_t v, BcReg value, BcReg ix) {
+  mem(BcOp::kSc, dst, v, ix, value, kNoReg);
+}
+void BytecodeBuilder::faa(BcReg dst, std::uint32_t v, BcReg delta, BcReg ix) {
+  mem(BcOp::kFaa, dst, v, ix, delta, kNoReg);
+}
+void BytecodeBuilder::fas(BcReg dst, std::uint32_t v, BcReg value, BcReg ix) {
+  mem(BcOp::kFas, dst, v, ix, value, kNoReg);
+}
+void BytecodeBuilder::tas(BcReg dst, std::uint32_t v, BcReg ix) {
+  mem(BcOp::kTas, dst, v, ix, kNoReg, kNoReg);
+}
+
+void BytecodeBuilder::call_begin(Word code) {
+  emit({.op = BcOp::kCallBegin, .imm = code});
+}
+void BytecodeBuilder::call_end(Word code, BcReg ret) {
+  emit({.op = BcOp::kCallEnd, .a = ret, .imm = code});
+}
+void BytecodeBuilder::mark(Word code, BcReg value) {
+  emit({.op = BcOp::kMark, .a = value, .imm = code});
+}
+void BytecodeBuilder::directive(BcReg action, BcReg arg) {
+  emit({.op = BcOp::kDirective, .dst = action, .a = arg});
+}
+void BytecodeBuilder::delay(Word ticks) {
+  ensure(ticks >= 0, "delay ticks must be non-negative");
+  emit({.op = BcOp::kDelay, .imm = ticks});
+}
+
+std::shared_ptr<const BytecodeProgram> BytecodeBuilder::build(
+    std::string name) {
+  auto prog = std::make_shared<BytecodeProgram>();
+  prog->name = std::move(name);
+  prog->num_regs = next_reg_;
+  prog->vartab = std::move(vartab_);
+  prog->code = std::move(code_);
+  ensure(!prog->code.empty(), "empty bytecode program '" + prog->name + "'");
+
+  const auto check_reg = [&](BcReg r, bool required) {
+    if (r == kNoReg) {
+      ensure(!required, "missing register operand in '" + prog->name + "'");
+      return;
+    }
+    ensure(r < prog->num_regs,
+           "register operand out of range in '" + prog->name + "'");
+  };
+
+  for (BcInstr& in : prog->code) {
+    switch (in.op) {
+      case BcOp::kJump:
+      case BcOp::kJumpIfZero:
+      case BcOp::kJumpIfNotZero:
+      case BcOp::kJumpIfEq:
+      case BcOp::kJumpIfEqImm: {
+        ensure(in.target < labels_.size(),
+               "branch to unknown label in '" + prog->name + "'");
+        const std::int64_t bound = labels_[in.target];
+        ensure(bound >= 0, "branch to unbound label in '" + prog->name + "'");
+        ensure(bound <= static_cast<std::int64_t>(prog->code.size()),
+               "branch target out of range in '" + prog->name + "'");
+        in.target = static_cast<std::uint32_t>(bound);
+        check_reg(in.a, in.op != BcOp::kJump);
+        check_reg(in.b, in.op == BcOp::kJumpIfEq);
+        break;
+      }
+      case BcOp::kRead:
+      case BcOp::kWrite:
+      case BcOp::kCas:
+      case BcOp::kLl:
+      case BcOp::kSc:
+      case BcOp::kFaa:
+      case BcOp::kFas:
+      case BcOp::kTas:
+        if (in.vx == kNoReg) {
+          ensure(in.var < prog->vartab.size(),
+                 "variable operand out of range in '" + prog->name + "'");
+        } else {
+          check_reg(in.vx, true);
+          ensure(in.var <= prog->vartab.size(),
+                 "variable base out of range in '" + prog->name + "'");
+        }
+        check_reg(in.dst, false);
+        check_reg(in.a, in.op == BcOp::kWrite || in.op == BcOp::kCas ||
+                            in.op == BcOp::kSc || in.op == BcOp::kFaa ||
+                            in.op == BcOp::kFas);
+        check_reg(in.b, in.op == BcOp::kCas);
+        break;
+      case BcOp::kDirective:
+        check_reg(in.dst, true);
+        check_reg(in.a, true);
+        break;
+      case BcOp::kLoadImm:
+        check_reg(in.dst, true);
+        break;
+      case BcOp::kMove:
+      case BcOp::kAddImm:
+      case BcOp::kNeImm:
+        check_reg(in.dst, true);
+        check_reg(in.a, true);
+        break;
+      case BcOp::kCallBegin:
+      case BcOp::kCallEnd:
+      case BcOp::kMark:
+        check_reg(in.a, false);
+        break;
+      case BcOp::kDelay:
+      case BcOp::kTrap:
+      case BcOp::kHalt:
+        break;
+    }
+  }
+  // Execution must not fall off the end: the last instruction must be an
+  // unconditional control transfer or terminal.
+  const BcOp last = prog->code.back().op;
+  ensure(last == BcOp::kHalt || last == BcOp::kJump || last == BcOp::kTrap,
+         "bytecode program '" + prog->name + "' can fall off the end");
+  return prog;
+}
+
+}  // namespace rmrsim

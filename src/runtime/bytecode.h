@@ -1,0 +1,391 @@
+// Bytecode lowering of algorithm programs — the compiled step engine.
+//
+// The coroutine runtime (runtime/coro.h, runtime/proc_ctx.h) is the semantic
+// reference: every algorithm is written once as a coroutine and that form
+// defines its step sequence. But resuming a coroutine chain per simulated
+// step — with a SubTask frame allocation per procedure call — dominates the
+// step loop (DESIGN.md §9, "Step-loop performance model"). This module lowers
+// a process's program to a flat instruction table executed by a dispatch
+// loop whose entire per-process state is a (pc, register file) pair:
+//
+//  - *Suspendable* instructions (memory primitives, call boundaries, marks,
+//    directives, delays) correspond 1:1 to the coroutine awaiters: executing
+//    one parks the exact PendingAction the awaiter would have parked, and the
+//    simulator applies/prices/records it through the same Simulation::step
+//    path. A compiled process therefore produces byte-identical histories,
+//    ledgers, and schedules — the oracle-parity contract gated by
+//    tests/bytecode_parity_test.cc.
+//  - *Local* instructions (register moves, arithmetic, branches) model the
+//    algorithm's local computation, which the paper's cost model — and the
+//    coroutine engine — charge nothing for. They execute inline between
+//    steps (bc_settle) and never appear in the history.
+//
+// Programs are compiled per process: the process id `me` is a compile-time
+// constant, so per-process variables (V[me], Reg[me]) resolve to direct
+// variable-table slots; dynamically indexed accesses (queue slots, list
+// chasing) use base+register addressing into the same table.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+#include "history/step_record.h"
+#include "memory/memop.h"
+#include "runtime/proc_ctx.h"
+
+namespace rmrsim {
+
+/// Which engine executes a process's program. kCompiled requires a lowered
+/// bytecode program; processes without one fall back to the coroutine
+/// engine (the two interoperate freely within one simulation).
+enum class StepEngine {
+  kCoroutine,  ///< coroutine frames resumed per step (the semantic oracle)
+  kCompiled,   ///< flat bytecode, (pc, register file) per process
+};
+
+enum class BcOp : std::uint8_t {
+  // Suspendable: shared-memory primitives (one simulation step each).
+  kRead,       ///< dst = [var]
+  kWrite,      ///< [var] = regs[a]
+  kCas,        ///< dst = old; if old == regs[a] then [var] = regs[b]
+  kLl,         ///< dst = [var], sets reservation
+  kSc,         ///< dst = success; if reserved then [var] = regs[a]
+  kFaa,        ///< dst = old; [var] += regs[a]
+  kFas,        ///< dst = old; [var] = regs[a]
+  kTas,        ///< dst = old; if old == 0 then [var] = 1
+  // Suspendable: events and driver plumbing (one simulation step each).
+  kCallBegin,  ///< record call boundary, code = imm
+  kCallEnd,    ///< record call end, code = imm, ret = regs[a] (kNoReg: 0)
+  kMark,       ///< record mark, code = imm, value = regs[a] (kNoReg: 0)
+  kDirective,  ///< ask the directive policy; dst = action, regs[a] = arg
+  kDelay,      ///< sleep for imm ticks
+  // Local: executed inline by bc_settle, no simulation step.
+  kLoadImm,        ///< dst = imm
+  kMove,           ///< dst = regs[a]
+  kAddImm,         ///< dst = regs[a] + imm
+  kNeImm,          ///< dst = (regs[a] != imm) ? 1 : 0
+  kJump,           ///< pc = target
+  kJumpIfZero,     ///< if regs[a] == 0 then pc = target
+  kJumpIfNotZero,  ///< if regs[a] != 0 then pc = target
+  kJumpIfEq,       ///< if regs[a] == regs[b] then pc = target
+  kJumpIfEqImm,    ///< if regs[a] == imm then pc = target
+  kTrap,           ///< unreachable-state marker: executing it fails loudly
+  kHalt,           ///< program complete
+};
+
+/// True for instructions that park a PendingAction and take one step.
+constexpr bool bc_suspends(BcOp op) { return op <= BcOp::kDelay; }
+
+using BcReg = std::uint8_t;
+inline constexpr BcReg kNoReg = 0xFF;
+
+struct BcInstr {
+  BcOp op = BcOp::kHalt;
+  BcReg dst = kNoReg;  ///< result register
+  BcReg a = kNoReg;    ///< first operand register
+  BcReg b = kNoReg;    ///< second operand register
+  BcReg vx = kNoReg;   ///< index register for var addressing (kNoReg: direct)
+  std::uint32_t var = 0;     ///< base index into vartab (memory ops)
+  std::uint32_t target = 0;  ///< jump target (branches)
+  Word imm = 0;              ///< immediate operand / event code
+};
+
+/// One compiled program: immutable after build, shared by snapshots and
+/// restored worlds exactly like the coroutine Program vector.
+struct BytecodeProgram {
+  std::vector<BcInstr> code;
+  std::vector<VarId> vartab;
+  int num_regs = 0;
+  std::string name;  ///< diagnostics only
+};
+
+/// Per-process compiled programs for one simulation. Entries may be null:
+/// those processes run on the coroutine engine.
+struct BytecodeSet {
+  std::vector<std::shared_ptr<const BytecodeProgram>> per_proc;
+};
+
+/// A compiled process's entire mutable state. Forking a world copies this
+/// by plain vector copy (bulk memcpy of PODs) — no resume-log replay.
+struct BcThread {
+  std::uint32_t pc = 0;
+  std::vector<Word> regs;
+
+  void reset(const BytecodeProgram& bc) {
+    pc = 0;
+    regs.assign(static_cast<std::size_t>(bc.num_regs), 0);
+  }
+};
+
+// The interpreter core is defined inline below: decode/settle/complete run
+// once (settle: several times) per simulated step on the compiled engine's
+// fast path, and a cross-TU call per helper is measurable there. Failure
+// messages are built inside [[unlikely]] branches, never eagerly — a string
+// concatenation per call would dominate the whole dispatch loop.
+namespace bc_detail {
+
+/// Local-instruction fuel per settle: every lowered loop contains at least
+/// one suspendable instruction, so hitting this bound means a miscompiled
+/// (diverging) local loop, not a long program.
+constexpr std::uint64_t kSettleFuel = 1u << 22;
+
+/// No bounds check here: BytecodeBuilder::build() rejects any instruction
+/// whose register operand is kNoReg-where-required or >= num_regs, and
+/// BcThread::reset() sizes regs to exactly num_regs, so every operand the
+/// interpreter can see is in range by construction.
+inline Word reg_at(const BcThread& t, BcReg r) {
+  return t.regs[static_cast<std::size_t>(r)];
+}
+
+inline Word& reg_ref(BcThread& t, BcReg r) {
+  return t.regs[static_cast<std::size_t>(r)];
+}
+
+inline VarId resolve_var(const BytecodeProgram& bc, const BcThread& t,
+                         const BcInstr& in) {
+  std::int64_t idx = static_cast<std::int64_t>(in.var);
+  if (in.vx != kNoReg) idx += reg_at(t, in.vx);
+  if (idx < 0 || idx >= static_cast<std::int64_t>(bc.vartab.size()))
+      [[unlikely]] {
+    fail("bytecode variable index out of range in '" + bc.name + "'");
+  }
+  return bc.vartab[static_cast<std::size_t>(idx)];
+}
+
+inline const BcInstr& instr_at(const BytecodeProgram& bc, std::uint32_t pc) {
+  if (pc >= bc.code.size()) [[unlikely]] {
+    fail("bytecode pc out of range in '" + bc.name + "' (missing kHalt?)");
+  }
+  return bc.code[pc];
+}
+
+}  // namespace bc_detail
+
+/// Decodes the suspendable instruction at t.pc into the PendingAction the
+/// corresponding coroutine awaiter would have parked. Pure: operand
+/// registers are read, nothing advances.
+inline PendingAction bc_decode_pending(const BytecodeProgram& bc,
+                                       const BcThread& t) {
+  using bc_detail::reg_at;
+  using bc_detail::resolve_var;
+  const BcInstr& in = bc_detail::instr_at(bc, t.pc);
+  PendingAction a;
+  switch (in.op) {
+    case BcOp::kRead:
+      a = {.kind = ActionKind::kMemOp, .op = MemOp::read(resolve_var(bc, t, in))};
+      break;
+    case BcOp::kWrite:
+      a = {.kind = ActionKind::kMemOp,
+           .op = MemOp::write(resolve_var(bc, t, in), reg_at(t, in.a))};
+      break;
+    case BcOp::kCas:
+      a = {.kind = ActionKind::kMemOp,
+           .op = MemOp::cas(resolve_var(bc, t, in), reg_at(t, in.a),
+                            reg_at(t, in.b))};
+      break;
+    case BcOp::kLl:
+      a = {.kind = ActionKind::kMemOp, .op = MemOp::ll(resolve_var(bc, t, in))};
+      break;
+    case BcOp::kSc:
+      a = {.kind = ActionKind::kMemOp,
+           .op = MemOp::sc(resolve_var(bc, t, in), reg_at(t, in.a))};
+      break;
+    case BcOp::kFaa:
+      a = {.kind = ActionKind::kMemOp,
+           .op = MemOp::faa(resolve_var(bc, t, in), reg_at(t, in.a))};
+      break;
+    case BcOp::kFas:
+      a = {.kind = ActionKind::kMemOp,
+           .op = MemOp::fas(resolve_var(bc, t, in), reg_at(t, in.a))};
+      break;
+    case BcOp::kTas:
+      a = {.kind = ActionKind::kMemOp, .op = MemOp::tas(resolve_var(bc, t, in))};
+      break;
+    case BcOp::kCallBegin:
+      a = {.kind = ActionKind::kEvent, .event = EventKind::kCallBegin,
+           .code = in.imm, .value = 0};
+      break;
+    case BcOp::kCallEnd:
+      a = {.kind = ActionKind::kEvent, .event = EventKind::kCallEnd,
+           .code = in.imm,
+           .value = in.a == kNoReg ? Word{0} : reg_at(t, in.a)};
+      break;
+    case BcOp::kMark:
+      a = {.kind = ActionKind::kEvent, .event = EventKind::kMark,
+           .code = in.imm,
+           .value = in.a == kNoReg ? Word{0} : reg_at(t, in.a)};
+      break;
+    case BcOp::kDirective:
+      a = {.kind = ActionKind::kDirective};
+      break;
+    case BcOp::kDelay:
+      a = {.kind = ActionKind::kDelay, .delay_ticks = in.imm};
+      break;
+    default:
+      fail("bc_decode_pending on a local instruction in '" + bc.name + "'");
+  }
+  return a;
+}
+
+/// Executes local instructions from t.pc until the next suspendable
+/// instruction (leaves t.pc on it; returns true) or kHalt (returns false).
+/// Fails loudly on a local loop with no suspension point (fuel bound) and
+/// on kTrap.
+inline bool bc_settle(const BytecodeProgram& bc, BcThread& t) {
+  using bc_detail::reg_at;
+  using bc_detail::reg_ref;
+  std::uint64_t fuel = bc_detail::kSettleFuel;
+  for (;;) {
+    const BcInstr& in = bc_detail::instr_at(bc, t.pc);
+    if (bc_suspends(in.op)) return true;
+    if (fuel-- == 0) [[unlikely]] {
+      fail("bytecode local loop ran " + std::to_string(bc_detail::kSettleFuel) +
+           " instructions without a suspension point in '" + bc.name + "'");
+    }
+    switch (in.op) {
+      case BcOp::kLoadImm:
+        reg_ref(t, in.dst) = in.imm;
+        ++t.pc;
+        break;
+      case BcOp::kMove:
+        reg_ref(t, in.dst) = reg_at(t, in.a);
+        ++t.pc;
+        break;
+      case BcOp::kAddImm:
+        reg_ref(t, in.dst) = reg_at(t, in.a) + in.imm;
+        ++t.pc;
+        break;
+      case BcOp::kNeImm:
+        reg_ref(t, in.dst) = reg_at(t, in.a) != in.imm ? 1 : 0;
+        ++t.pc;
+        break;
+      case BcOp::kJump:
+        t.pc = in.target;
+        break;
+      case BcOp::kJumpIfZero:
+        t.pc = reg_at(t, in.a) == 0 ? in.target : t.pc + 1;
+        break;
+      case BcOp::kJumpIfNotZero:
+        t.pc = reg_at(t, in.a) != 0 ? in.target : t.pc + 1;
+        break;
+      case BcOp::kJumpIfEq:
+        t.pc = reg_at(t, in.a) == reg_at(t, in.b) ? in.target : t.pc + 1;
+        break;
+      case BcOp::kJumpIfEqImm:
+        t.pc = reg_at(t, in.a) == in.imm ? in.target : t.pc + 1;
+        break;
+      case BcOp::kTrap:
+        fail("bytecode trap reached in '" + bc.name +
+             "' (invalid driver state)");
+      case BcOp::kHalt:
+        return false;
+      default:
+        fail("unknown local bytecode instruction");
+    }
+  }
+}
+
+/// Completes the suspendable instruction at t.pc with its applied payload
+/// and advances past it (the compiled analogue of ProcCtx::resume_*).
+inline void bc_complete_op(const BytecodeProgram& bc, BcThread& t,
+                           const OpOutcome& outcome) {
+  const BcInstr& in = bc_detail::instr_at(bc, t.pc);
+  ensure(bc_suspends(in.op) && in.op <= BcOp::kTas,
+         "bc_complete_op: pc is not at a memory instruction");
+  if (in.dst != kNoReg) bc_detail::reg_ref(t, in.dst) = outcome.result;
+  ++t.pc;
+}
+
+inline void bc_complete_plain(const BytecodeProgram& bc, BcThread& t) {
+  const BcInstr& in = bc_detail::instr_at(bc, t.pc);
+  ensure(in.op == BcOp::kCallBegin || in.op == BcOp::kCallEnd ||
+             in.op == BcOp::kMark || in.op == BcOp::kDelay,
+         "bc_complete_plain: pc is not at an event/delay instruction");
+  ++t.pc;
+}
+
+inline void bc_complete_directive(const BytecodeProgram& bc, BcThread& t,
+                                  const Directive& d) {
+  const BcInstr& in = bc_detail::instr_at(bc, t.pc);
+  ensure(in.op == BcOp::kDirective,
+         "bc_complete_directive: pc is not at a directive instruction");
+  bc_detail::reg_ref(t, in.dst) = static_cast<Word>(d.action);
+  bc_detail::reg_ref(t, in.a) = d.arg;
+  ++t.pc;
+}
+
+/// Assembles one BytecodeProgram: interns variables, allocates registers,
+/// binds labels, and validates the result (targets bound and in range,
+/// register operands within the allocated file, direct variable operands
+/// within the table).
+class BytecodeBuilder {
+ public:
+  struct Label {
+    std::uint32_t id = 0;
+  };
+
+  /// Allocates a fresh register (zero-initialized at program start).
+  BcReg reg();
+
+  /// Interns a single variable (deduplicated) and returns its table index.
+  std::uint32_t var(VarId v);
+
+  /// Appends a contiguous block for base+register addressing; returns the
+  /// base index. Not deduplicated (blocks must stay contiguous).
+  std::uint32_t var_array(const std::vector<VarId>& vs);
+
+  Label label();
+  void bind(Label l);
+
+  // Local instructions.
+  void load_imm(BcReg dst, Word imm);
+  void move(BcReg dst, BcReg src);
+  void add_imm(BcReg dst, BcReg src, Word imm);
+  void ne_imm(BcReg dst, BcReg src, Word imm);
+  void jump(Label l);
+  void jz(BcReg r, Label l);
+  void jnz(BcReg r, Label l);
+  void jeq(BcReg x, BcReg y, Label l);
+  void jeq_imm(BcReg x, Word imm, Label l);
+  void trap();
+  void halt();
+
+  // Suspendable memory primitives. `ix` selects indexed addressing:
+  // effective table slot = var + regs[ix].
+  void read(BcReg dst, std::uint32_t var, BcReg ix = kNoReg);
+  void write(std::uint32_t var, BcReg value, BcReg ix = kNoReg);
+  void cas(BcReg dst, std::uint32_t var, BcReg expect, BcReg desired,
+           BcReg ix = kNoReg);
+  void ll(BcReg dst, std::uint32_t var, BcReg ix = kNoReg);
+  void sc(BcReg dst, std::uint32_t var, BcReg value, BcReg ix = kNoReg);
+  void faa(BcReg dst, std::uint32_t var, BcReg delta, BcReg ix = kNoReg);
+  void fas(BcReg dst, std::uint32_t var, BcReg value, BcReg ix = kNoReg);
+  void tas(BcReg dst, std::uint32_t var, BcReg ix = kNoReg);
+
+  // Suspendable events.
+  void call_begin(Word code);
+  void call_end(Word code, BcReg ret = kNoReg);
+  void mark(Word code, BcReg value = kNoReg);
+  void directive(BcReg action, BcReg arg);
+  void delay(Word ticks);
+
+  /// Validates and finalizes. The builder is consumed.
+  std::shared_ptr<const BytecodeProgram> build(std::string name);
+
+ private:
+  void emit(BcInstr in);
+  void branch(BcOp op, BcReg a, BcReg b, Word imm, Label l);
+  void mem(BcOp op, BcReg dst, std::uint32_t var, BcReg ix, BcReg a,
+           BcReg b);
+
+  std::vector<BcInstr> code_;
+  std::vector<VarId> vartab_;
+  std::vector<std::int64_t> labels_;  ///< label id -> bound pc (-1 unbound)
+  int next_reg_ = 0;
+};
+
+}  // namespace rmrsim

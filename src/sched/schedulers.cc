@@ -6,12 +6,17 @@ namespace rmrsim {
 
 ProcId RoundRobinScheduler::next(Simulation& sim) {
   const int n = sim.nprocs();
-  for (int i = 1; i <= n; ++i) {
-    const ProcId candidate = static_cast<ProcId>((last_ + i) % n);
+  // Wrap by compare, not `%`: an integer division per candidate is the
+  // single most expensive instruction in this loop, which runs once per
+  // simulated step.
+  ProcId candidate = static_cast<ProcId>(last_ + 1 >= n ? 0 : last_ + 1);
+  for (int i = 0; i < n; ++i) {
     if (sim.ready(candidate)) {
       last_ = candidate;
       return candidate;
     }
+    ++candidate;
+    if (candidate >= n) candidate = 0;
   }
   return kNoProc;
 }

@@ -1,0 +1,157 @@
+#include "signaling/compile.h"
+
+#include <string>
+
+#include "common/check.h"
+
+namespace rmrsim {
+
+namespace {
+
+// Emits the Poll() procedure-call block: begin event, algorithm body, end
+// event carrying the normalized 0/1 result — the same three-part shape as
+// the coroutine drivers' `call_begin; poll; call_end(r ? 1 : 0)`.
+void emit_poll_call(BytecodeBuilder& b, const SignalingAlgorithm& alg,
+                    ProcId me, BcReg r) {
+  b.call_begin(calls::kPoll);
+  alg.lower_poll(b, me, r);
+  b.call_end(calls::kPoll, r);
+}
+
+// Emits the Wait() body as the poll-loop reduction (the default coroutine
+// wait). Algorithms with a native blocking override still match step for
+// step: the loop's bool plumbing is process-local, so the shared-memory op
+// sequence is identical.
+void emit_wait_body(BytecodeBuilder& b, const SignalingAlgorithm& alg,
+                    ProcId me, BcReg r) {
+  const auto again = b.label();
+  b.bind(again);
+  alg.lower_poll(b, me, r);
+  b.jz(r, again);
+}
+
+}  // namespace
+
+std::shared_ptr<const BytecodeProgram> compile_polling_waiter(
+    const SignalingAlgorithm& alg, ProcId me, int max_polls) {
+  ensure(alg.has_lowering(),
+         std::string(alg.name()) + " does not implement bytecode lowering");
+  BytecodeBuilder b;
+  const BcReg remaining = b.reg();
+  const BcReg r = b.reg();
+  b.load_imm(remaining, max_polls);
+  const auto top = b.label();
+  const auto end = b.label();
+  b.bind(top);
+  b.jz(remaining, end);
+  emit_poll_call(b, alg, me, r);
+  b.jnz(r, end);
+  b.add_imm(remaining, remaining, -1);
+  b.jump(top);
+  b.bind(end);
+  b.halt();
+  return b.build("polling_waiter/" + std::string(alg.name()) + "/p" +
+                 std::to_string(me));
+}
+
+std::shared_ptr<const BytecodeProgram> compile_blocking_waiter(
+    const SignalingAlgorithm& alg, ProcId me) {
+  ensure(alg.has_lowering(),
+         std::string(alg.name()) + " does not implement bytecode lowering");
+  BytecodeBuilder b;
+  const BcReg r = b.reg();
+  b.call_begin(calls::kWait);
+  emit_wait_body(b, alg, me, r);
+  b.call_end(calls::kWait);
+  b.halt();
+  return b.build("blocking_waiter/" + std::string(alg.name()) + "/p" +
+                 std::to_string(me));
+}
+
+std::shared_ptr<const BytecodeProgram> compile_signaler(
+    const SignalingAlgorithm& alg, ProcId me, int idle_polls) {
+  ensure(alg.has_lowering(),
+         std::string(alg.name()) + " does not implement bytecode lowering");
+  BytecodeBuilder b;
+  // The poll loop is emitted only when it can run: lowering Poll() for a
+  // process that may never call it (e.g. the fixed-waiters signaler) is a
+  // compile-time error, while the coroutine signaler with zero idle polls
+  // simply never reaches alg->poll().
+  if (idle_polls > 0) {
+    const BcReg remaining = b.reg();
+    const BcReg r = b.reg();
+    b.load_imm(remaining, idle_polls);
+    const auto top = b.label();
+    const auto done_polling = b.label();
+    b.bind(top);
+    b.jz(remaining, done_polling);
+    emit_poll_call(b, alg, me, r);
+    b.add_imm(remaining, remaining, -1);
+    b.jump(top);
+    b.bind(done_polling);
+  }
+  b.call_begin(calls::kSignal);
+  alg.lower_signal(b, me);
+  b.call_end(calls::kSignal);
+  b.halt();
+  return b.build("signaler/" + std::string(alg.name()) + "/p" +
+                 std::to_string(me));
+}
+
+std::shared_ptr<const BytecodeProgram> compile_signaling_driver(
+    const SignalingAlgorithm& alg, ProcId me) {
+  ensure(alg.has_lowering(),
+         std::string(alg.name()) + " does not implement bytecode lowering");
+  BytecodeBuilder b;
+  const BcReg action = b.reg();
+  const BcReg arg = b.reg();
+  const BcReg r = b.reg();
+  const auto top = b.label();
+  const auto on_poll = b.label();
+  const auto on_signal = b.label();
+  const auto on_wait = b.label();
+  const auto done = b.label();
+  b.bind(top);
+  b.directive(action, arg);
+  b.jeq_imm(action, signaling_actions::kTerminate, done);
+  b.jeq_imm(action, signaling_actions::kPoll, on_poll);
+  b.jeq_imm(action, signaling_actions::kSignal, on_signal);
+  b.jeq_imm(action, signaling_actions::kWait, on_wait);
+  b.trap();  // unknown directive: the coroutine driver fail()s here too
+  b.bind(on_poll);
+  emit_poll_call(b, alg, me, r);
+  b.jump(top);
+  b.bind(on_signal);
+  b.call_begin(calls::kSignal);
+  alg.lower_signal(b, me);
+  b.call_end(calls::kSignal);
+  b.jump(top);
+  b.bind(on_wait);
+  b.call_begin(calls::kWait);
+  emit_wait_body(b, alg, me, r);
+  b.call_end(calls::kWait);
+  b.jump(top);
+  b.bind(done);
+  b.halt();
+  return b.build("signaling_driver/" + std::string(alg.name()) + "/p" +
+                 std::to_string(me));
+}
+
+std::shared_ptr<const BytecodeSet> compile_signaling_programs(
+    const SignalingAlgorithm& alg, int nprocs, bool blocking, int max_polls,
+    int idle_polls) {
+  if (!alg.has_lowering()) return nullptr;
+  ensure(nprocs >= 2, "signaling workload needs a waiter and a signaler");
+  auto set = std::make_shared<BytecodeSet>();
+  set->per_proc.resize(static_cast<std::size_t>(nprocs));
+  for (ProcId p = 0; p + 1 < nprocs; ++p) {
+    set->per_proc[static_cast<std::size_t>(p)] =
+        blocking ? compile_blocking_waiter(alg, p)
+                 : compile_polling_waiter(alg, p, max_polls);
+  }
+  set->per_proc[static_cast<std::size_t>(nprocs - 1)] =
+      compile_signaler(alg, nprocs - 1, idle_polls);
+  return set;
+}
+
+}  // namespace rmrsim

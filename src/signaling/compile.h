@@ -1,0 +1,45 @@
+// Bytecode compilation of the signaling client drivers.
+//
+// Mirrors the canned coroutine drivers in signaling/algorithm.h instruction
+// for instruction: each compiled driver performs the same call-boundary
+// events and delegates the procedure bodies to the algorithm's lower_poll /
+// lower_signal hooks, so a compiled process is step-for-step identical to
+// its coroutine twin (the oracle-parity contract, DESIGN.md §9).
+#pragma once
+
+#include <memory>
+
+#include "runtime/bytecode.h"
+#include "signaling/algorithm.h"
+
+namespace rmrsim {
+
+/// Compiles polling_waiter(ctx, alg, max_polls) for process `me`.
+std::shared_ptr<const BytecodeProgram> compile_polling_waiter(
+    const SignalingAlgorithm& alg, ProcId me, int max_polls);
+
+/// Compiles blocking_waiter(ctx, alg) for process `me`. Wait() lowers as the
+/// poll-loop reduction; algorithms with a native blocking override still
+/// match step for step because the loop's bool plumbing is process-local.
+std::shared_ptr<const BytecodeProgram> compile_blocking_waiter(
+    const SignalingAlgorithm& alg, ProcId me);
+
+/// Compiles signaler(ctx, alg, idle_polls) for process `me`.
+std::shared_ptr<const BytecodeProgram> compile_signaler(
+    const SignalingAlgorithm& alg, ProcId me, int idle_polls = 0);
+
+/// Compiles signaling_driver(ctx, alg) for process `me`: the directive loop
+/// the lower-bound adversary steers. Unknown directive actions execute a
+/// trap, matching the coroutine driver's fail().
+std::shared_ptr<const BytecodeProgram> compile_signaling_driver(
+    const SignalingAlgorithm& alg, ProcId me);
+
+/// Compiles the standard one-signaler / n-1-waiters workload layout used by
+/// run_signaling_workload: process n-1 is the signaler (with `idle_polls`
+/// idle polls), every other process a waiter. Returns nullptr when the
+/// algorithm has no lowering (callers fall back to the coroutine engine).
+std::shared_ptr<const BytecodeSet> compile_signaling_programs(
+    const SignalingAlgorithm& alg, int nprocs, bool blocking, int max_polls,
+    int idle_polls = 0);
+
+}  // namespace rmrsim

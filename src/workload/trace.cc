@@ -1,5 +1,6 @@
 #include "workload/trace.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,14 @@ namespace rmrsim {
 namespace {
 
 constexpr std::string_view kBinaryMagic = "RMRTRC1\n";
+
+/// Upper bound on the reserve() taken on the header's say-so alone. The
+/// text header is untrusted input: a 40-byte file declaring
+/// ops=1000000000 must die at the end-of-file op-count check, not in a
+/// 30 GB up-front allocation. Past this cap the vector grows as real op
+/// lines actually arrive. (The binary parser needs no such cap — it
+/// validates the file length against the declared count before reserving.)
+constexpr std::uint64_t kSpeculativeReserveCap = 1u << 20;
 
 [[noreturn]] void parse_fail(std::string_view origin, std::size_t line,
                              const std::string& what) {
@@ -171,7 +180,7 @@ Trace parse_trace_text(std::string_view text, std::string_view origin) {
                        std::to_string(kMaxTraceOps) + ")");
       }
       trace.nprocs = static_cast<int>(procs);
-      trace.ops.reserve(declared_ops);
+      trace.ops.reserve(std::min(declared_ops, kSpeculativeReserveCap));
       next_seq.assign(procs, 0);
       saw_header = true;
       continue;

@@ -1,0 +1,431 @@
+// Oracle-parity suite for the compiled step engine (runtime/bytecode.h).
+//
+// The coroutine runtime is the semantic reference; the bytecode engine must
+// be observationally indistinguishable from it: under the same schedule,
+// byte-identical histories, schedules, and RMR ledgers — across every
+// lowered algorithm, every cost model, both history modes, crash/recovery,
+// LL/SC, directive drivers, and world forking. Any divergence is an engine
+// bug, never a tolerance.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "memory/cc_model.h"
+#include "memory/shared_memory.h"
+#include "sched/schedulers.h"
+#include "signaling/cas_registration.h"
+#include "signaling/cc_flag.h"
+#include "signaling/checker.h"
+#include "signaling/compile.h"
+#include "signaling/dsm_fixed.h"
+#include "signaling/dsm_queue.h"
+#include "signaling/dsm_registration.h"
+#include "signaling/dsm_single_waiter.h"
+#include "signaling/llsc_registration.h"
+#include "signaling/workload.h"
+#include "verify/dpor.h"
+#include "verify/explorer.h"
+
+namespace rmrsim {
+namespace {
+
+struct AlgCase {
+  std::string label;
+  SignalingFactory factory;
+  int n_waiters;
+  /// False for the fixed-waiters variants (the signaler may not Poll())
+  /// and for dsm-single-waiter (a polling signaler would register itself
+  /// as the unique waiter, clobbering W).
+  bool signaler_may_poll = true;
+  /// False for dsm-queue: a waiter crashed between FAI(Tail) and filling
+  /// its slot blocks the signaler forever — liveness is conditional on
+  /// crash-free histories (see tests/failure_test.cc), in both engines.
+  bool crash_safe = true;
+};
+
+// Factories parameterized on the waiter count n (signaler id = n).
+std::vector<AlgCase> lowered_algorithms(int n) {
+  return {
+      {"cc-flag",
+       [](SharedMemory& m) { return std::make_unique<CcFlagSignal>(m); }, n},
+      {"dsm-single-waiter",
+       [](SharedMemory& m) {
+         return std::make_unique<DsmSingleWaiterSignal>(m);
+       },
+       1,
+       /*signaler_may_poll=*/false},
+      {"dsm-registration",
+       [n](SharedMemory& m) {
+         return std::make_unique<DsmRegistrationSignal>(m, ProcId{n});
+       },
+       n},
+      {"dsm-fixed-waiters",
+       [n](SharedMemory& m) {
+         std::vector<ProcId> ws;
+         for (ProcId i = 0; i < n; ++i) ws.push_back(i);
+         return std::make_unique<DsmFixedWaitersSignal>(m, ws);
+       },
+       n,
+       /*signaler_may_poll=*/false},
+      {"dsm-fixed-waiters-terminating",
+       [n](SharedMemory& m) {
+         std::vector<ProcId> ws;
+         for (ProcId i = 0; i < n; ++i) ws.push_back(i);
+         return std::make_unique<DsmFixedWaitersTerminating>(m, ws,
+                                                             ProcId{n});
+       },
+       n,
+       /*signaler_may_poll=*/false},
+      {"dsm-queue",
+       [](SharedMemory& m) { return std::make_unique<DsmQueueSignal>(m); },
+       n,
+       /*signaler_may_poll=*/true,
+       /*crash_safe=*/false},
+      {"cas-registration",
+       [](SharedMemory& m) {
+         return std::make_unique<CasRegistrationSignal>(m);
+       },
+       n},
+      {"llsc-registration",
+       [](SharedMemory& m) {
+         return std::make_unique<LlscRegistrationSignal>(m);
+       },
+       n},
+  };
+}
+
+std::unique_ptr<SharedMemory> make_model(const std::string& model,
+                                         int nprocs) {
+  if (model == "dsm") return make_dsm(nprocs);
+  if (model == "cc-wt") return make_cc(nprocs, CcPolicy::kWriteThrough);
+  if (model == "cc-wb") return make_cc(nprocs, CcPolicy::kWriteBack);
+  if (model == "cc-mesi") return make_cc(nprocs, CcPolicy::kMesi);
+  if (model == "cc-lfcu") return make_cc(nprocs, CcPolicy::kLfcu);
+  ADD_FAILURE() << "unknown model " << model;
+  return make_dsm(nprocs);
+}
+
+void expect_ledgers_equal(const SharedMemory& a, const SharedMemory& b,
+                          const std::string& what) {
+  ASSERT_EQ(a.nprocs(), b.nprocs()) << what;
+  EXPECT_EQ(a.ledger().total_ops(), b.ledger().total_ops()) << what;
+  EXPECT_EQ(a.ledger().total_rmrs(), b.ledger().total_rmrs()) << what;
+  for (ProcId p = 0; p < a.nprocs(); ++p) {
+    EXPECT_EQ(a.ledger().ops(p), b.ledger().ops(p)) << what << " p" << p;
+    EXPECT_EQ(a.ledger().rmrs(p), b.ledger().rmrs(p)) << what << " p" << p;
+  }
+}
+
+void run_workload_pair(const AlgCase& alg, const std::string& model,
+                       SignalingWorkloadOptions options) {
+  const std::string what = alg.label + "/" + model +
+                           (options.blocking ? "/blocking" : "/polling") +
+                           (options.history_mode == HistoryMode::kCountersOnly
+                                ? "/counters"
+                                : "/full");
+  options.n_waiters = alg.n_waiters;
+  if (!alg.signaler_may_poll) options.signaler_idle_polls = 0;
+
+  options.engine = StepEngine::kCoroutine;
+  const auto oracle = run_signaling_workload(
+      make_model(model, alg.n_waiters + 1), alg.factory, options);
+  ASSERT_FALSE(oracle.compiled) << what;
+
+  options.engine = StepEngine::kCompiled;
+  const auto compiled = run_signaling_workload(
+      make_model(model, alg.n_waiters + 1), alg.factory, options);
+  ASSERT_TRUE(compiled.compiled) << what;
+
+  EXPECT_EQ(oracle.sim->schedule(), compiled.sim->schedule()) << what;
+  const History& oh = oracle.sim->history();
+  const History& ch = compiled.sim->history();
+  EXPECT_EQ(oh.size(), ch.size()) << what;
+  if (options.history_mode == HistoryMode::kFull) {
+    EXPECT_EQ(oh.to_string(), ch.to_string()) << what;
+    const auto violation = check_polling_spec(ch);
+    EXPECT_FALSE(violation.has_value()) << what << ": " << violation->what;
+  }
+  EXPECT_EQ(oh.total_rmrs(), ch.total_rmrs()) << what;
+  for (ProcId p = 0; p <= alg.n_waiters; ++p) {
+    EXPECT_EQ(oh.rmrs(p), ch.rmrs(p)) << what << " p" << p;
+    EXPECT_EQ(oh.mem_steps(p), ch.mem_steps(p)) << what << " p" << p;
+    EXPECT_EQ(oh.is_finished(p), ch.is_finished(p)) << what << " p" << p;
+  }
+  expect_ledgers_equal(*oracle.mem, *compiled.mem, what);
+}
+
+TEST(BytecodeParity, EveryAlgorithmEveryModelFullHistory) {
+  for (const auto& alg : lowered_algorithms(3)) {
+    for (const std::string model :
+         {"dsm", "cc-wt", "cc-wb", "cc-mesi", "cc-lfcu"}) {
+      for (const std::uint64_t seed : {0ull, 7ull}) {
+        SignalingWorkloadOptions options;
+        options.signaler_idle_polls = 2;
+        options.scheduler_seed = seed;
+        run_workload_pair(alg, model, options);
+      }
+    }
+  }
+}
+
+TEST(BytecodeParity, EveryAlgorithmCountersOnly) {
+  for (const auto& alg : lowered_algorithms(4)) {
+    SignalingWorkloadOptions options;
+    options.history_mode = HistoryMode::kCountersOnly;
+    options.signaler_idle_polls = 1;
+    options.scheduler_seed = 11;
+    run_workload_pair(alg, "dsm", options);
+    run_workload_pair(alg, "cc-wb", options);
+  }
+}
+
+TEST(BytecodeParity, BlockingWaitersMatchNativeWaitOverride) {
+  // CcFlagSignal overrides wait() natively; the lowering uses the poll-loop
+  // reduction. The memory-op sequences are identical, so parity must hold.
+  for (const auto& alg : lowered_algorithms(2)) {
+    SignalingWorkloadOptions options;
+    options.blocking = true;
+    options.scheduler_seed = 3;
+    run_workload_pair(alg, "dsm", options);
+    run_workload_pair(alg, "cc-wt", options);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directive-driver parity: the adversary-steered client loop.
+// ---------------------------------------------------------------------------
+
+struct DriverWorld {
+  std::unique_ptr<SharedMemory> mem;
+  std::unique_ptr<SignalingAlgorithm> alg;
+  std::unique_ptr<Simulation> sim;
+};
+
+DriverWorld make_driver_world(bool compiled, int nprocs,
+                              Simulation::DirectivePolicy policy) {
+  DriverWorld w;
+  w.mem = make_dsm(nprocs);
+  w.alg = std::make_unique<CasRegistrationSignal>(*w.mem);
+  SignalingAlgorithm* a = w.alg.get();
+  auto programs = std::make_shared<std::vector<Program>>();
+  for (int i = 0; i < nprocs; ++i) {
+    programs->emplace_back(
+        [a](ProcCtx& ctx) { return signaling_driver(ctx, a); });
+  }
+  std::shared_ptr<const BytecodeSet> bc;
+  if (compiled) {
+    auto set = std::make_shared<BytecodeSet>();
+    for (ProcId p = 0; p < nprocs; ++p) {
+      set->per_proc.push_back(compile_signaling_driver(*a, p));
+    }
+    bc = set;
+  }
+  w.sim = std::make_unique<Simulation>(*w.mem, std::move(programs), bc,
+                                       std::move(policy));
+  return w;
+}
+
+TEST(BytecodeParity, DirectiveDriverMixedCalls) {
+  // Waiters 0..1 poll twice then wait; signaler 2 polls once then signals.
+  const auto policy = [](ProcId p, int k) -> Directive {
+    if (p < 2) {
+      if (k < 2) return {.action = signaling_actions::kPoll};
+      if (k == 2) return {.action = signaling_actions::kWait};
+      return {.action = signaling_actions::kTerminate};
+    }
+    if (k == 0) return {.action = signaling_actions::kPoll};
+    if (k == 1) return {.action = signaling_actions::kSignal};
+    return {.action = signaling_actions::kTerminate};
+  };
+  auto oracle = make_driver_world(false, 3, policy);
+  auto compiled = make_driver_world(true, 3, policy);
+  RoundRobinScheduler s1, s2;
+  const auto r1 = oracle.sim->run(s1, 1'000'000);
+  const auto r2 = compiled.sim->run(s2, 1'000'000);
+  ASSERT_TRUE(r1.all_terminated);
+  ASSERT_TRUE(r2.all_terminated);
+  EXPECT_EQ(oracle.sim->history().to_string(),
+            compiled.sim->history().to_string());
+  EXPECT_EQ(oracle.sim->schedule(), compiled.sim->schedule());
+  expect_ledgers_equal(*oracle.mem, *compiled.mem, "driver");
+  for (ProcId p = 0; p < 3; ++p) {
+    EXPECT_EQ(oracle.sim->directives_consumed(p),
+              compiled.sim->directives_consumed(p));
+  }
+}
+
+TEST(BytecodeParity, UnknownDirectiveTrapsLikeTheCoroutineDriver) {
+  const auto policy = [](ProcId, int) -> Directive {
+    return {.action = 99};
+  };
+  auto compiled = make_driver_world(true, 2, policy);
+  RoundRobinScheduler sched;
+  EXPECT_THROW(compiled.sim->run(sched, 1'000), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Crash / recovery parity.
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeParity, CrashRecoveryIdenticalHistories) {
+  for (const auto& alg : lowered_algorithms(2)) {
+    if (!alg.crash_safe) continue;
+    auto run_one = [&](bool use_bytecode) {
+      DriverWorld w;
+      w.mem = make_dsm(3);
+      w.alg = alg.factory(*w.mem);
+      SignalingAlgorithm* a = w.alg.get();
+      auto programs = std::make_shared<std::vector<Program>>();
+      for (int i = 0; i < alg.n_waiters; ++i) {
+        programs->emplace_back([a](ProcCtx& ctx) {
+          return polling_waiter(ctx, a, 1'000);
+        });
+      }
+      const int idle = alg.signaler_may_poll ? 1 : 0;
+      programs->emplace_back(
+          [a, idle](ProcCtx& ctx) { return signaler(ctx, a, idle); });
+      std::shared_ptr<const BytecodeSet> bc;
+      if (use_bytecode) {
+        bc = compile_signaling_programs(*a, alg.n_waiters + 1,
+                                        /*blocking=*/false,
+                                        /*max_polls=*/1'000, idle);
+      }
+      w.sim = std::make_unique<Simulation>(*w.mem, std::move(programs), bc);
+      // A few steps, crash waiter 0 mid-call, take more steps, recover, then
+      // run everyone to completion under round-robin.
+      for (int k = 0; k < 3; ++k) {
+        if (w.sim->ready(0)) w.sim->step(0);
+      }
+      w.sim->crash(0);
+      for (int k = 0; k < 2; ++k) {
+        if (w.sim->ready(alg.n_waiters)) w.sim->step(alg.n_waiters);
+      }
+      w.sim->recover(0);
+      RoundRobinScheduler sched;
+      const auto res = w.sim->run(sched, 1'000'000);
+      EXPECT_TRUE(res.all_terminated) << alg.label;
+      return w;
+    };
+    auto oracle = run_one(false);
+    auto compiled = run_one(true);
+    EXPECT_EQ(oracle.sim->history().to_string(),
+              compiled.sim->history().to_string())
+        << alg.label;
+    EXPECT_EQ(oracle.sim->schedule(), compiled.sim->schedule()) << alg.label;
+    EXPECT_EQ(oracle.sim->crash_count(0), compiled.sim->crash_count(0));
+    EXPECT_EQ(oracle.sim->recovery_count(0),
+              compiled.sim->recovery_count(0));
+    expect_ledgers_equal(*oracle.mem, *compiled.mem, alg.label);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// World forking: compiled (pc, regs) state survives snapshot/restore.
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeParity, ForkedCompiledWorldMatchesOracle) {
+  for (const auto& alg : lowered_algorithms(2)) {
+    auto run_one = [&](bool use_bytecode) {
+      DriverWorld w;
+      w.mem = make_dsm(3);
+      w.alg = alg.factory(*w.mem);
+      SignalingAlgorithm* a = w.alg.get();
+      auto programs = std::make_shared<std::vector<Program>>();
+      for (int i = 0; i < alg.n_waiters; ++i) {
+        programs->emplace_back([a](ProcCtx& ctx) {
+          return polling_waiter(ctx, a, 1'000);
+        });
+      }
+      const int idle = alg.signaler_may_poll ? 2 : 0;
+      programs->emplace_back(
+          [a, idle](ProcCtx& ctx) { return signaler(ctx, a, idle); });
+      std::shared_ptr<const BytecodeSet> bc;
+      if (use_bytecode) {
+        bc = compile_signaling_programs(*a, alg.n_waiters + 1, false, 1'000,
+                                        idle);
+      }
+      w.sim = std::make_unique<Simulation>(*w.mem, std::move(programs), bc);
+      return w;
+    };
+
+    auto finish = [](Simulation& sim) {
+      RoundRobinScheduler sched;
+      const auto res = sim.run(sched, 1'000'000);
+      EXPECT_TRUE(res.all_terminated);
+    };
+
+    auto compiled = run_one(true);
+    compiled.sim->enable_fork_log();
+    // Run a prefix so the fork captures mid-program (pc, regs) state.
+    for (int k = 0; k < 5; ++k) {
+      for (ProcId p = 0; p <= alg.n_waiters; ++p) {
+        if (compiled.sim->ready(p)) compiled.sim->step(p);
+      }
+    }
+    auto forked = compiled.sim->fork();
+    finish(*compiled.sim);
+    finish(*forked.sim);
+    EXPECT_EQ(compiled.sim->history().to_string(),
+              forked.sim->history().to_string())
+        << alg.label;
+    expect_ledgers_equal(*compiled.mem, *forked.mem, alg.label);
+
+    // And both match the never-forked coroutine oracle end to end.
+    auto oracle = run_one(false);
+    oracle.sim->enable_fork_log();
+    for (int k = 0; k < 5; ++k) {
+      for (ProcId p = 0; p <= alg.n_waiters; ++p) {
+        if (oracle.sim->ready(p)) oracle.sim->step(p);
+      }
+    }
+    finish(*oracle.sim);
+    EXPECT_EQ(oracle.sim->history().to_string(),
+              compiled.sim->history().to_string())
+        << alg.label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// DPOR exploration over the compiled engine (runs under TSan in CI).
+// ---------------------------------------------------------------------------
+
+ExploreBuilder compiled_builder(int n_waiters, int polls) {
+  return [=]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(n_waiters + 1);
+    auto alg = std::make_shared<CcFlagSignal>(*inst.mem);
+    auto programs = std::make_shared<std::vector<Program>>();
+    SignalingAlgorithm* a = alg.get();
+    for (int i = 0; i < n_waiters; ++i) {
+      programs->emplace_back(
+          [a, polls](ProcCtx& ctx) { return polling_waiter(ctx, a, polls); });
+    }
+    programs->emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    inst.sim = std::make_unique<Simulation>(
+        *inst.mem, std::move(programs),
+        compile_signaling_programs(*a, n_waiters + 1, false, polls));
+    inst.keepalive = alg;
+    return inst;
+  };
+}
+
+ExploreChecker polling_checker() {
+  return [](const History& h) -> std::optional<std::string> {
+    if (const auto v = check_polling_spec(h); v.has_value()) return v->what;
+    return std::nullopt;
+  };
+}
+
+TEST(BytecodeParity, DporExploresCompiledEngine) {
+  const auto compiled =
+      explore_dpor(compiled_builder(2, 2), polling_checker(),
+                   {.max_depth = 16, .max_nodes = 500'000, .workers = 4});
+  EXPECT_FALSE(compiled.violation.has_value()) << *compiled.violation;
+  EXPECT_TRUE(compiled.exhausted);
+  EXPECT_GT(compiled.complete_schedules, 0u);
+}
+
+}  // namespace
+}  // namespace rmrsim

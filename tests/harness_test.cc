@@ -72,6 +72,35 @@ TEST(Fitter, SqrtSeriesIsSuperConstant) {
   EXPECT_TRUE(is_super_constant(fit_growth_class(xs, ys).cls));
 }
 
+TEST(Fitter, DecreasingSeriesIsConstant) {
+  // Bounded above by its first point: the amortized one-time-constant
+  // shape (cycles per RMR with a single cold fetch) is O(1), not log.
+  const auto xs = xs_pow2(5);
+  const std::vector<double> ys = {40.0, 24.0, 16.0, 12.0, 10.0};
+  EXPECT_EQ(fit_growth_class(xs, ys).cls, GrowthClass::kConstant);
+}
+
+TEST(Fitter, TwoPointDipIsNotCalledConstant) {
+  // Two points cannot establish a decreasing trend: a single noisy dip
+  // has a steeply negative log-log slope, and the decreasing-series rule
+  // used to call it O(1) on that evidence alone, masking real growth.
+  // With only the point-pair to go on, the fitter must keep a
+  // super-constant reading rather than certify boundedness.
+  const std::vector<double> xs = {8.0, 16.0};
+  const std::vector<double> ys = {40.0, 16.0};
+  const FitReport fit = fit_growth_class(xs, ys);
+  EXPECT_LT(fit.loglog_slope, -0.10);
+  EXPECT_NE(fit.cls, GrowthClass::kConstant);
+}
+
+TEST(Fitter, ThreePointDecreasingSeriesStillConstant) {
+  // The minimum-evidence gate is 3 points: a genuinely decreasing
+  // 3-point series keeps the O(1) classification.
+  const std::vector<double> xs = {8.0, 16.0, 32.0};
+  const std::vector<double> ys = {40.0, 24.0, 16.0};
+  EXPECT_EQ(fit_growth_class(xs, ys).cls, GrowthClass::kConstant);
+}
+
 TEST(Fitter, RejectsDuplicateXs) {
   // A repeated-N grid passes std::is_sorted but double-weights the repeated
   // point and, when every x is equal, zeroes the least-squares denominator

@@ -153,6 +153,20 @@ TEST(TraceTextMalformed, TruncatedBody) {
       << e;
 }
 
+TEST(TraceTextMalformed, HostileOpCountDoesNotPreallocate) {
+  // ops= is below the hard cap but ~1e9 larger than the actual file. The
+  // header-driven reserve() is bounded, so this must die at the truncated-
+  // trace check — not in a ~30 GB up-front allocation that the two real
+  // lines never justify.
+  const std::string e = error_of([] {
+    parse_trace_text("rmrsim-trace v1 procs=1 ops=999999999\n0 0 RD 1\n",
+                     "f");
+  });
+  EXPECT_TRUE(contains(e, "truncated trace: header declares ops=999999999 "
+                          "but the file ends after 1 op(s)"))
+      << e;
+}
+
 TEST(TraceTextMalformed, MoreOpsThanDeclared) {
   const std::string e = error_of([] {
     parse_trace_text(

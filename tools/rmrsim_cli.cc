@@ -17,6 +17,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <optional>
 #include <sstream>
@@ -51,6 +52,9 @@ using namespace rmrsim;
 
 namespace {
 
+constexpr long kIntMax = std::numeric_limits<int>::max();
+constexpr long kLongMax = std::numeric_limits<long>::max();
+
 struct Args {
   std::map<std::string, std::string> kv;
   std::map<std::string, bool> flags;
@@ -70,6 +74,17 @@ struct Args {
     const long n = std::strtol(v.c_str(), &end, 10);
     ensure(!v.empty() && end != nullptr && *end == '\0' && errno == 0,
            "--" + key + " expects an integer, got '" + v + "'");
+    return n;
+  }
+  /// Bounded: the value must land in [lo, hi]. Every call site that narrows
+  /// to int goes through this, so an out-of-range value is a loud error —
+  /// previously `--waiters 4294967296` truncated through static_cast<int>
+  /// to 0 and ran a silently different experiment.
+  long get_int(const std::string& key, long def, long lo, long hi) const {
+    const long n = get_int(key, def);
+    ensure(n >= lo && n <= hi,
+           "--" + key + " must be in [" + std::to_string(lo) + ", " +
+               std::to_string(hi) + "], got " + std::to_string(n));
     return n;
   }
   bool has(const std::string& flag) const { return flags.count(flag) != 0; }
@@ -152,7 +167,7 @@ ProtocolRig make_protocol_rig(const Args& a, int nprocs) {
     rig.fanout.add(cache.get());
     rig.caches.push_back(std::move(cache));
   }
-  const long wb = a.get_int("write-buffer", 0);
+  const long wb = a.get_int("write-buffer", 0, 0, kIntMax);
   if (wb > 0) {
     rig.wb = std::make_unique<WriteBuffer>(&rig.fanout, nprocs,
                                            static_cast<int>(wb));
@@ -190,15 +205,21 @@ bool print_protocol_rig(const ProtocolRig& rig) {
 }
 
 int cmd_signal(const Args& a) {
-  const int waiters = static_cast<int>(a.get_int("waiters", 8));
+  const int waiters = static_cast<int>(a.get_int("waiters", 8, 1, kIntMax - 1));
   const int nprocs = waiters + 1;
   const std::string alg_name = a.get("alg", "flag");
   SignalingWorkloadOptions opt;
   opt.n_waiters = waiters;
-  opt.signaler_idle_polls = static_cast<int>(a.get_int("delay", 16));
-  opt.scheduler_seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
+  opt.signaler_idle_polls =
+      static_cast<int>(a.get_int("delay", 16, 0, kIntMax));
+  opt.scheduler_seed =
+      static_cast<std::uint64_t>(a.get_int("seed", 0, 0, kLongMax));
   opt.blocking = a.has("blocking");
   if (opt.blocking) opt.signaler_idle_polls = 0;
+  const std::string engine = a.get("engine", "coro");
+  ensure(engine == "coro" || engine == "compiled",
+         "--engine expects coro|compiled, got '" + engine + "'");
+  if (engine == "compiled") opt.engine = StepEngine::kCompiled;
   ProtocolRig rig = make_protocol_rig(a, nprocs);
   opt.listener = rig.listener();
   auto run =
@@ -223,6 +244,7 @@ int cmd_signal(const Args& a) {
               waiters);
   TextTable t;
   t.set_header({"metric", "value"});
+  t.add_row({"engine", run.compiled ? "compiled" : "coroutine"});
   t.add_row({"steps", std::to_string(run.sim->history().size())});
   t.add_row({"total RMRs", std::to_string(run.mem->ledger().total_rmrs())});
   t.add_row({"max waiter RMRs", std::to_string(run.max_waiter_rmrs())});
@@ -243,16 +265,16 @@ int cmd_signal(const Args& a) {
 
 int cmd_mutex(const Args& a) {
   MutexRunOptions opt;
-  opt.nprocs = static_cast<int>(a.get_int("procs", 8));
-  opt.passages = static_cast<int>(a.get_int("passages", 3));
+  opt.nprocs = static_cast<int>(a.get_int("procs", 8, 1, kIntMax));
+  opt.passages = static_cast<int>(a.get_int("passages", 3, 0, kIntMax));
   opt.model = a.get("model", "dsm");
   opt.make_lock = lock_factory_by_name(a.get("lock", "mcs"));
-  opt.seed = static_cast<std::uint64_t>(a.get_int("seed", 0));
+  opt.seed = static_cast<std::uint64_t>(a.get_int("seed", 0, 0, kLongMax));
   opt.fault_plan = a.get("fault-plan", "");
   // A crashed non-recoverable lock wedges forever; --max-steps bounds how
   // long we spin before reporting "completed NO".
   opt.max_steps = static_cast<std::uint64_t>(
-      a.get_int("max-steps", 500'000'000));
+      a.get_int("max-steps", 500'000'000, 0, kLongMax));
   ProtocolRig rig = make_protocol_rig(a, opt.nprocs);
   opt.listener = rig.listener();
   const MutexRunOutcome o = run_mutex_workload(opt);
@@ -300,8 +322,8 @@ int cmd_sweep(const Args& a) {
                  name.c_str());
     return 2;
   }
-  const int workers = static_cast<int>(a.get_int("workers", 1));
-  const int max_n = static_cast<int>(a.get_int("max-n", 0));
+  const int workers = static_cast<int>(a.get_int("workers", 1, 1, kIntMax));
+  const int max_n = static_cast<int>(a.get_int("max-n", 0, 0, kIntMax));
   // Read the golden file before the sweep runs, not after: a typo'd path
   // should fail in milliseconds, not after minutes of measurement.
   const std::string golden_path = a.get("golden", "");
@@ -374,13 +396,11 @@ int cmd_trace(const Args& a) {
                "' (want private|hotset|zipf|ring|migratory)");
     GenSpec g;
     g.kind = gen;
-    const long procs = a.get_int("procs", 16);
-    const long ops = a.get_int("ops", 100000);
-    ensure(procs > 0, "--procs must be positive");
-    ensure(ops > 0, "--ops must be positive");
+    const long procs = a.get_int("procs", 16, 1, kIntMax);
+    const long ops = a.get_int("ops", 100000, 1, kLongMax);
     g.procs = static_cast<int>(procs);
     g.ops = static_cast<std::uint64_t>(ops);
-    g.seed = static_cast<std::uint64_t>(a.get_int("seed", 1));
+    g.seed = static_cast<std::uint64_t>(a.get_int("seed", 1, 0, kLongMax));
     trace = generate_trace(g);
     source = gen;
   } else {
@@ -398,7 +418,8 @@ int cmd_trace(const Args& a) {
   ReplayOptions opts;
   opts.addr_map = parse_addr_map(a.get("addr-map", "interleave"));
   opts.costs = parse_cycle_costs(a.get("cycle-cost", ""));
-  opts.write_buffer = static_cast<int>(a.get_int("write-buffer", 0));
+  opts.write_buffer =
+      static_cast<int>(a.get_int("write-buffer", 0, 0, kIntMax));
   opts.legacy_counters = a.has("legacy-counters");
   const std::string pspec =
       a.get("protocols", a.has("protocols") ? "all" : "");
@@ -441,7 +462,7 @@ int cmd_trace(const Args& a) {
   spec.models = models;
   spec.algorithms = {source};
   spec.ns = {trace.nprocs};
-  const int workers = static_cast<int>(a.get_int("workers", 1));
+  const int workers = static_cast<int>(a.get_int("workers", 1, 1, kIntMax));
   const SweepResult result = run_sweep(
       spec,
       [&trace, &opts](const SweepPoint& p) {
@@ -513,7 +534,7 @@ int cmd_trace(const Args& a) {
 }
 
 int cmd_adversary(const Args& a) {
-  const int n = static_cast<int>(a.get_int("n", 32));
+  const int n = static_cast<int>(a.get_int("n", 32, 3, kIntMax));
   AdversaryConfig c;
   c.nprocs = n;
   c.construction =
@@ -533,9 +554,10 @@ int cmd_adversary(const Args& a) {
 }
 
 int cmd_gme(const Args& a) {
-  const int nprocs = static_cast<int>(a.get_int("procs", 8));
-  const int passages = static_cast<int>(a.get_int("passages", 3));
-  const int n_sessions = static_cast<int>(a.get_int("sessions", 2));
+  const int nprocs = static_cast<int>(a.get_int("procs", 8, 1, kIntMax));
+  const int passages = static_cast<int>(a.get_int("passages", 3, 0, kIntMax));
+  const int n_sessions =
+      static_cast<int>(a.get_int("sessions", 2, 1, kIntMax));
   auto mem = make_model(a.get("model", "dsm"), nprocs);
   SessionGme alg(*mem, std::make_unique<McsLock>(*mem));
   std::vector<Program> programs;
@@ -589,8 +611,9 @@ int cmd_explore(const Args& a) {
   // deliberately absent: verdicts are worker-count-invariant.
   std::string fp_src;
   if (target == "signal") {
-    const int waiters = static_cast<int>(a.get_int("waiters", 2));
-    const int polls = static_cast<int>(a.get_int("polls", 1));
+    const int waiters =
+        static_cast<int>(a.get_int("waiters", 2, 1, kIntMax - 1));
+    const int polls = static_cast<int>(a.get_int("polls", 1, 0, kIntMax));
     const int nprocs = waiters + 1;
     make_model(model, nprocs);  // validate the name before workers spawn
     const SignalingFactory factory =
@@ -622,8 +645,9 @@ int cmd_explore(const Args& a) {
              model + "|waiters=" + std::to_string(waiters) + "|polls=" +
              std::to_string(polls);
   } else if (target == "mutex") {
-    const int nprocs = static_cast<int>(a.get_int("procs", 2));
-    const int passages = static_cast<int>(a.get_int("passages", 1));
+    const int nprocs = static_cast<int>(a.get_int("procs", 2, 1, kIntMax));
+    const int passages =
+        static_cast<int>(a.get_int("passages", 1, 0, kIntMax));
     const std::string lock_name = a.get("lock", "tas");
     // Validates the names before workers spawn.
     const LockFactory factory = lock_factory_by_name(lock_name);
@@ -664,20 +688,23 @@ int cmd_explore(const Args& a) {
   }
 
   DporOptions opt;
-  opt.max_depth = static_cast<int>(a.get_int("depth", 20));
-  opt.max_nodes = static_cast<std::uint64_t>(a.get_int("max-nodes", 2'000'000));
-  opt.workers = static_cast<int>(a.get_int("workers", 1));
-  opt.trunk_depth = static_cast<int>(a.get_int("trunk-depth", 6));
+  opt.max_depth = static_cast<int>(a.get_int("depth", 20, 1, kIntMax));
+  opt.max_nodes =
+      static_cast<std::uint64_t>(a.get_int("max-nodes", 2'000'000, 0, kLongMax));
+  opt.workers = static_cast<int>(a.get_int("workers", 1, 1, kIntMax));
+  opt.trunk_depth = static_cast<int>(a.get_int("trunk-depth", 6, 0, kIntMax));
   opt.snapshot_mode = snapshot_mode;
-  opt.item_max_attempts = static_cast<int>(a.get_int("item-attempts", 3));
+  opt.item_max_attempts =
+      static_cast<int>(a.get_int("item-attempts", 3, 1, kIntMax));
   opt.retry_backoff_ms =
-      static_cast<std::uint64_t>(a.get_int("backoff-ms", 1));
+      static_cast<std::uint64_t>(a.get_int("backoff-ms", 1, 0, kLongMax));
   opt.item_node_limit =
-      static_cast<std::uint64_t>(a.get_int("item-step-limit", 0));
+      static_cast<std::uint64_t>(a.get_int("item-step-limit", 0, 0, kLongMax));
   // Deterministic worker-death injection for the robustness harness: the
   // first attempt of every item whose root schedule hashes to 0 mod N dies;
   // retries succeed. Independent of worker count and timing.
-  const long inject_every = a.get_int("inject-worker-failures", 0);
+  const long inject_every =
+      a.get_int("inject-worker-failures", 0, 0, kLongMax);
   if (inject_every > 0) {
     opt.inject_item_failure = [inject_every](const std::vector<ProcId>& sched,
                                              int attempt) {
@@ -717,11 +744,19 @@ int cmd_explore(const Args& a) {
     cfg.dir = ck_dir;
     cfg.fingerprint = fnv1a64(fp_src);
     cfg.flush_interval =
-        static_cast<int>(a.get_int("checkpoint-interval", 8));
+        static_cast<int>(a.get_int("checkpoint-interval", 8, 1, kIntMax));
     if (const char* kill_at = std::getenv("RMRSIM_KILL_AFTER_EPOCH")) {
       // Self-fault injection for the resume harness: die by SIGKILL the
-      // instant the N-th epoch is durably on disk.
-      const unsigned long long at = std::strtoull(kill_at, nullptr, 10);
+      // instant the N-th epoch is durably on disk. A malformed value is a
+      // loud error, not a silent strtoull 0 (= die at the first epoch).
+      char* end = nullptr;
+      errno = 0;
+      const unsigned long long at = std::strtoull(kill_at, &end, 10);
+      ensure(*kill_at != '\0' && end != nullptr && *end == '\0' &&
+                 errno == 0,
+             std::string("RMRSIM_KILL_AFTER_EPOCH expects an integer, "
+                         "got '") +
+                 kill_at + "'");
       cfg.on_epoch_written = [at](std::uint64_t epoch) {
         if (epoch >= at) raise(SIGKILL);
       };
@@ -846,6 +881,9 @@ void usage() {
       "[--key value ...]\n"
       "  signal    --alg A --model M --waiters N --delay D --seed S\n"
       "            [--blocking] [--trace timeline|csv|json]\n"
+      "            [--engine coro|compiled]  (compiled = bytecode fast\n"
+      "                       path; falls back to coro for algorithms\n"
+      "                       without a lowering — see the engine row)\n"
       "            [--protocols all|mesi,mesif,moesi,dragon]\n"
       "            [--write-buffer N]  (per-proc store buffer in front of\n"
       "                       the protocols; N entries, TSO drain order)\n"
