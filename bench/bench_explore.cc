@@ -17,12 +17,25 @@
 // BENCH_PERF_EXPLORE.json records both rows. `--gate-steps X` fails the run
 // unless replayed_steps shrink by at least X (deterministic);
 // `--gate-speedup Y` unless wall clock improves by at least Y.
+//
+// `--cli PATH` additionally runs the multi-process shard-scaling series:
+// the pinned shard reference workload end-to-end through the real
+// `rmrsim_cli explore --shards S` for S in {1, 2, 4, 8}, each report
+// byte-compared against the 1-shard report (any divergence fails the
+// suite), with wall-clock rows appended to BENCH_PERF_EXPLORE.json.
+// `--gate-shard-speedup Y` fails the run unless 4 shards beat 1 shard by
+// at least Y on wall clock; the gate auto-skips (with a notice) on hosts
+// with fewer than 4 CPUs, where the speedup is physically unreachable —
+// the byte-parity check still runs and still fails loudly there.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table.h"
@@ -198,12 +211,93 @@ MetricsRegistry perf_metrics(const PerfRun& r, bool deterministic) {
   return reg;
 }
 
+// ---- multi-process shard scaling (--cli) -----------------------------
+
+/// The pinned shard-scaling workload: heavy enough (~2M nodes, seconds of
+/// wall clock) that per-item subtree exploration dominates snapshot
+/// shipping and process plumbing, and it exhausts well under its node cap
+/// — sharded runs are byte-identical unconditionally only when the budget
+/// does not trip mid-round.
+constexpr int kShardWaiters = 3;
+constexpr int kShardPolls = 2;
+constexpr int kShardDepth = 32;
+constexpr std::uint64_t kShardMaxNodes = 3'000'000;
+const int kShardCounts[] = {1, 2, 4, 8};
+
+struct ShardRun {
+  int shards = 1;
+  double ms_per_run = 0;
+  std::uint64_t runs = 0;
+  std::string report;  // full text of the --report file
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+/// One end-to-end timed series at a fixed shard count: fork/exec the real
+/// CLI (coordinator, workers, pipes and all) and time the whole process
+/// tree wall-to-wall. Returns false if any invocation exits nonzero.
+bool time_shards(const std::string& cli, int shards, double min_seconds,
+                 const std::string& out_dir, ShardRun* out) {
+  const std::string report =
+      out_dir + "/.shard_report_" + std::to_string(shards) + ".txt";
+  const std::string cmd =
+      "'" + cli + "' explore --target signal --alg registration" +
+      " --waiters " + std::to_string(kShardWaiters) + " --polls " +
+      std::to_string(kShardPolls) + " --depth " +
+      std::to_string(kShardDepth) + " --max-nodes " +
+      std::to_string(kShardMaxNodes) + " --shards " +
+      std::to_string(shards) + " --report '" + report +
+      "' > /dev/null 2>&1";
+  out->shards = shards;
+  double seconds = 0;
+  while (seconds < min_seconds || out->runs == 0) {
+    const auto t0 = std::chrono::steady_clock::now();
+    if (std::system(cmd.c_str()) != 0) {
+      std::fprintf(stderr, "shard series: command failed: %s\n", cmd.c_str());
+      return false;
+    }
+    seconds += ms_since(t0) / 1e3;
+    ++out->runs;
+  }
+  out->ms_per_run = seconds * 1e3 / static_cast<double>(out->runs);
+  out->report = read_file(report);
+  std::remove(report.c_str());
+  return out->report.empty() ? false : true;
+}
+
 int run_perf_suite(const std::string& out_dir, double min_seconds,
                    double gate_steps, double gate_speedup,
+                   const std::string& cli, double gate_shard_speedup,
                    bool deterministic) {
   const auto wall0 = std::chrono::steady_clock::now();
   const PerfRun replay = time_explore(SnapshotMode::kReplay, min_seconds);
   const PerfRun snap = time_explore(SnapshotMode::kSnapshot, min_seconds);
+
+  std::vector<ShardRun> shard_runs;
+  if (!cli.empty()) {
+    for (const int s : kShardCounts) {
+      ShardRun run;
+      if (!time_shards(cli, s, min_seconds, out_dir, &run)) return 1;
+      shard_runs.push_back(std::move(run));
+    }
+    // Byte-identity across shard counts is the whole point of the
+    // deterministic merge: any divergence from the 1-shard report is a
+    // correctness failure, not a perf question.
+    for (const ShardRun& run : shard_runs) {
+      if (run.report != shard_runs.front().report) {
+        std::fprintf(stderr,
+                     "SHARD PARITY FAILED: --shards %d report diverged from "
+                     "--shards 1\n",
+                     run.shards);
+        return 1;
+      }
+    }
+  }
 
   // Identical-results check: snapshot mode must change nothing observable.
   const bool same =
@@ -225,6 +319,9 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
   spec.name = "PERF_EXPLORE";
   spec.models = {"dsm"};
   spec.algorithms = {"explore_replay", "explore_snapshot"};
+  for (const ShardRun& run : shard_runs) {
+    spec.algorithms.push_back("explore_shards" + std::to_string(run.shards));
+  }
   spec.ns = {kRefWaiters};
   SweepResult result;
   result.spec = spec;
@@ -232,8 +329,26 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
   for (std::size_t i = 0; i < spec.grid_size(); ++i) {
     SweepPointResult pr;
     pr.point = spec.point_at(i);
-    pr.metrics = perf_metrics(
-        pr.point.algorithm == "explore_replay" ? replay : snap, deterministic);
+    if (pr.point.algorithm.rfind("explore_shards", 0) == 0) {
+      const int s = std::atoi(pr.point.algorithm.c_str() +
+                              std::strlen("explore_shards"));
+      for (const ShardRun& run : shard_runs) {
+        if (run.shards != s) continue;
+        MetricsRegistry reg;
+        reg.set("shards", static_cast<double>(run.shards));
+        reg.set("report_bytes", static_cast<double>(run.report.size()));
+        if (!deterministic) {
+          reg.set("ms_per_run", run.ms_per_run);
+          reg.set("speedup_vs_1shard",
+                  shard_runs.front().ms_per_run / run.ms_per_run);
+        }
+        pr.metrics = std::move(reg);
+      }
+    } else {
+      pr.metrics = perf_metrics(
+          pr.point.algorithm == "explore_replay" ? replay : snap,
+          deterministic);
+    }
     result.points.push_back(std::move(pr));
   }
   result.wall_ms = ms_since(wall0);
@@ -278,6 +393,40 @@ int run_perf_suite(const std::string& out_dir, double min_seconds,
                  speedup, gate_speedup);
     return 1;
   }
+
+  if (!shard_runs.empty()) {
+    std::printf(
+        "shard scaling reference: signal %dw x %dp depth %d (byte-identical "
+        "reports)\n",
+        kShardWaiters, kShardPolls, kShardDepth);
+    for (const ShardRun& run : shard_runs) {
+      std::printf("perf explore shards=%d: %10.1f ms/run  %.2fx vs 1 shard\n",
+                  run.shards, run.ms_per_run,
+                  shard_runs.front().ms_per_run / run.ms_per_run);
+    }
+    if (gate_shard_speedup > 0) {
+      double ms4 = 0;
+      for (const ShardRun& run : shard_runs) {
+        if (run.shards == 4) ms4 = run.ms_per_run;
+      }
+      const double shard_speedup =
+          ms4 > 0 ? shard_runs.front().ms_per_run / ms4 : 0;
+      const unsigned cpus = std::thread::hardware_concurrency();
+      if (cpus < 4) {
+        std::printf(
+            "perf shard gate skipped: %u CPUs < 4, a %.2fx wall-clock "
+            "speedup is unreachable (measured %.2fx; parity still "
+            "enforced)\n",
+            cpus, gate_shard_speedup, shard_speedup);
+      } else if (shard_speedup < gate_shard_speedup) {
+        std::fprintf(stderr,
+                     "PERF GATE FAILED: 4-shard wall-clock speedup %.2fx < "
+                     "required %.2fx\n",
+                     shard_speedup, gate_shard_speedup);
+        return 1;
+      }
+    }
+  }
   return 0;
 }
 
@@ -287,9 +436,11 @@ int main(int argc, char** argv) {
   bool perf_suite = false;
   bool deterministic = false;
   std::string out_dir = ".";
+  std::string cli;
   double min_seconds = 0.5;
   double gate_steps = 0;
   double gate_speedup = 0;
+  double gate_shard_speedup = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--perf-suite") == 0) {
       perf_suite = true;
@@ -297,17 +448,22 @@ int main(int argc, char** argv) {
       deterministic = true;
     } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--cli") == 0 && i + 1 < argc) {
+      cli = argv[++i];
     } else if (std::strcmp(argv[i], "--min-time") == 0 && i + 1 < argc) {
       min_seconds = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--gate-steps") == 0 && i + 1 < argc) {
       gate_steps = std::atof(argv[++i]);
     } else if (std::strcmp(argv[i], "--gate-speedup") == 0 && i + 1 < argc) {
       gate_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--gate-shard-speedup") == 0 &&
+               i + 1 < argc) {
+      gate_shard_speedup = std::atof(argv[++i]);
     }
   }
   if (perf_suite) {
-    return run_perf_suite(out_dir, min_seconds, gate_steps, gate_speedup,
-                          deterministic);
+    return run_perf_suite(out_dir, min_seconds, gate_steps, gate_speedup, cli,
+                          gate_shard_speedup, deterministic);
   }
 
   const std::uint64_t cap = 2'000'000;

@@ -299,6 +299,93 @@ Word written_value(const StepRecord& r) {
   fail("record did not overwrite its variable");
 }
 
+void History::encode_counters(std::string& out) const {
+  put_u32(out, static_cast<std::uint32_t>(per_proc_.size()));
+  for (const ProcCounters& c : per_proc_) {
+    put_u64(out, c.steps);
+    put_u64(out, c.mem_steps);
+    put_u64(out, c.rmrs);
+    put_u32(out, c.finished ? 1 : 0);
+  }
+  put_u64(out, static_cast<std::uint64_t>(size_));
+  put_u64(out, total_rmrs_);
+  put_u64(out, crash_events_);
+  put_u64(out, recovery_events_);
+  put_u32(out, saw_ll_sc_ ? 1 : 0);
+}
+
+void History::encode(std::string& out) const {
+  put_u32(out, static_cast<std::uint32_t>(mode_));
+  encode_counters(out);
+  if (mode_ == HistoryMode::kFull) {
+    put_u32(out, static_cast<std::uint32_t>(records_.size()));
+    for (const StepRecord& r : records_) {
+      put_u64(out, static_cast<std::uint64_t>(r.index));
+      put_u32(out, static_cast<std::uint32_t>(r.proc));
+      put_u32(out, static_cast<std::uint32_t>(r.kind));
+      put_u32(out, static_cast<std::uint32_t>(r.op.type));
+      put_u32(out, static_cast<std::uint32_t>(r.op.var));
+      put_u64(out, static_cast<std::uint64_t>(r.op.arg0));
+      put_u64(out, static_cast<std::uint64_t>(r.op.arg1));
+      put_u64(out, static_cast<std::uint64_t>(r.outcome.result));
+      put_u32(out, r.outcome.rmr ? 1 : 0);
+      put_u32(out, r.outcome.nontrivial ? 1 : 0);
+      put_u32(out, static_cast<std::uint32_t>(r.outcome.prev_writer));
+      put_u32(out, static_cast<std::uint32_t>(r.var_home));
+      put_u32(out, static_cast<std::uint32_t>(r.event));
+      put_u64(out, static_cast<std::uint64_t>(r.code));
+      put_u64(out, static_cast<std::uint64_t>(r.value));
+      put_u32(out, r.terminated_after ? 1 : 0);
+    }
+  }
+}
+
+void History::decode(ByteReader& r) {
+  const auto mode = static_cast<HistoryMode>(r.u32());
+  if (mode != HistoryMode::kFull && mode != HistoryMode::kCountersOnly) {
+    throw std::runtime_error("bad history mode");
+  }
+  mode_ = mode;
+  per_proc_.clear();
+  per_proc_.resize(r.u32());
+  for (ProcCounters& c : per_proc_) {
+    c.steps = r.u64();
+    c.mem_steps = r.u64();
+    c.rmrs = r.u64();
+    c.finished = r.u32() != 0;
+  }
+  size_ = static_cast<std::size_t>(r.u64());
+  total_rmrs_ = r.u64();
+  crash_events_ = r.u64();
+  recovery_events_ = r.u64();
+  saw_ll_sc_ = r.u32() != 0;
+  records_.clear();
+  if (mode_ == HistoryMode::kFull) {
+    const std::uint32_t n = r.u32();
+    records_.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      StepRecord rec;
+      rec.index = static_cast<std::int64_t>(r.u64());
+      rec.proc = static_cast<ProcId>(r.u32());
+      rec.kind = static_cast<StepRecord::Kind>(r.u32());
+      rec.op.type = static_cast<OpType>(r.u32());
+      rec.op.var = static_cast<VarId>(r.u32());
+      rec.op.arg0 = static_cast<Word>(r.u64());
+      rec.op.arg1 = static_cast<Word>(r.u64());
+      rec.outcome.result = static_cast<Word>(r.u64());
+      rec.outcome.rmr = r.u32() != 0;
+      rec.outcome.nontrivial = r.u32() != 0;
+      rec.outcome.prev_writer = static_cast<ProcId>(r.u32());
+      rec.var_home = static_cast<ProcId>(r.u32());
+      rec.event = static_cast<EventKind>(r.u32());
+      rec.code = static_cast<Word>(r.u64());
+      rec.value = static_cast<Word>(r.u64());
+      rec.terminated_after = r.u32() != 0;
+      records_.push_back(rec);
+    }
+  }
+}
+
 std::string History::to_string() const {
   require_full("to_string()");
   std::string out;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/codec.h"
 #include "history/step_record.h"
 
 namespace rmrsim {
@@ -143,6 +144,23 @@ class History {
   /// i.e., p's memory module was written. The Lemma 6.13 signaler is chosen
   /// with an unwritten module.
   bool module_written(ProcId p) const;
+
+  // ---- wire serialization (runtime/snapshot_codec.h) --------------------
+
+  /// Appends the whole history — mode, aggregate counters, and (kFull only)
+  /// every stored record — in the shared little-endian codec. Canonical: a
+  /// pure function of the recorded content.
+  void encode(std::string& out) const;
+
+  /// Appends only the aggregate counters (per-proc and totals), independent
+  /// of mode. This is the history's contribution to the content fingerprint:
+  /// full-mode records encode *how* a state was reached and are deliberately
+  /// excluded there.
+  void encode_counters(std::string& out) const;
+
+  /// Overwrites this history with content written by encode(). Throws on
+  /// malformed input.
+  void decode(ByteReader& r);
 
  private:
   struct ProcCounters {

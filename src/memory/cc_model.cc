@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/codec.h"
 
 namespace rmrsim {
 
@@ -164,6 +165,28 @@ void CcModel::on_applied(ProcId p, const MemOp& op, bool wrote,
       insert(l.sharers, p);
       l.owner = kNoProc;
       break;
+  }
+}
+
+void CcModel::save_state(std::string& out) const {
+  put_u32(out, static_cast<std::uint32_t>(lines_.size()));
+  for (const Line& l : lines_) {
+    put_schedule(out, l.sharers);
+    put_u32(out, static_cast<std::uint32_t>(l.owner));
+    put_u32(out, static_cast<std::uint32_t>(l.exclusive));
+  }
+}
+
+void CcModel::load_state(ByteReader& r) {
+  lines_.clear();
+  const std::uint32_t n = r.u32();
+  lines_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Line l;
+    l.sharers = r.schedule();
+    l.owner = static_cast<ProcId>(r.u32());
+    l.exclusive = static_cast<ProcId>(r.u32());
+    lines_.push_back(std::move(l));
   }
 }
 

@@ -63,6 +63,9 @@ class CcModel final : public CostModel {
 
   std::string_view name() const override;
 
+  void save_state(std::string& out) const override;
+  void load_state(ByteReader& r) override;
+
   CcPolicy policy() const { return policy_; }
 
   /// True iff `p` currently holds a valid cached copy of `v` (test hook).

@@ -17,6 +17,8 @@
 
 namespace rmrsim {
 
+struct ByteReader;  // common/codec.h
+
 /// One architecturally relevant memory event, published to coherence-protocol
 /// message counters (Section 8's RMR-vs-message "exchange rate" analysis).
 struct CoherenceEvent {
@@ -86,6 +88,18 @@ class CostModel {
 
   /// Model name for tables and diagnostics, e.g. "DSM" or "CC/write-back".
   virtual std::string_view name() const = 0;
+
+  /// Appends the architectural pricing state (cache lines, ownership) in the
+  /// shared little-endian codec (common/codec.h) — the piece of a world
+  /// snapshot that clone() copies in-process but a wire transfer must carry
+  /// explicitly. Pairs with load_state() on a model of the same concrete
+  /// type. Canonical: a pure function of the state, so it also feeds
+  /// WorldSnapshot::fingerprint(). Default: stateless pricing (DSM) writes
+  /// nothing.
+  virtual void save_state(std::string& out) const { (void)out; }
+
+  /// Restores state written by save_state(). Default: nothing to read.
+  virtual void load_state(ByteReader& r) { (void)r; }
 
   /// True iff pricing carries no architectural state (no caches), so
   /// erasing an invisible process's steps cannot change how later accesses

@@ -216,6 +216,47 @@ bool MemoryStore::has_reservation(ProcId p, VarId v) const {
   return mask_test(reservation_mask(static_cast<VarId>(index(v))), p);
 }
 
+void MemoryStore::encode(std::string& out) const {
+  put_u32(out, static_cast<std::uint32_t>(nprocs_));
+  put_u32(out, static_cast<std::uint32_t>(values_.size()));
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    put_u64(out, static_cast<std::uint64_t>(initials_[i]));
+    put_u32(out, static_cast<std::uint32_t>(homes_[i]));
+    put_u64(out, static_cast<std::uint64_t>(values_[i]));
+    put_u32(out, static_cast<std::uint32_t>(last_writers_[i]));
+  }
+  put_u32(out, static_cast<std::uint32_t>(writers_bits_.size()));
+  for (const std::uint64_t w : writers_bits_) put_u64(out, w);
+  for (const std::uint64_t w : reservation_bits_) put_u64(out, w);
+}
+
+void MemoryStore::decode(ByteReader& r) {
+  const auto nprocs = static_cast<int>(r.u32());
+  const auto nvars = r.u32();
+  if (nprocs != nprocs_ || nvars != values_.size()) {
+    throw std::runtime_error("snapshot store layout mismatch");
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    const Word initial = static_cast<Word>(r.u64());
+    const ProcId home = static_cast<ProcId>(r.u32());
+    if (initial != initials_[i] || home != homes_[i]) {
+      throw std::runtime_error("snapshot store layout mismatch");
+    }
+    values_[i] = static_cast<Word>(r.u64());
+    last_writers_[i] = static_cast<ProcId>(r.u32());
+  }
+  const auto nwords = r.u32();
+  if (nwords != writers_bits_.size()) {
+    throw std::runtime_error("snapshot store layout mismatch");
+  }
+  for (std::size_t i = 0; i < writers_bits_.size(); ++i) {
+    writers_bits_[i] = r.u64();
+  }
+  for (std::size_t i = 0; i < reservation_bits_.size(); ++i) {
+    reservation_bits_[i] = r.u64();
+  }
+}
+
 void MemoryStore::reset() {
   values_ = initials_;
   std::fill(last_writers_.begin(), last_writers_.end(), kNoProc);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/codec.h"
 #include "common/types.h"
 #include "memory/memop.h"
 
@@ -111,6 +112,23 @@ class MemoryStore {
   /// Does `p` currently hold a valid LL reservation on `v`? Checker and
   /// test access; not a process step.
   bool has_reservation(ProcId p, VarId v) const;
+
+  // ---- wire serialization (runtime/snapshot_codec.h) --------------------
+
+  /// Appends the store's content in the shared little-endian codec: the
+  /// allocation layout (nprocs, per-variable initials and homes) plus the
+  /// mutable lanes (values, last-writers, writer and LL-reservation masks).
+  /// Diagnostic names are excluded — they are cosmetic, and the receiving
+  /// side's identically-constructed store supplies them. The byte stream is
+  /// canonical (a pure function of the content), so it doubles as the input
+  /// to WorldSnapshot::fingerprint().
+  void encode(std::string& out) const;
+
+  /// Restores content written by encode() into this store, which must have
+  /// the identical layout (same nprocs and allocation sequence — the
+  /// receiver builds it by running the same builder). Throws on layout
+  /// mismatch or malformed input.
+  void decode(ByteReader& r);
 
  private:
   std::size_t index(VarId v) const {

@@ -453,6 +453,18 @@ struct WorldSnapshot {
   /// Rough retained size in bytes (store + history + logs + schedule) — the
   /// snapshot cache budgets memory with this.
   std::size_t approx_bytes() const;
+
+  /// Deterministic content hash (FNV-1a 64, runtime/snapshot_codec.cc) over
+  /// the world's *semantic* state: store content, cost-model architectural
+  /// state, RMR ledger, clock, history counters, and every process's control
+  /// state (flags, fault counters, wake time, resume log, compiled pc/regs).
+  /// Deliberately excludes how the state was reached — the schedule, the
+  /// fault trace, full-mode history records, and diagnostic variable names —
+  /// so two worlds reached by different interleavings of equivalent work
+  /// hash equal exactly when the state the search continues from is
+  /// identical. Stable across fork/restore round trips and across processes
+  /// (the dist coordinator dedups on it).
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace rmrsim

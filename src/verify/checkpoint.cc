@@ -1,12 +1,12 @@
 #include "verify/checkpoint.h"
 
 #include <algorithm>
-#include <bit>
 #include <cstring>
 #include <filesystem>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/codec.h"
 #include "common/crc32.h"
 #include "common/fsio.h"
 
@@ -18,115 +18,9 @@ namespace fs = std::filesystem;
 
 // Format constants. Bump kVersion on any layout change; old files are then
 // rejected as corrupt (with the version named in the reason), never
-// misparsed.
+// misparsed. v2 added the subtree footprint summary to ItemOutcome.
 constexpr char kMagic[8] = {'R', 'M', 'R', 'C', 'K', 'P', 'T', '1'};
-constexpr std::uint32_t kVersion = 1;
-
-// ---- little-endian byte stream helpers -------------------------------
-
-void put_u32(std::string& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void put_u64(std::string& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-
-void put_double(std::string& out, double v) {
-  put_u64(out, std::bit_cast<std::uint64_t>(v));
-}
-
-void put_string(std::string& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out += s;
-}
-
-void put_schedule(std::string& out, const std::vector<ProcId>& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  for (const ProcId p : s) {
-    put_u32(out, static_cast<std::uint32_t>(p));
-  }
-}
-
-struct ByteReader {
-  const char* p;
-  const char* end;
-
-  explicit ByteReader(std::string_view bytes)
-      : p(bytes.data()), end(bytes.data() + bytes.size()) {}
-
-  void need(std::size_t n) const {
-    if (static_cast<std::size_t>(end - p) < n) {
-      throw std::runtime_error("record truncated");
-    }
-  }
-  std::uint32_t u32() {
-    need(4);
-    std::uint32_t v = 0;
-    for (int i = 0; i < 4; ++i) {
-      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
-    p += 4;
-    return v;
-  }
-  std::uint64_t u64() {
-    need(8);
-    std::uint64_t v = 0;
-    for (int i = 0; i < 8; ++i) {
-      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(p[i]))
-           << (8 * i);
-    }
-    p += 8;
-    return v;
-  }
-  double dbl() { return std::bit_cast<double>(u64()); }
-  std::string str() {
-    const std::uint32_t n = u32();
-    need(n);
-    std::string s(p, n);
-    p += n;
-    return s;
-  }
-  std::vector<ProcId> schedule() {
-    const std::uint32_t n = u32();
-    need(std::size_t{4} * n);
-    std::vector<ProcId> s;
-    s.reserve(n);
-    for (std::uint32_t i = 0; i < n; ++i) {
-      s.push_back(static_cast<ProcId>(u32()));
-    }
-    return s;
-  }
-  bool done() const { return p == end; }
-};
-
-// ---- record framing ---------------------------------------------------
-
-/// Appends one CRC-framed record: u32 payload length, payload, u32 CRC of
-/// the payload.
-void put_record(std::string& out, const std::string& payload) {
-  put_u32(out, static_cast<std::uint32_t>(payload.size()));
-  out += payload;
-  put_u32(out, crc32(payload));
-}
-
-/// Extracts and CRC-verifies the next framed record.
-std::string take_record(ByteReader& r) {
-  const std::uint32_t len = r.u32();
-  r.need(len);
-  std::string payload(r.p, len);
-  r.p += len;
-  const std::uint32_t want = r.u32();
-  if (crc32(payload) != want) {
-    throw std::runtime_error("record CRC mismatch");
-  }
-  return payload;
-}
+constexpr std::uint32_t kVersion = 2;
 
 std::string epoch_filename(std::uint64_t epoch) {
   char buf[32];
@@ -183,6 +77,14 @@ std::string encode_item_outcome(const ItemOutcome& out) {
     put_schedule(b, e.node_path);
     put_u32(b, static_cast<std::uint32_t>(e.proc));
   }
+  put_u32(b, static_cast<std::uint32_t>(out.footprints.size()));
+  for (const Simulation::MacroFootprint& f : out.footprints) {
+    put_u32(b, f.has_op ? 1 : 0);
+    put_u32(b, static_cast<std::uint32_t>(f.var));
+    put_u32(b, static_cast<std::uint32_t>(f.access));
+    put_u32(b, f.observable ? 1 : 0);
+    put_u32(b, f.terminated ? 1 : 0);
+  }
   return b;
 }
 
@@ -223,6 +125,16 @@ ItemOutcome decode_item_outcome(std::string_view bytes) {
     e.node_path = r.schedule();
     e.proc = static_cast<ProcId>(r.u32());
     out.externals.push_back(std::move(e));
+  }
+  const std::uint32_t nfoot = r.u32();
+  for (std::uint32_t i = 0; i < nfoot; ++i) {
+    Simulation::MacroFootprint f;
+    f.has_op = r.u32() != 0;
+    f.var = static_cast<VarId>(r.u32());
+    f.access = static_cast<AccessClass>(r.u32());
+    f.observable = r.u32() != 0;
+    f.terminated = r.u32() != 0;
+    out.footprints.push_back(f);
   }
   if (!r.done()) throw std::runtime_error("trailing bytes in outcome record");
   return out;

@@ -1,0 +1,80 @@
+#include "verify/dist/worker.h"
+
+#include <signal.h>
+#include <stdlib.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "runtime/snapshot_codec.h"
+#include "verify/dist/protocol.h"
+#include "verify/snapshot_cache.h"
+
+namespace rmrsim::dist {
+
+int run_dist_worker(const ExploreBuilder& build, const ExploreChecker& check,
+                    const DporOptions& options, std::uint64_t fingerprint,
+                    int in_fd, int out_fd) {
+  HelloMsg hello;
+  hello.fingerprint = fingerprint;
+  write_frame(out_fd, encode_hello(hello));
+
+  // Proto snapshot for grafting the unserializable immutables (programs,
+  // bytecode, policy, keepalive — see runtime/snapshot_codec.h): the
+  // untouched world of a locally built instance, constructed exactly the
+  // way the coordinator builds its own.
+  std::shared_ptr<const WorldSnapshot> proto;
+  if (options.snapshot_mode == SnapshotMode::kSnapshot) {
+    ExploreInstance inst =
+        materialize_schedule(build, {}, ReplayUnit::kMacro,
+                             options.counters_only_history, nullptr, nullptr);
+    // materialize_schedule only arms resume logging when it is handed a
+    // cache; the empty schedule means zero steps have run, so arming it
+    // here still satisfies take_snapshot's before-first-step requirement.
+    inst.sim->enable_fork_log();
+    proto = take_snapshot(inst);
+  }
+
+  // Deterministic mid-item death for the failure harnesses: SIGKILL upon
+  // receiving item N+1, after N served.
+  long long exit_after = -1;
+  if (const char* env = ::getenv("RMRSIM_WORKER_EXIT_AFTER_ITEMS")) {
+    exit_after = ::atoll(env);
+  }
+  std::uint64_t served = 0;
+
+  std::string payload;
+  while (read_frame(in_fd, &payload)) {
+    ItemMsg msg = decode_item(payload);
+    if (exit_after >= 0 && served >= static_cast<std::uint64_t>(exit_after)) {
+      ::raise(SIGKILL);
+    }
+    if (!msg.snapshot.empty()) {
+      if (proto == nullptr) {
+        throw std::runtime_error(
+            "item carries a snapshot but the worker runs in replay mode");
+      }
+      msg.item.root_snap = std::make_shared<const WorldSnapshot>(
+          decode_world_snapshot(msg.snapshot, *proto));
+    }
+    DporOptions opts = options;
+    if (msg.collect_completes) {
+      // Presence alone makes run_dist_item collect complete schedules into
+      // the outcome; the callback itself is never invoked worker-side.
+      opts.on_complete_schedule = [](const std::vector<ProcId>&) {};
+    } else {
+      opts.on_complete_schedule = nullptr;
+    }
+    OutcomeMsg out;
+    out.index = msg.index;
+    out.result =
+        run_dist_item(build, check, opts, msg.item, msg.base_nodes);
+    write_frame(out_fd, encode_outcome(out));
+    ++served;
+  }
+  return 0;
+}
+
+}  // namespace rmrsim::dist

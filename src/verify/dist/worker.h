@@ -1,0 +1,34 @@
+// The worker half of sharded exploration.
+//
+// A worker process is the host binary re-exec'd in hidden worker mode
+// (rmrsim_cli `--dist-worker`): it rebuilds the same instance and options
+// from its own flags, then serves run_dist_worker — a read-item /
+// run-subtree / write-outcome loop over the pipe protocol on
+// stdin/stdout. The worker leads with a hello frame carrying its
+// configuration fingerprint so the coordinator can refuse a mismatched
+// launch, and exits cleanly on stdin EOF (the coordinator closing the
+// pipe), so orphaned workers self-clean when their coordinator dies.
+//
+// Test hook: RMRSIM_WORKER_EXIT_AFTER_ITEMS=N makes the worker SIGKILL
+// itself upon *receiving* its (N+1)-th item — a deterministic mid-item
+// death for the retry/respawn and resume harnesses. The pool clears the
+// variable for respawned workers so the switch fires once per fleet.
+#pragma once
+
+#include <cstdint>
+
+#include "verify/dpor.h"
+
+namespace rmrsim::dist {
+
+/// Serves work items until EOF on `in_fd`. `options` mirrors the
+/// coordinator's DporOptions (checkpoint/dist/workers fields are ignored;
+/// whether complete schedules are collected is decided per item by the
+/// coordinator). Returns the process exit code (0 on a clean EOF).
+/// Throws std::runtime_error on a malformed frame — a protocol bug, not a
+/// retryable condition; the coordinator sees the resulting death.
+int run_dist_worker(const ExploreBuilder& build, const ExploreChecker& check,
+                    const DporOptions& options, std::uint64_t fingerprint,
+                    int in_fd, int out_fd);
+
+}  // namespace rmrsim::dist

@@ -8,10 +8,13 @@
 #include <mutex>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <tuple>
 #include <utility>
 
 #include "common/check.h"
+#include "common/codec.h"
 #include "sched/schedulers.h"
 #include "verify/checkpoint.h"
 #include "verify/snapshot_cache.h"
@@ -22,24 +25,17 @@ namespace {
 
 using MacroFootprint = Simulation::MacroFootprint;
 
-/// One executed macro step on the current path, with its vector clock:
-/// clock[q] = index of the last q-step that happens-before this step (its
-/// own entry is its own index), -1 if none. Happens-before is program order
-/// plus the dependence relation over executed steps.
-struct PathStep {
-  ProcId proc = kNoProc;
-  MacroFootprint fp;
-  std::vector<std::int32_t> clock;
-};
-
-/// A process asleep at a node, with the footprint its next macro step had
-/// when it was executed from an equivalent state. The footprint stays exact
-/// while the process sleeps: it is woken (dropped from the set) by exactly
-/// the dependent steps that could change its op's outcome.
-struct SleepEntry {
-  ProcId proc = kNoProc;
-  MacroFootprint fp;
-};
+// The path-step / sleep-entry / work-item types are public now (dpor.h):
+// sharded exploration ships work items to worker processes. Clock meaning:
+// clock[q] = index of the last q-step that happens-before this step (its
+// own entry is its own index), -1 if none. Happens-before is program order
+// plus the dependence relation over executed steps. A sleep entry's
+// footprint stays exact while the process sleeps: it is woken (dropped
+// from the set) by exactly the dependent steps that could change its op's
+// outcome.
+using PathStep = DporPathStep;
+using SleepEntry = DporSleepEntry;
+using WorkItem = DporWorkItem;
 
 bool asleep(const std::vector<SleepEntry>& sleep, ProcId p) {
   for (const SleepEntry& e : sleep) {
@@ -101,22 +97,6 @@ std::vector<std::int32_t> race_scan(const std::vector<PathStep>& path,
 // now (verify/checkpoint.h): an ItemOutcome is exactly the unit the
 // persistent frontier records and replays.
 using Violation = ExploreViolation;
-
-/// A closed subtree handed to a worker: the macro path to its root, the
-/// executed steps (footprints + clocks) along it, and the sleep set at the
-/// root. Everything below the root is local to the item; only race targets
-/// above it escape, as ExternalAdds.
-struct WorkItem {
-  std::vector<ProcId> schedule;
-  std::vector<PathStep> path;
-  std::vector<SleepEntry> sleep;
-  double naive_product = 1.0;  // prod of enabled-set sizes along the path
-  double naive_sum = 1.0;      // naive nodes along the path so far
-  /// Snapshot of the item's root world (snapshot mode): work-stealing ships
-  /// the world with the stolen frame, so no worker ever replays the trunk
-  /// prefix from scratch. Immutable; safely shared across threads.
-  std::shared_ptr<const WorldSnapshot> root_snap;
-};
 
 /// A failed item execution attempt: a worker "dying" (injected failure, an
 /// exception escaping the item) or a per-item deadline trip. Caught by the
@@ -183,6 +163,21 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
   const std::size_t root_depth = schedule.size();
   std::vector<Frame> frames;
 
+  // Distinct footprints of every macro step the subtree executes — the
+  // dedup eligibility certificate (ItemOutcome::footprints): a duplicate
+  // item may reuse this outcome only if none of its own trunk steps is
+  // dependent with any footprint here. Kept canonically ordered so outcomes
+  // stay byte-stable.
+  std::set<std::tuple<bool, VarId, int, bool, bool>> fp_seen;
+  const auto flush_footprints = [&] {
+    out.footprints.reserve(fp_seen.size());
+    for (const auto& [has_op, var, access, observable, terminated] : fp_seen) {
+      out.footprints.push_back({has_op, var,
+                                static_cast<AccessClass>(access), observable,
+                                terminated});
+    }
+  };
+
   // Private per-item cache, seeded with the shipped root snapshot: the
   // item's first rebuild is a pure restore, later ones restore the deepest
   // stride-aligned ancestor captured during descent. No cross-thread state.
@@ -248,7 +243,7 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
 
   if (!enter_node(item.sleep, item.naive_product, item.naive_sum)) {
     if (cache.has_value()) fold_cache_stats(*cache, out.replay);
-    return;
+    return;  // zero steps executed: the footprint summary is empty
   }
 
   while (!frames.empty()) {
@@ -279,6 +274,7 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
         sh.max_nodes) {
       // Global budget: abandon the item (best effort, partial outcome).
       out.budget_hit = true;
+      flush_footprints();
       if (cache.has_value()) fold_cache_stats(*cache, out.replay);
       return;
     }
@@ -302,6 +298,8 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
     }
     const MacroFootprint fp = inst.sim->macro_step(q);
     ++out.nodes;
+    fp_seen.emplace(fp.has_op, fp.var, static_cast<int>(fp.access),
+                    fp.observable, fp.terminated);
 
     std::vector<std::size_t> races;
     std::vector<std::int32_t> clock = race_scan(path, q, fp, nprocs, &races);
@@ -354,6 +352,7 @@ void run_item(Shared& sh, const WorkItem& item, ItemOutcome& out,
       }
     }
   }
+  flush_footprints();
   if (cache.has_value()) fold_cache_stats(*cache, out.replay);
 }
 
@@ -407,6 +406,110 @@ bool run_item_recovering(Shared& sh, const WorkItem& item, ItemOutcome& out,
   }
 }
 
+/// Fills the per-search shared state from the options — the half of the
+/// configuration run_item needs, shared between the in-process pool
+/// (explore_dpor) and the out-of-process entry (run_dist_item) so both
+/// execute subtrees identically.
+void init_shared(Shared& sh, const ExploreBuilder& build,
+                 const ExploreChecker& check, const DporOptions& options) {
+  sh.build = &build;
+  sh.check = &check;
+  sh.max_depth = options.max_depth;
+  sh.max_nodes = options.max_nodes;
+  sh.collect_completes = static_cast<bool>(options.on_complete_schedule);
+  sh.counters_only = options.counters_only_history;
+  sh.snapshots = options.snapshot_mode == SnapshotMode::kSnapshot;
+  sh.cache_config = SnapshotCache::Config{std::max(1, options.snapshot_stride),
+                                          options.snapshot_max_bytes};
+  sh.item_max_attempts = std::max(1, options.item_max_attempts);
+  sh.retry_backoff_ms = options.retry_backoff_ms;
+  sh.item_node_limit = options.item_node_limit;
+  sh.item_wall_limit_ms = options.item_wall_limit_ms;
+  sh.inject = options.inject_item_failure ? &options.inject_item_failure
+                                          : nullptr;
+}
+
+/// Canonical dedup key of a work item: root-world fingerprint, root depth,
+/// and the sleep set in canonical order. The subtree an item explores is a
+/// function of (root world, sleep set, remaining depth) alone, so items
+/// with equal keys explore step-for-step identical subtrees.
+std::string dedup_item_key(const WorkItem& item) {
+  ensure(item.root_snap != nullptr,
+         "dedup_states requires work items to carry root snapshots");
+  const auto fp_key = [](const MacroFootprint& fp) {
+    return std::make_tuple(fp.has_op, fp.var, static_cast<int>(fp.access),
+                           fp.observable, fp.terminated);
+  };
+  std::string sig;
+  put_u64(sig, item.root_snap->fingerprint());
+  put_u32(sig, static_cast<std::uint32_t>(item.schedule.size()));
+  std::vector<SleepEntry> sleep = item.sleep;
+  std::sort(sleep.begin(), sleep.end(),
+            [&](const SleepEntry& a, const SleepEntry& b) {
+              return std::make_tuple(a.proc, fp_key(a.fp)) <
+                     std::make_tuple(b.proc, fp_key(b.fp));
+            });
+  put_u32(sig, static_cast<std::uint32_t>(sleep.size()));
+  for (const SleepEntry& e : sleep) {
+    put_u32(sig, static_cast<std::uint32_t>(e.proc));
+    put_u32(sig, e.fp.has_op ? 1 : 0);
+    put_u32(sig, static_cast<std::uint32_t>(e.fp.var));
+    put_u32(sig, static_cast<std::uint32_t>(e.fp.access));
+    put_u32(sig, e.fp.observable ? 1 : 0);
+    put_u32(sig, e.fp.terminated ? 1 : 0);
+  }
+  return sig;
+}
+
+/// Reuse is sound iff the duplicate's own trunk path is independent of
+/// everything the representative's subtree executed: the duplicate's
+/// subtree (step-for-step identical) then raises no races against its
+/// trunk, so its externals are provably empty and the representative's
+/// outcome transfers with only the schedule prefixes rewritten. A partial
+/// (budget-hit) outcome never transfers.
+bool dedup_eligible(const WorkItem& dup, const ItemOutcome& rep) {
+  if (rep.budget_hit) return false;
+  for (const PathStep& s : dup.path) {
+    for (const MacroFootprint& f : rep.footprints) {
+      if (Simulation::dependent(s.fp, f)) return false;
+    }
+  }
+  return true;
+}
+
+/// A registered dedup representative: the outcome plus the naive-estimate
+/// seeds its item carried (needed to transfer the estimate exactly).
+struct DedupRep {
+  double naive_product = 1.0;
+  double naive_sum = 1.0;
+  ItemOutcome outcome;
+};
+
+ItemOutcome synthesize_dedup(const WorkItem& dup, const DedupRep& rep) {
+  ItemOutcome out = rep.outcome;
+  out.schedule = dup.schedule;
+  const auto rewrite = [&](std::vector<ProcId>& s) {
+    std::copy(dup.schedule.begin(), dup.schedule.end(), s.begin());
+  };
+  for (ExploreViolation& v : out.violations) rewrite(v.schedule);
+  for (std::vector<ProcId>& s : out.completes) rewrite(s);
+  out.externals.clear();  // provably empty (dedup_eligible)
+  // The recorded estimate decomposes as leaves*naive_sum + naive_product*K
+  // with K intrinsic to the subtree; transfer it exactly to the
+  // duplicate's seeds.
+  if (rep.naive_product > 0.0 && out.leaves > 0) {
+    const double k = (rep.outcome.estimate_sum -
+                      static_cast<double>(out.leaves) * rep.naive_sum) /
+                     rep.naive_product;
+    out.estimate_sum = static_cast<double>(out.leaves) * dup.naive_sum +
+                       dup.naive_product * k;
+  }
+  // No work was redone: the replay statistics describe the
+  // representative's execution, not this item's.
+  out.replay = ExploreStats{};
+  return out;
+}
+
 /// A persistent node of the sequentially-owned trunk (depth < trunk_depth).
 /// Trunk nodes live across rounds so that race insertions arriving from
 /// deep items can still open new branches near the root.
@@ -438,21 +541,14 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
                            const DporOptions& options) {
   ExploreResult result;
   Shared sh;
-  sh.build = &build;
-  sh.check = &check;
-  sh.max_depth = options.max_depth;
-  sh.max_nodes = options.max_nodes;
-  sh.collect_completes = static_cast<bool>(options.on_complete_schedule);
-  sh.counters_only = options.counters_only_history;
-  sh.snapshots = options.snapshot_mode == SnapshotMode::kSnapshot;
-  sh.cache_config = SnapshotCache::Config{std::max(1, options.snapshot_stride),
-                                          options.snapshot_max_bytes};
-  sh.item_max_attempts = std::max(1, options.item_max_attempts);
-  sh.retry_backoff_ms = options.retry_backoff_ms;
-  sh.item_node_limit = options.item_node_limit;
-  sh.item_wall_limit_ms = options.item_wall_limit_ms;
-  sh.inject = options.inject_item_failure ? &options.inject_item_failure
-                                          : nullptr;
+  init_shared(sh, build, check, options);
+  if (options.dedup_states) {
+    // Dedup keys on root-world fingerprints (needs the shipped snapshots)
+    // and reuses outcomes across distinct histories, which is only sound
+    // when checkers see counters, not per-step records.
+    ensure(sh.snapshots, "dedup_states requires SnapshotMode::kSnapshot");
+    ensure(sh.counters_only, "dedup_states requires counters_only_history");
+  }
   ExploreCheckpoint* const ck = options.checkpoint;
 
   // Trunk-level cache: the coordinator's expansions walk prefixes of each
@@ -467,6 +563,9 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
 
   std::map<std::vector<ProcId>, TrunkNode> trunk;
   std::set<std::pair<std::vector<ProcId>, ProcId>> pending;
+  // Cross-round dedup memory: canonical item key -> the first healthy
+  // outcome executed (or merged from a checkpoint) under that key.
+  std::map<std::string, DedupRep> dedup_reps;
   std::vector<Violation> violations;
   double estimate_sum = 0.0;
   std::uint64_t leaves = 0;
@@ -672,17 +771,58 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
       }
     };
 
-    const int workers =
-        std::min<int>(std::max(1, options.workers),
-                      static_cast<int>(live.size()));
-    if (workers <= 1) {
-      for (const std::size_t job : live) run_one(job);
-    } else {
+    // Runs a set of item indices: on the external (multi-process) executor
+    // when one is configured, inline when effectively sequential, on the
+    // work-stealing thread pool otherwise.
+    const auto run_jobs = [&](const std::vector<std::size_t>& jobs) {
+      if (jobs.empty()) return;
+      if (options.dist != nullptr) {
+        options.dist->run_round(
+            items, jobs,
+            [&sh] { return sh.nodes.load(std::memory_order_relaxed); },
+            [&](std::size_t job, DistItemResult&& r) {
+              // The coordinator-side half of run_item_recovering: commit
+              // the retry accounting, the node charges (with the budget
+              // check against the authoritative counter), and the
+              // checkpoint record.
+              sh.worker_failures.fetch_add(r.worker_failures,
+                                           std::memory_order_relaxed);
+              sh.item_retries.fetch_add(r.item_retries,
+                                        std::memory_order_relaxed);
+              if (!r.ok) {
+                quarantine[job] = r.quarantine_reason.empty()
+                                      ? std::string("worker process failed")
+                                      : std::move(r.quarantine_reason);
+                outcomes[job] = ItemOutcome{};
+                outcomes[job].schedule = items[job].schedule;
+                if (ck != nullptr) {
+                  ck->record_quarantine(items[job].schedule, quarantine[job]);
+                }
+                return;
+              }
+              outcomes[job] = std::move(r.outcome);
+              const std::uint64_t before = sh.nodes.fetch_add(
+                  outcomes[job].charged, std::memory_order_relaxed);
+              if (before + outcomes[job].charged > sh.max_nodes) {
+                sh.budget_hit.store(true, std::memory_order_relaxed);
+              }
+              if (ck != nullptr && !outcomes[job].budget_hit) {
+                ck->record_outcome(outcomes[job]);
+              }
+            });
+        return;
+      }
+      const int workers = std::min<int>(std::max(1, options.workers),
+                                        static_cast<int>(jobs.size()));
+      if (workers <= 1) {
+        for (const std::size_t job : jobs) run_one(job);
+        return;
+      }
       std::vector<std::deque<std::size_t>> queues(
           static_cast<std::size_t>(workers));
       std::vector<std::mutex> locks(static_cast<std::size_t>(workers));
-      for (std::size_t i = 0; i < live.size(); ++i) {
-        queues[i % static_cast<std::size_t>(workers)].push_back(live[i]);
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        queues[i % static_cast<std::size_t>(workers)].push_back(jobs[i]);
       }
       const auto worker = [&](int w) {
         for (;;) {
@@ -718,6 +858,69 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
       pool.reserve(static_cast<std::size_t>(workers));
       for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
       for (std::thread& t : pool) t.join();
+    };
+
+    // Fingerprint dedup (opt-in): split the live items into representatives
+    // — the first item this search has seen under each key — and
+    // duplicates, run the representatives first, then serve each duplicate
+    // from its representative's outcome when the reuse is provably sound.
+    std::vector<std::string> key(items.size());
+    std::vector<std::size_t> wave1;
+    std::vector<std::size_t> dup_jobs;
+    if (!options.dedup_states) {
+      wave1 = live;
+    } else {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        key[i] = dedup_item_key(items[i]);
+      }
+      std::set<std::string> claimed;  // keys taken by a wave-1 item this round
+      for (const std::size_t i : live) {
+        if (dedup_reps.count(key[i]) != 0 || !claimed.insert(key[i]).second) {
+          dup_jobs.push_back(i);
+        } else {
+          wave1.push_back(i);
+        }
+      }
+    }
+
+    run_jobs(wave1);
+
+    if (options.dedup_states) {
+      // Register representatives: every healthy (non-quarantined, complete)
+      // outcome this round — wave-1 runs and checkpoint merges alike —
+      // under a key nobody holds yet. First registration wins, in the
+      // canonical item order, so the representative choice is
+      // deterministic and stable across resumes.
+      const auto register_rep = [&](std::size_t i) {
+        if (!quarantine[i].empty() || outcomes[i].budget_hit) return;
+        dedup_reps.try_emplace(key[i],
+                               DedupRep{items[i].naive_product,
+                                        items[i].naive_sum, outcomes[i]});
+      };
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (resolved[i]) register_rep(i);
+      }
+      for (const std::size_t i : wave1) register_rep(i);
+
+      std::vector<std::size_t> wave2;  // ineligible duplicates: run normally
+      for (const std::size_t i : dup_jobs) {
+        const auto rit = dedup_reps.find(key[i]);
+        if (rit != dedup_reps.end() &&
+            rit->second.outcome.schedule.size() == items[i].schedule.size() &&
+            dedup_eligible(items[i], rit->second.outcome)) {
+          outcomes[i] = synthesize_dedup(items[i], rit->second);
+          ++result.stats.dedup_hits;
+          const std::uint64_t before = sh.nodes.fetch_add(
+              outcomes[i].charged, std::memory_order_relaxed);
+          if (before + outcomes[i].charged > sh.max_nodes) {
+            sh.budget_hit.store(true, std::memory_order_relaxed);
+          }
+          if (ck != nullptr) ck->record_outcome(outcomes[i]);
+        } else {
+          wave2.push_back(i);
+        }
+      }
+      run_jobs(wave2);
     }
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
@@ -785,6 +988,28 @@ ExploreResult explore_dpor(const ExploreBuilder& build,
     result.violating_schedule = best->schedule;
   }
   return result;
+}
+
+DistItemResult run_dist_item(const ExploreBuilder& build,
+                             const ExploreChecker& check,
+                             const DporOptions& options,
+                             const DporWorkItem& item,
+                             std::uint64_t base_nodes) {
+  Shared sh;
+  init_shared(sh, build, check, options);
+  // The worker sees the coordinator's committed count as of dispatch, so
+  // its mid-item budget check `base + charged > max_nodes` can only be
+  // more permissive than the live in-process check — and agrees with it
+  // exactly whenever the budget does not trip.
+  sh.nodes.store(base_nodes, std::memory_order_relaxed);
+  DistItemResult res;
+  res.ok = run_item_recovering(sh, item, res.outcome, &res.quarantine_reason);
+  if (!res.ok && res.quarantine_reason.empty()) {
+    res.quarantine_reason = "worker process failed";
+  }
+  res.worker_failures = sh.worker_failures.load(std::memory_order_relaxed);
+  res.item_retries = sh.item_retries.load(std::memory_order_relaxed);
+  return res;
 }
 
 CrashProductResult sweep_crash_product(const ExploreBuilder& build,

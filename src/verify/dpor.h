@@ -47,14 +47,76 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "verify/checkpoint.h"
 #include "verify/explorer.h"
 
 namespace rmrsim {
 
-class ExploreCheckpoint;
+/// One executed macro step on the path from the search root to a work-item
+/// root: the process stepped, its footprint, and the vector clock *after*
+/// the step. Public because sharded exploration ships work items to worker
+/// processes (verify/dist/) and dedup keys on the path's footprints.
+struct DporPathStep {
+  ProcId proc = kNoProc;
+  Simulation::MacroFootprint fp;
+  std::vector<std::int32_t> clock;
+};
+
+/// Sleep-set entry: process `proc` was already explored from this node with
+/// footprint `fp`, so re-exploring it here is redundant.
+struct DporSleepEntry {
+  ProcId proc = kNoProc;
+  Simulation::MacroFootprint fp;
+};
+
+/// A self-contained unit of parallel work: the subtree rooted at `schedule`,
+/// explored under sleep set `sleep`, with the path metadata race_scan needs
+/// to classify races against the trunk. `root_snap` is the world at the
+/// root (snapshot mode only; null in replay mode, where the worker rebuilds
+/// by replaying `schedule`). The naive seeds carry the running naive-DFS
+/// size estimate into the subtree.
+struct DporWorkItem {
+  std::vector<ProcId> schedule;
+  std::vector<DporPathStep> path;
+  std::vector<DporSleepEntry> sleep;
+  double naive_product = 1.0;
+  double naive_sum = 1.0;
+  std::shared_ptr<const WorldSnapshot> root_snap;
+};
+
+/// Result of executing one work item out-of-process.
+struct DistItemResult {
+  bool ok = false;                 ///< false => the item is quarantined
+  std::string quarantine_reason;   ///< non-empty when !ok
+  ItemOutcome outcome;             ///< valid when ok
+  std::uint64_t worker_failures = 0;  ///< attempts that died or timed out
+  std::uint64_t item_retries = 0;     ///< failed attempts that were re-run
+};
+
+/// Executes one round's work items somewhere other than the in-process
+/// pool — the sharded coordinator (verify/dist/pool.h) implements this over
+/// a fork/exec worker fleet. Contract: `run_round` is called on the
+/// coordinator thread once per round with the round's item array and the
+/// indices to execute; it must invoke `done(index, result)` exactly once
+/// per live index, on the calling thread, and may do so in any order.
+/// `committed_nodes()` returns the node budget consumed by all previously
+/// merged items — sample it immediately before dispatching an item and ship
+/// the value as that item's budget base.
+class DistItemExecutor {
+ public:
+  virtual ~DistItemExecutor() = default;
+  virtual void run_round(
+      const std::vector<DporWorkItem>& items,
+      const std::vector<std::size_t>& live,
+      const std::function<std::uint64_t()>& committed_nodes,
+      const std::function<void(std::size_t, DistItemResult&&)>& done) = 0;
+};
 
 struct DporOptions {
   /// Abandon a schedule past this many macro steps (same meaning as
@@ -118,6 +180,25 @@ struct DporOptions {
   /// attempt number, 1-based); returning true makes the attempt fail as if
   /// the worker died. Must be thread-safe.
   std::function<bool(const std::vector<ProcId>&, int)> inject_item_failure;
+  /// Non-null: work items are executed by this executor (sharded
+  /// multi-process exploration, verify/dist/) instead of the in-process
+  /// pool; `workers` is then ignored. Checkpointing, retry accounting, and
+  /// the deterministic merge are unchanged — the executor only moves where
+  /// run_dist_item runs. Not owned.
+  DistItemExecutor* dist = nullptr;
+  /// Content-hash state dedup: before running a round, work items whose
+  /// root world fingerprint (WorldSnapshot::fingerprint), sleep-set
+  /// signature, and root depth match an already-executed item reuse that
+  /// item's outcome — with schedule prefixes rewritten to the duplicate's
+  /// root — instead of re-exploring, when the reuse is provably sound: no
+  /// step on the duplicate's own trunk path is dependent with any footprint
+  /// the representative's subtree executed (then the duplicate's subtree
+  /// raises no external backtracks either). Requires snapshot mode and
+  /// counters_only_history. Verdicts (violation, complete schedules,
+  /// exhausted) are unchanged; naive_tree_estimate becomes approximate for
+  /// deduped subtrees (rescaled by the naive seed ratio), which is why this
+  /// is opt-in rather than default.
+  bool dedup_states = false;
 };
 
 /// Explores a persistent-set-reduced schedule tree of the instance.
@@ -129,6 +210,23 @@ struct DporOptions {
 ExploreResult explore_dpor(const ExploreBuilder& build,
                            const ExploreChecker& check,
                            const DporOptions& options = {});
+
+/// Executes one work item with the normal retry/quarantine discipline and
+/// returns the outcome — the worker-process half of sharded exploration
+/// (verify/dist/worker.cc), sharing the exact subtree-exploration code the
+/// in-process pool runs so an S-shard search merges byte-identically.
+/// `base_nodes` is the coordinator's committed node count at dispatch; the
+/// item's budget check is `base_nodes + charged > options.max_nodes`, which
+/// matches the in-process pool whenever the budget does not trip.
+/// `options.checkpoint`, `options.dist`, and `options.workers` are ignored.
+/// `options.on_complete_schedule` is never invoked, but its *presence*
+/// makes the item collect complete schedules into the outcome (workers set
+/// a dummy callback when the coordinator collects).
+DistItemResult run_dist_item(const ExploreBuilder& build,
+                             const ExploreChecker& check,
+                             const DporOptions& options,
+                             const DporWorkItem& item,
+                             std::uint64_t base_nodes);
 
 /// Rebuilds a world and replays a macro schedule on it: each entry flushes
 /// that process's local events and applies its next memory op (or runs it

@@ -115,6 +115,10 @@ struct ExploreStats {
   std::uint64_t checkpoint_epochs = 0;    ///< checkpoint epochs written
   std::uint64_t worker_failures = 0;      ///< item attempts that died or timed out
   std::uint64_t item_retries = 0;         ///< failed attempts that were re-run
+  /// Work items whose outcome was reused from a fingerprint-identical,
+  /// provably-equivalent item instead of re-explored (DporOptions::
+  /// dedup_states; zero when dedup is off).
+  std::uint64_t dedup_hits = 0;
 };
 
 struct ExploreResult {

@@ -1,0 +1,528 @@
+// Sharded exploration: fingerprints, the snapshot/work-item wire codec,
+// frame integrity, and the dist executor's byte-identical merge.
+//
+// The multi-process pool itself (fork/exec, pipes, respawn) is covered
+// end-to-end by the shard-parity ctests and resume_harness; these tests pin
+// the layers underneath with no processes involved:
+//
+//  * WorldSnapshot::fingerprint — deterministic across fork/restore round
+//    trips and across re-encodes, sensitive to a single poked store word.
+//  * encode/decode_world_snapshot — canonical round trip, loud rejection
+//    of truncation and structural mismatch.
+//  * protocol frames — CRC-checked round trip over a real pipe; torn
+//    writes and flipped bytes throw, clean EOF returns false.
+//  * checkpoint ItemOutcome v2 — footprint summaries survive the record
+//    round trip (the dedup eligibility data rides the same bytes).
+//  * a loopback DistItemExecutor that pushes every work item through the
+//    full wire codec and run_dist_item in-process — the whole dist stack
+//    minus fork — must reproduce the in-process search byte-for-byte.
+//  * dedup_states — verdict-equality gate: identical results with and
+//    without dedup, dedup_hits > 0 on a workload with equivalent subtrees.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "memory/shared_memory.h"
+#include "runtime/coro.h"
+#include "runtime/simulation.h"
+#include "runtime/snapshot_codec.h"
+#include "signaling/algorithm.h"
+#include "signaling/checker.h"
+#include "signaling/dsm_registration.h"
+#include "verify/checkpoint.h"
+#include "verify/dist/protocol.h"
+#include "verify/dpor.h"
+#include "verify/explorer.h"
+#include "verify/snapshot_cache.h"
+
+namespace rmrsim {
+namespace {
+
+ExploreBuilder signaling_builder(int n_waiters, int polls) {
+  return [=]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(n_waiters + 1);
+    auto alg = std::make_shared<DsmRegistrationSignal>(
+        *inst.mem, static_cast<ProcId>(n_waiters));
+    std::vector<Program> programs;
+    SignalingAlgorithm* a = alg.get();
+    for (int i = 0; i < n_waiters; ++i) {
+      programs.emplace_back(
+          [a, polls](ProcCtx& ctx) { return polling_waiter(ctx, a, polls); });
+    }
+    programs.emplace_back([a](ProcCtx& ctx) { return signaler(ctx, a); });
+    inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+    inst.keepalive = alg;
+    return inst;
+  };
+}
+
+ExploreChecker polling_checker() {
+  return [](const History& h) -> std::optional<std::string> {
+    if (const auto v = check_polling_spec(h); v.has_value()) return v->what;
+    return std::nullopt;
+  };
+}
+
+/// A checker with no record dependence — sound under counters_only_history
+/// (which dedup requires).
+ExploreChecker null_checker() {
+  return [](const History&) -> std::optional<std::string> {
+    return std::nullopt;
+  };
+}
+
+std::shared_ptr<const WorldSnapshot> snapshot_after(
+    const ExploreBuilder& build, const std::vector<ProcId>& schedule) {
+  ExploreInstance inst = build();
+  inst.sim->enable_fork_log();
+  for (const ProcId p : schedule) inst.sim->macro_step(p);
+  return take_snapshot(inst);
+}
+
+// ---- fingerprint ------------------------------------------------------
+
+TEST(Fingerprint, StableAcrossForkRestoreRoundTrips) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const auto snap = snapshot_after(build, {0, 1, 2});
+  const std::uint64_t fp = snap->fingerprint();
+  EXPECT_EQ(fp, snap->fingerprint()) << "fingerprint must be pure";
+
+  // Restore the world, snapshot it again untouched: same semantic state,
+  // same hash — the property coordinator-side dedup stands on.
+  ExploreInstance restored = restore_instance(*snap);
+  const auto again = take_snapshot(restored);
+  EXPECT_EQ(again->fingerprint(), fp);
+
+  // And across the wire: decode(encode(snap)) hashes identically too.
+  const auto proto = snapshot_after(build, {});
+  const WorldSnapshot decoded =
+      decode_world_snapshot(encode_world_snapshot(*snap), *proto);
+  EXPECT_EQ(decoded.fingerprint(), fp);
+}
+
+TEST(Fingerprint, DistinguishesStatesAndIgnoresHowTheyWereReached) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const auto before = snapshot_after(build, {});
+  const auto after = snapshot_after(build, {0});
+  EXPECT_NE(before->fingerprint(), after->fingerprint())
+      << "a executed step must change the world hash";
+
+  // A single poked store word flips the hash: two identically-driven
+  // worlds hash equal until exactly one word of one store is changed.
+  const auto a = snapshot_after(build, {0, 1});
+  ExploreInstance inst = build();
+  inst.sim->enable_fork_log();
+  inst.sim->macro_step(0);
+  inst.sim->macro_step(1);
+  ASSERT_EQ(take_snapshot(inst)->fingerprint(), a->fingerprint());
+  MemoryStore& store = inst.mem->store();
+  ASSERT_GT(store.num_vars(), 0);
+  store.poke(VarId{0}, store.value(VarId{0}) + 1, kNoProc);
+  EXPECT_NE(take_snapshot(inst)->fingerprint(), a->fingerprint());
+}
+
+// ---- snapshot wire codec ---------------------------------------------
+
+TEST(SnapshotWireCodec, CanonicalRoundTrip) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const auto snap = snapshot_after(build, {0, 2, 1});
+  const auto proto = snapshot_after(build, {});
+
+  const std::string wire = encode_world_snapshot(*snap);
+  const WorldSnapshot decoded = decode_world_snapshot(wire, *proto);
+  // Canonical: re-encoding the decoded snapshot reproduces the bytes.
+  EXPECT_EQ(encode_world_snapshot(decoded), wire);
+
+  // The decoded world must actually run: restore it and drive the same
+  // macro step in both worlds, then compare the hashes again.
+  ExploreInstance orig = restore_instance(*snap);
+  ExploreInstance copy = restore_instance(decoded);
+  orig.sim->macro_step(1);
+  copy.sim->macro_step(1);
+  EXPECT_EQ(take_snapshot(orig)->fingerprint(),
+            take_snapshot(copy)->fingerprint());
+}
+
+TEST(SnapshotWireCodec, RejectsTruncationAndStructuralMismatch) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const auto snap = snapshot_after(build, {0});
+  const auto proto = snapshot_after(build, {});
+  const std::string wire = encode_world_snapshot(*snap);
+
+  // Truncation at any coarse cut must throw, never return a world.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, wire.size() / 2, wire.size() - 1}) {
+    EXPECT_THROW(decode_world_snapshot(wire.substr(0, keep), *proto),
+                 std::exception)
+        << "truncated to " << keep << " bytes";
+  }
+  // Trailing garbage is a malformed payload, not padding.
+  EXPECT_THROW(decode_world_snapshot(wire + "x", *proto), std::exception);
+
+  // A proto of a structurally different instance (different store layout /
+  // process count) must be refused: grafting immutables across instance
+  // shapes would explore a subtly different world.
+  const auto other_proto = snapshot_after(signaling_builder(3, 1), {});
+  EXPECT_THROW(decode_world_snapshot(wire, *other_proto), std::exception);
+}
+
+// ---- pipe frames ------------------------------------------------------
+
+struct Pipe {
+  int fd[2] = {-1, -1};
+  Pipe() { EXPECT_EQ(::pipe(fd), 0); }
+  ~Pipe() {
+    if (fd[0] >= 0) ::close(fd[0]);
+    if (fd[1] >= 0) ::close(fd[1]);
+  }
+  void close_write() {
+    ::close(fd[1]);
+    fd[1] = -1;
+  }
+};
+
+TEST(DistFrames, RoundTripAndCleanEof) {
+  Pipe p;
+  // Multi-PIPE_BUF but under the 64 KiB pipe capacity: both frames must be
+  // fully buffered before the single-threaded read below drains them.
+  dist::write_frame(p.fd[1], "hello frame");
+  dist::write_frame(p.fd[1], std::string(40'000, 'x'));
+  p.close_write();
+
+  std::string payload;
+  ASSERT_TRUE(dist::read_frame(p.fd[0], &payload));
+  EXPECT_EQ(payload, "hello frame");
+  ASSERT_TRUE(dist::read_frame(p.fd[0], &payload));
+  EXPECT_EQ(payload, std::string(40'000, 'x'));
+  // Writer gone, no bytes pending: clean EOF is false, not a throw — the
+  // worker's normal shutdown signal.
+  EXPECT_FALSE(dist::read_frame(p.fd[0], &payload));
+}
+
+TEST(DistFrames, TornFrameAndCorruptionThrow) {
+  {
+    // EOF mid-frame: the length header promises more bytes than arrive.
+    Pipe p;
+    std::string frame;
+    put_record(frame, "a torn frame's payload");
+    const std::string half = frame.substr(0, frame.size() / 2);
+    ASSERT_EQ(::write(p.fd[1], half.data(), half.size()),
+              static_cast<ssize_t>(half.size()));
+    p.close_write();
+    std::string payload;
+    EXPECT_THROW(dist::read_frame(p.fd[0], &payload), std::exception);
+  }
+  {
+    // One flipped payload byte: the CRC trailer must catch it.
+    Pipe p;
+    std::string frame;
+    put_record(frame, "payload protected by crc32");
+    frame[6] ^= 0x20;
+    ASSERT_EQ(::write(p.fd[1], frame.data(), frame.size()),
+              static_cast<ssize_t>(frame.size()));
+    p.close_write();
+    std::string payload;
+    EXPECT_THROW(dist::read_frame(p.fd[0], &payload), std::exception);
+  }
+}
+
+TEST(DistProtocol, MessageRoundTrips) {
+  dist::HelloMsg hello;
+  hello.fingerprint = 0xDEADBEEFCAFEF00DULL;
+  const dist::HelloMsg hello2 = dist::decode_hello(dist::encode_hello(hello));
+  EXPECT_EQ(hello2.version, dist::kProtocolVersion);
+  EXPECT_EQ(hello2.fingerprint, hello.fingerprint);
+
+  dist::ItemMsg item;
+  item.index = 7;
+  item.base_nodes = 12345;
+  item.collect_completes = true;
+  item.item.schedule = {0, 2, 1};
+  item.item.naive_product = 6.0;
+  item.item.naive_sum = 11.0;
+  DporPathStep step;
+  step.proc = 2;
+  step.fp = {true, 3, AccessClass::kMutate, false, false};
+  step.clock = {1, 0, 2};
+  item.item.path = {step};
+  item.item.sleep = {{1, {true, 5, AccessClass::kObserve, true,
+                          false}}};
+  item.snapshot = "opaque snapshot bytes";
+  const dist::ItemMsg item2 = dist::decode_item(dist::encode_item(item));
+  EXPECT_EQ(item2.index, item.index);
+  EXPECT_EQ(item2.base_nodes, item.base_nodes);
+  EXPECT_EQ(item2.collect_completes, item.collect_completes);
+  EXPECT_EQ(item2.item.schedule, item.item.schedule);
+  ASSERT_EQ(item2.item.path.size(), 1u);
+  EXPECT_EQ(item2.item.path[0].proc, 2);
+  EXPECT_EQ(item2.item.path[0].fp.var, 3);
+  EXPECT_EQ(item2.item.path[0].clock, step.clock);
+  ASSERT_EQ(item2.item.sleep.size(), 1u);
+  EXPECT_EQ(item2.item.sleep[0].fp.var, 5);
+  EXPECT_EQ(item2.item.naive_product, 6.0);
+  EXPECT_EQ(item2.item.naive_sum, 11.0);
+  EXPECT_EQ(item2.snapshot, item.snapshot);
+
+  dist::OutcomeMsg out;
+  out.index = 7;
+  out.result.ok = true;
+  out.result.worker_failures = 2;
+  out.result.item_retries = 1;
+  out.result.outcome.schedule = {0, 2, 1};
+  out.result.outcome.charged = 42;
+  out.result.outcome.footprints = {
+      {true, 1, AccessClass::kMutate, true, false}};
+  const dist::OutcomeMsg out2 =
+      dist::decode_outcome(dist::encode_outcome(out));
+  EXPECT_EQ(out2.index, 7u);
+  EXPECT_TRUE(out2.result.ok);
+  EXPECT_EQ(out2.result.worker_failures, 2u);
+  EXPECT_EQ(out2.result.item_retries, 1u);
+  EXPECT_EQ(out2.result.outcome.schedule, out.result.outcome.schedule);
+  EXPECT_EQ(out2.result.outcome.charged, 42u);
+  ASSERT_EQ(out2.result.outcome.footprints.size(), 1u);
+  EXPECT_EQ(out2.result.outcome.footprints[0].var, 1);
+
+  dist::OutcomeMsg bad;
+  bad.index = 9;
+  bad.result.ok = false;
+  bad.result.quarantine_reason = "deliberate";
+  const dist::OutcomeMsg bad2 =
+      dist::decode_outcome(dist::encode_outcome(bad));
+  EXPECT_FALSE(bad2.result.ok);
+  EXPECT_EQ(bad2.result.quarantine_reason, "deliberate");
+}
+
+// ---- checkpoint record v2 --------------------------------------------
+
+TEST(CheckpointV2, ItemOutcomeFootprintsSurviveTheRecordRoundTrip) {
+  ItemOutcome out;
+  out.schedule = {1, 0, 2};
+  out.charged = 17;
+  out.nodes = 17;
+  out.complete = 3;
+  out.truncated = 1;
+  out.estimate_sum = 123.5;
+  out.leaves = 4;
+  out.footprints = {
+      {true, 0, AccessClass::kObserve, false, false},
+      {true, 2, AccessClass::kMutate, true, false},
+      {false, kNoVar, AccessClass::kObserve, false, true},
+  };
+  const ItemOutcome back = decode_item_outcome(encode_item_outcome(out));
+  EXPECT_EQ(back.schedule, out.schedule);
+  EXPECT_EQ(back.charged, out.charged);
+  ASSERT_EQ(back.footprints.size(), 3u);
+  EXPECT_EQ(back.footprints[0].var, 0);
+  EXPECT_EQ(back.footprints[0].access, AccessClass::kObserve);
+  EXPECT_EQ(back.footprints[1].var, 2);
+  EXPECT_EQ(back.footprints[1].access, AccessClass::kMutate);
+  EXPECT_TRUE(back.footprints[1].observable);
+  EXPECT_FALSE(back.footprints[2].has_op);
+  EXPECT_TRUE(back.footprints[2].terminated);
+}
+
+// ---- loopback executor: the dist stack minus fork --------------------
+
+/// Runs every item through the complete wire path — encode the item and
+/// its snapshot, decode both (grafting immutables from a locally built
+/// proto, exactly like a worker), execute via run_dist_item, then encode
+/// and decode the outcome — all in-process. Any divergence the codec or
+/// run_dist_item introduces shows up as a merge difference.
+class LoopbackExecutor : public DistItemExecutor {
+ public:
+  LoopbackExecutor(ExploreBuilder build, ExploreChecker check,
+                   DporOptions options)
+      : build_(std::move(build)),
+        check_(std::move(check)),
+        options_(std::move(options)) {
+    if (options_.snapshot_mode == SnapshotMode::kSnapshot) {
+      proto_ = snapshot_after(build_, {});
+    }
+  }
+
+  void run_round(
+      const std::vector<DporWorkItem>& items,
+      const std::vector<std::size_t>& live,
+      const std::function<std::uint64_t()>& committed_nodes,
+      const std::function<void(std::size_t, DistItemResult&&)>& done)
+      override {
+    for (const std::size_t idx : live) {
+      dist::ItemMsg msg;
+      msg.index = idx;
+      msg.base_nodes = committed_nodes();
+      msg.collect_completes = static_cast<bool>(options_.on_complete_schedule);
+      msg.item.schedule = items[idx].schedule;
+      msg.item.path = items[idx].path;
+      msg.item.sleep = items[idx].sleep;
+      msg.item.naive_product = items[idx].naive_product;
+      msg.item.naive_sum = items[idx].naive_sum;
+      if (items[idx].root_snap != nullptr) {
+        msg.snapshot = encode_world_snapshot(*items[idx].root_snap);
+      }
+
+      dist::ItemMsg got = dist::decode_item(dist::encode_item(msg));
+      if (!got.snapshot.empty()) {
+        got.item.root_snap = std::make_shared<const WorldSnapshot>(
+            decode_world_snapshot(got.snapshot, *proto_));
+      }
+      DporOptions opts = options_;
+      opts.on_complete_schedule =
+          got.collect_completes
+              ? std::function<void(const std::vector<ProcId>&)>(
+                    [](const std::vector<ProcId>&) {})
+              : nullptr;
+      dist::OutcomeMsg out;
+      out.index = got.index;
+      out.result =
+          run_dist_item(build_, check_, opts, got.item, got.base_nodes);
+      dist::OutcomeMsg final_out =
+          dist::decode_outcome(dist::encode_outcome(out));
+      done(static_cast<std::size_t>(final_out.index),
+           std::move(final_out.result));
+    }
+  }
+
+ private:
+  ExploreBuilder build_;
+  ExploreChecker check_;
+  DporOptions options_;
+  std::shared_ptr<const WorldSnapshot> proto_;
+};
+
+void expect_same_result(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.nodes_visited, b.nodes_visited);
+  EXPECT_EQ(a.complete_schedules, b.complete_schedules);
+  EXPECT_EQ(a.truncated_schedules, b.truncated_schedules);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+  EXPECT_EQ(a.violation, b.violation);
+  EXPECT_EQ(a.violating_schedule, b.violating_schedule);
+  EXPECT_EQ(a.quarantined_items.size(), b.quarantined_items.size());
+  EXPECT_EQ(a.stats.replayed_steps, b.stats.replayed_steps);
+  EXPECT_EQ(a.stats.sleep_set_prunes, b.stats.sleep_set_prunes);
+  EXPECT_EQ(a.stats.backtrack_points, b.stats.backtrack_points);
+  EXPECT_EQ(a.stats.sleep_blocked_paths, b.stats.sleep_blocked_paths);
+  EXPECT_EQ(a.stats.naive_tree_estimate, b.stats.naive_tree_estimate);
+  EXPECT_EQ(a.stats.rounds, b.stats.rounds);
+  EXPECT_EQ(a.stats.work_items, b.stats.work_items);
+}
+
+TEST(DistExecutor, LoopbackMergesByteIdenticalToInProcess) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const ExploreChecker check = polling_checker();
+  DporOptions opt;
+  opt.max_depth = 14;
+
+  const ExploreResult inproc = explore_dpor(build, check, opt);
+  LoopbackExecutor exec(build, check, opt);
+  DporOptions dist_opt = opt;
+  dist_opt.dist = &exec;
+  const ExploreResult dist = explore_dpor(build, check, dist_opt);
+  expect_same_result(inproc, dist);
+  EXPECT_TRUE(dist.exhausted);
+  EXPECT_GT(dist.stats.work_items, 0u)
+      << "the workload must actually exercise the executor";
+}
+
+TEST(DistExecutor, LoopbackMatchesInReplayModeToo) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  const ExploreChecker check = polling_checker();
+  DporOptions opt;
+  opt.max_depth = 14;
+  opt.snapshot_mode = SnapshotMode::kReplay;
+
+  const ExploreResult inproc = explore_dpor(build, check, opt);
+  LoopbackExecutor exec(build, check, opt);
+  DporOptions dist_opt = opt;
+  dist_opt.dist = &exec;
+  const ExploreResult dist = explore_dpor(build, check, dist_opt);
+  expect_same_result(inproc, dist);
+}
+
+// ---- fingerprint dedup -----------------------------------------------
+
+// Every op in the signaling algorithms sits inside a call boundary, and
+// call boundaries are observable events — mutually dependent by fiat — so
+// signaling subtrees are never dedup-eligible. Convergent work items need
+// raw programs: proc A rewrites x with its current value (a mutate-class
+// race against B's read whose orders nonetheless reconverge — same store,
+// same last writer, same observed values, same resume logs), B reads x and
+// rewrites y likewise, then both run private tails the trunk is
+// independent of.
+ProcTask rewriter(ProcCtx& ctx, VarId mine, Word keep, VarId other,
+                  VarId scratch, int tail) {
+  co_await ctx.write(mine, keep);
+  co_await ctx.write(mine, keep);
+  co_await ctx.read(other);
+  for (int i = 0; i < tail; ++i) co_await ctx.write(scratch, i + 1);
+}
+
+ProcTask reader_then_rewriter(ProcCtx& ctx, VarId mine, Word keep,
+                              VarId other, VarId scratch, int tail) {
+  co_await ctx.read(other);
+  co_await ctx.write(mine, keep);
+  co_await ctx.write(mine, keep);
+  for (int i = 0; i < tail; ++i) co_await ctx.write(scratch, i + 1);
+}
+
+ExploreBuilder convergent_builder(int tail) {
+  return [=]() {
+    ExploreInstance inst;
+    inst.mem = make_dsm(2);
+    const VarId x = inst.mem->allocate_global(5, "x");
+    const VarId y = inst.mem->allocate_global(7, "y");
+    const VarId ta = inst.mem->allocate_local(0, 0, "ta");
+    const VarId tb = inst.mem->allocate_local(1, 0, "tb");
+    std::vector<Program> programs;
+    programs.emplace_back([=](ProcCtx& c) {
+      return rewriter(c, x, 5, y, ta, tail);
+    });
+    programs.emplace_back([=](ProcCtx& c) {
+      return reader_then_rewriter(c, y, 7, x, tb, tail);
+    });
+    inst.sim = std::make_unique<Simulation>(*inst.mem, std::move(programs));
+    return inst;
+  };
+}
+
+TEST(DedupStates, VerdictEqualWithHitsOnEquivalentSubtrees) {
+  const ExploreBuilder build = convergent_builder(4);
+  const ExploreChecker check = null_checker();
+  DporOptions opt;
+  opt.max_depth = 30;
+  opt.trunk_depth = 6;  // items root right after the convergent race phase
+  opt.counters_only_history = true;  // required by dedup_states
+
+  const ExploreResult plain = explore_dpor(build, check, opt);
+  DporOptions dd = opt;
+  dd.dedup_states = true;
+  const ExploreResult deduped = explore_dpor(build, check, dd);
+
+  // The gate: dedup may only change how outcomes were obtained, never what
+  // the search reports.
+  EXPECT_EQ(deduped.nodes_visited, plain.nodes_visited);
+  EXPECT_EQ(deduped.complete_schedules, plain.complete_schedules);
+  EXPECT_EQ(deduped.truncated_schedules, plain.truncated_schedules);
+  EXPECT_EQ(deduped.exhausted, plain.exhausted);
+  EXPECT_EQ(deduped.violation, plain.violation);
+  EXPECT_EQ(deduped.violating_schedule, plain.violating_schedule);
+  EXPECT_EQ(plain.stats.dedup_hits, 0u);
+  EXPECT_GT(deduped.stats.dedup_hits, 0u)
+      << "this workload must have equivalent subtrees to reuse";
+}
+
+TEST(DedupStates, RequiresCountersOnlyHistory) {
+  const ExploreBuilder build = signaling_builder(2, 1);
+  DporOptions dd;
+  dd.max_depth = 12;
+  dd.dedup_states = true;  // counters_only_history deliberately off
+  EXPECT_THROW(explore_dpor(build, null_checker(), dd), std::exception);
+}
+
+}  // namespace
+}  // namespace rmrsim

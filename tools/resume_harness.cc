@@ -15,6 +15,16 @@
 //   4. Torn checkpoint: truncate the newest epoch of an interrupted run
 //      mid-record; resume must fall back to the previous epoch (the CLI
 //      logs the discarded file) and still reproduce the reference.
+//   5. Sharded worker kills: run `--shards 2` with every initial worker
+//      process SIGKILLing itself on its first work item
+//      (RMRSIM_WORKER_EXIT_AFTER_ITEMS=0); the coordinator must absorb
+//      the deaths through respawn-and-retry and still produce a report
+//      byte-identical to the unsharded, uninterrupted reference.
+//
+// The sharded scenario runs the full battery 1-4 with a multi-process
+// coordinator/worker tree: boundary and randomized kills land on the
+// coordinator (orphaned workers must self-clean on pipe EOF), and the
+// resumed runs must reproduce the sharded reference byte-for-byte.
 //
 // Standalone on purpose: links no rmrsim libraries, only POSIX — the
 // harness must observe the explorer strictly from outside, exactly like
@@ -288,6 +298,43 @@ void run_scenario(const std::string& cli, const std::string& scratch,
               static_cast<unsigned long long>(epochs));
 }
 
+/// Step 5: worker-process deaths absorbed without a trace. The reference
+/// is deliberately unsharded — the comparison asserts sharding parity and
+/// crash absorption in one stroke.
+void run_worker_kill_scenario(const std::string& cli,
+                              const std::string& scratch) {
+  const char* name = "signal-worker-kill-s2";
+  const std::string dir = scratch + "/" + name;
+  run_shell("rm -rf '" + dir + "' && mkdir -p '" + dir + "'");
+  const std::vector<std::string> base = {
+      "explore", "--target", "signal", "--alg",  "registration",
+      "--model", "dsm",      "--waiters", "2",   "--polls", "1",
+      "--depth", "14"};
+
+  const std::string ref_report = dir + "/ref.txt";
+  RunResult ref = run_cli(cli, with(base, {"--report", ref_report}),
+                          dir + "/ref.log");
+  check(ref.exit_code == 0, "%s: reference run exited %d, want 0", name,
+        ref.exit_code);
+  const std::string want = read_file(ref_report);
+  check(!want.empty(), "%s: reference report is empty", name);
+
+  // Every initial worker dies upon receiving its first item; the pool
+  // respawns them with the kill switch cleared and retries the items.
+  const std::string rep = dir + "/killed.txt";
+  RunResult killed = run_cli(
+      cli, with(base, {"--shards", "2", "--report", rep}),
+      dir + "/killed.log", "RMRSIM_WORKER_EXIT_AFTER_ITEMS=0");
+  check(killed.exit_code == 0,
+        "%s: run with dying workers exited %d, want 0", name,
+        killed.exit_code);
+  check(read_file(rep) == want,
+        "%s: report after worker deaths differs from the unsharded "
+        "reference",
+        name);
+  std::printf("scenario %s: done\n", name);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -326,8 +373,18 @@ int main(int argc, char** argv) {
         "--waiters", "2", "--polls", "1", "--depth", "14", "--workers", "2",
         "--trunk-depth", "2", "--checkpoint-interval", "2"},
        1},
+      // Multi-process search: work items run in forked worker processes.
+      // Boundary and randomized kills hit the coordinator mid-epoch; the
+      // orphaned workers must self-clean and the resumed (re-sharded) run
+      // must still reproduce the reference byte-for-byte.
+      {"signal-sharded-s2",
+       {"explore", "--target", "signal", "--alg", "registration", "--model",
+        "dsm", "--waiters", "2", "--polls", "1", "--depth", "14", "--shards",
+        "2", "--checkpoint-interval", "2"},
+       0},
   };
   for (const Scenario& sc : scenarios) run_scenario(cli, scratch, sc, rng);
+  run_worker_kill_scenario(cli, scratch);
 
   if (g_failures == 0) {
     std::printf("resume_harness: all scenarios passed\n");

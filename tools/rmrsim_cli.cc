@@ -11,6 +11,8 @@
 //   rmrsim_cli trace     --gen zipf --ops 1000000 --procs 32 --protocols all
 //
 // Models: dsm | cc | cc-wb | cc-mesi | cc-lfcu.
+#include <unistd.h>
+
 #include <cerrno>
 #include <csignal>
 #include <cstdio>
@@ -20,6 +22,7 @@
 #include <limits>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
 #include <memory>
 #include <string>
@@ -41,6 +44,8 @@
 #include "trace/call_stats.h"
 #include "trace/export.h"
 #include "verify/checkpoint.h"
+#include "verify/dist/pool.h"
+#include "verify/dist/worker.h"
 #include "verify/dpor.h"
 #include "verify/explorer.h"
 #include "verify/shrink.h"
@@ -599,7 +604,20 @@ std::string schedule_str(const std::vector<ProcId>& s) {
 // bounds (--naive) and shrinking any counterexample (--shrink). The builder
 // is called once per tree node (and concurrently when --workers > 1), so it
 // closes over nothing mutable.
-int cmd_explore(const Args& a) {
+int cmd_explore(const Args& a, const char* argv0) {
+  // Hidden worker mode (sharded exploration): this process was exec'd by a
+  // coordinator's DistPool with the pipe protocol on stdin/stdout. Steal
+  // stdout for the protocol immediately and point fd 1 at stderr, so the
+  // banner printfs below (and anything else that writes to stdout) cannot
+  // corrupt a frame.
+  const bool dist_worker = a.has("dist-worker");
+  int proto_out = -1;
+  if (dist_worker) {
+    proto_out = ::dup(1);
+    ensure(proto_out >= 0, "--dist-worker: dup(stdout) failed");
+    ::dup2(2, 1);
+  }
+
   const std::string target = a.get("target", "signal");
   const std::string model = a.get("model", "dsm");
 
@@ -725,6 +743,56 @@ int cmd_explore(const Args& a) {
             std::to_string(opt.item_max_attempts) + "|item-step-limit=" +
             std::to_string(opt.item_node_limit) + "|inject=" +
             std::to_string(inject_every);
+  // Deliberately absent from fp_src, like the worker count: --shards only
+  // moves where items run, so coordinator and workers fingerprint-match and
+  // checkpoints stay valid across shard counts.
+
+  if (dist_worker) {
+    return dist::run_dist_worker(build, check, opt, fnv1a64(fp_src),
+                                 /*in_fd=*/0, proto_out);
+  }
+
+  // Sharded coordinator: --shards S forks S worker processes (this binary,
+  // re-exec'd with the same explore flags plus --dist-worker) and runs every
+  // work item out-of-process. Coordinator-only flags are stripped from the
+  // worker argv; everything that determines the search is forwarded, and the
+  // hello handshake cross-checks the fingerprints.
+  std::optional<dist::DistPool> pool;
+  if (a.kv.count("shards") != 0 || a.has("shards")) {
+    const int shards = static_cast<int>(a.get_int("shards", 1, 1, 256));
+    std::vector<std::string> wargv;
+    char self[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", self, sizeof self - 1);
+    if (n > 0) {
+      self[n] = '\0';
+      wargv.push_back(self);
+    } else {
+      wargv.push_back(argv0);
+    }
+    wargv.push_back("explore");
+    static const std::set<std::string> coordinator_only = {
+        "shards",         "checkpoint-dir", "resume", "report",
+        "snapshot-stats", "shrink",         "naive",  "dedup"};
+    for (const auto& [k, v] : a.kv) {
+      if (coordinator_only.count(k) != 0) continue;
+      wargv.push_back("--" + k);
+      wargv.push_back(v);
+    }
+    for (const auto& [k, on] : a.flags) {
+      if (!on || coordinator_only.count(k) != 0) continue;
+      wargv.push_back("--" + k);
+    }
+    wargv.push_back("--dist-worker");
+
+    dist::DistPool::Config pc;
+    pc.shards = shards;
+    pc.worker_argv = std::move(wargv);
+    pc.fingerprint = fnv1a64(fp_src);
+    pc.item_max_attempts = opt.item_max_attempts;
+    pc.collect_completes = static_cast<bool>(opt.on_complete_schedule);
+    pool.emplace(std::move(pc));
+    opt.dist = &*pool;
+  }
 
   // Persistent frontier: --checkpoint-dir D records progress into D (a
   // fresh run wipes stale epochs first); --resume D loads the newest valid
@@ -899,6 +967,9 @@ void usage() {
       "  gme       --procs N --sessions K --passages P --model M\n"
       "  explore   --target signal|mutex --model M [--depth D]\n"
       "            [--max-nodes N] [--workers W] [--trunk-depth T]\n"
+      "            [--shards S]  (fork S worker processes and run every\n"
+      "                       work item out-of-process; the report is\n"
+      "                       byte-identical for any S, 1..256)\n"
       "            [--mode replay|snapshot]  (state reconstruction engine;\n"
       "                       default snapshot — replay is the oracle)\n"
       "            [--snapshot-stats] (print snapshot cache counters)\n"
@@ -958,7 +1029,7 @@ int main(int argc, char** argv) {
     if (cmd == "mutex") return cmd_mutex(args);
     if (cmd == "adversary") return cmd_adversary(args);
     if (cmd == "gme") return cmd_gme(args);
-    if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "explore") return cmd_explore(args, argv[0]);
     if (cmd == "sweep") return cmd_sweep(args);
     if (cmd == "trace") return cmd_trace(args);
   } catch (const std::exception& e) {
